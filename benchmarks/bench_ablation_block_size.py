@@ -1,0 +1,104 @@
+"""Ablations of Backward-Sort's design choices (DESIGN.md §6).
+
+Four knobs, each benchmarked against the paper's default on the same
+moderately disordered stream:
+
+* degenerate block sizes (Proposition 5: L=1 → insertion, L=N → quicksort)
+  vs the searched L;
+* the Θ threshold (paper default 0.04);
+* block-size growth strategy (doubling vs ratio-proportional jumps);
+* the per-block sorting algorithm ("Quicksort is used in default and can
+  be substituted").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sorting import get_sorter
+from repro.workloads import log_normal
+
+_N = 20_000
+
+
+def _stream():
+    return log_normal(_N, mu=1.0, sigma=1.0, seed=42)
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("label,kwargs", [
+    ("searched-L", {}),
+    ("L=64", {"fixed_block_size": 64}),
+    ("L=1024", {"fixed_block_size": 1024}),
+    ("L=N (quicksort)", {"fixed_block_size": _N}),
+])
+def test_block_size_choice(benchmark, label, kwargs):
+    benchmark.group = "ablation: block size (lognormal(1,1))"
+    stream = _stream()
+
+    def run(ts, vs):
+        get_sorter("backward", **kwargs).sort(ts, vs)
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)
+
+
+def test_block_size_one_is_quadratic():
+    """L=1 degenerates to insertion sort; verified on a smaller array so the
+    ablation suite stays fast (O(n²) at n=20k would take minutes)."""
+    stream = log_normal(3_000, mu=1.0, sigma=1.0, seed=42)
+    ts, vs = stream.sort_input()
+    stats = get_sorter("backward", fixed_block_size=1).sort(ts, vs)
+    assert ts == sorted(ts)
+    assert stats.block_size == 1
+
+
+@pytest.mark.parametrize("theta", (0.01, 0.04, 0.16))
+def test_theta_sensitivity(benchmark, theta):
+    benchmark.group = "ablation: theta threshold"
+    stream = _stream()
+
+    def run(ts, vs):
+        get_sorter("backward", theta=theta).sort(ts, vs)
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)
+
+
+@pytest.mark.parametrize("growth", ("double", "ratio"))
+def test_growth_strategy(benchmark, growth):
+    benchmark.group = "ablation: block-size growth strategy"
+    stream = _stream()
+
+    def run(ts, vs):
+        get_sorter("backward", growth=growth).sort(ts, vs)
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)
+
+
+@pytest.mark.parametrize("block_sort", ("quick", "insertion", "tim", "run-adaptive"))
+def test_block_sorter_substitution(benchmark, block_sort):
+    benchmark.group = "ablation: per-block sorting algorithm"
+    stream = _stream()
+
+    def run(ts, vs):
+        get_sorter("backward", block_sort=block_sort).sort(ts, vs)
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)
+
+
+@pytest.mark.parametrize("l0", (4, 32, 128))
+def test_initial_block_size(benchmark, l0):
+    """The paper's L0 = 4 vs this implementation's Python-tuned default 32."""
+    benchmark.group = "ablation: initial block size L0"
+    stream = _stream()
+
+    def run(ts, vs):
+        get_sorter("backward", l0=l0).sort(ts, vs)
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)

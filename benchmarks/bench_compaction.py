@@ -1,0 +1,51 @@
+"""Compaction bench: the deferred cost of the separation policy, paid once.
+
+Measures (a) the full-merge compaction pass itself, and (b) the query-side
+payoff: a tail time-range query against a fragmented engine (many seq files
+plus unseq overwrites) vs the same engine after compaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iotdb import IoTDBConfig, StorageEngine
+from repro.workloads import log_normal
+
+_N = 8_000
+
+
+def _fragmented_engine() -> StorageEngine:
+    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=_N // 8, page_size=256))
+    stream = log_normal(_N, mu=1.0, sigma=1.0, seed=23)
+    engine.write_batch("d", "s", stream.timestamps, stream.values)
+    # Rewrite an early slice so unsequence files exist.
+    for t in range(0, _N // 10):
+        engine.write("d", "s", t, 0.0)
+    engine.flush_all()
+    return engine
+
+
+def test_compaction_pass(benchmark):
+    benchmark.group = "compaction pass"
+
+    def setup():
+        return (_fragmented_engine(),), {}
+
+    report = benchmark.pedantic(lambda e: e.compact(), setup=setup, rounds=3)
+    assert report.files_after == 1
+    assert report.unseq_files_merged >= 1
+
+
+@pytest.mark.parametrize("compacted", (False, True), ids=("fragmented", "compacted"))
+def test_query_before_after(benchmark, compacted):
+    benchmark.group = "tail query: fragmented vs compacted"
+    engine = _fragmented_engine()
+    if compacted:
+        engine.compact()
+
+    def run():
+        return engine.query("d", "s", _N - 2_000, _N)
+
+    result = benchmark(run)
+    assert len(result) == 2_000

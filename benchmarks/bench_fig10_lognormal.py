@@ -1,0 +1,39 @@
+"""Figure 10 bench: sort time on LogNormal(µ, σ) — one group per σ.
+
+Expected shape: like Figure 9 but heavier-tailed; Patience Sort's relative
+position degrades ("Patience Sort is not stable, especially in LogNormal
+Datasets"), Backward-Sort leads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.workloads import log_normal
+
+from conftest import SORT_N
+
+_SIGMAS = (0.5, 1.0, 2.0)
+_MU = 1.0
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("sigma", _SIGMAS)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_sort_time(benchmark, algorithm, sigma):
+    stream = log_normal(SORT_N, mu=_MU, sigma=sigma, seed=10)
+    benchmark.group = f"fig10 lognormal(mu={_MU:g}, sigma={sigma:g}) n={SORT_N}"
+
+    def run(ts, vs):
+        get_sorter(algorithm).sort(ts, vs)
+        assert ts[0] <= ts[-1]
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)

@@ -1,0 +1,37 @@
+"""Figure 11 bench: sort time on the four real-world(simulated) datasets.
+
+Expected shape: Backward-Sort clearly ahead on the mildly disordered
+Samsung traces; at worst at parity with Quicksort on the heavily disordered
+CitiBike traces (the Proposition 5 degenerate regime); YSort collapses on
+CitiBike.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.workloads import REAL_WORLD_DATASETS, load_dataset
+
+from conftest import SORT_N
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("dataset", REAL_WORLD_DATASETS)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_sort_time(benchmark, algorithm, dataset):
+    stream = load_dataset(dataset, SORT_N, seed=11)
+    benchmark.group = f"fig11 {dataset} n={SORT_N}"
+
+    def run(ts, vs):
+        get_sorter(algorithm).sort(ts, vs)
+        assert ts[0] <= ts[-1]
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)

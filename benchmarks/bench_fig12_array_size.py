@@ -1,0 +1,36 @@
+"""Figure 12 bench: sort time vs array size — one group per size.
+
+Expected shape: roughly linearithmic growth for every algorithm with
+Backward-Sort lowest at each size (rankings noisier at the smallest size,
+as the paper notes for sub-millisecond runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.workloads import log_normal
+
+_SIZES = (2_000, 20_000, 60_000)
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("n", _SIZES)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_sort_time(benchmark, algorithm, n):
+    stream = log_normal(n, mu=0.0, sigma=1.0, seed=12)
+    benchmark.group = f"fig12 lognormal(0,1) n={n}"
+
+    def run(ts, vs):
+        get_sorter(algorithm).sort(ts, vs)
+        assert ts[0] <= ts[-1]
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)

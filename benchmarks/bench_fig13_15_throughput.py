@@ -1,0 +1,50 @@
+"""Figures 13-15 bench: query throughput vs write percentage.
+
+Each benchmark cell runs one full system workload (ingest + tail queries)
+against a fresh engine; the extra-info column carries the measured query
+throughput so the table reports both wall-clock and the figure's metric.
+Expected shape: the Backward row sustains the highest throughput per group.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SystemWorkloadConfig, run_system_benchmark
+from repro.iotdb import IoTDBConfig
+from repro.sorting import PAPER_ALGORITHMS
+
+from conftest import BENCH_WRITE_PERCENTAGES, SYSTEM_POINTS
+
+_DATASETS = (
+    ("lognormal", {"mu": 1.0, "sigma": 1.0}),
+    ("citibike-201902", {}),
+)
+
+
+@pytest.mark.parametrize("dataset,params", _DATASETS, ids=[d for d, _ in _DATASETS])
+@pytest.mark.parametrize("write_pct", BENCH_WRITE_PERCENTAGES)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_query_throughput(benchmark, algorithm, write_pct, dataset, params):
+    config = SystemWorkloadConfig(
+        dataset=dataset,
+        dataset_params=params,
+        total_points=SYSTEM_POINTS,
+        write_percentage=write_pct,
+        seed=13,
+    )
+    benchmark.group = f"fig13-15 {dataset} wp={write_pct:g}"
+
+    def run():
+        result = run_system_benchmark(
+            config,
+            sorter=algorithm,
+            engine_config=IoTDBConfig(
+                sorter=algorithm, memtable_flush_threshold=SYSTEM_POINTS // 4
+            ),
+        )
+        benchmark.extra_info["query_throughput_pts_per_s"] = result.query_throughput
+        return result
+
+    result = benchmark.pedantic(run, rounds=2)
+    assert result.total_points == SYSTEM_POINTS

@@ -1,0 +1,43 @@
+"""Figures 19-21 bench: total test latency per sorting algorithm.
+
+Each cell times the complete benchmark episode — batched ingestion,
+interleaved tail queries, every triggered flush, and the final checkpoint —
+which is exactly the paper's "total test latency".  Expected shape: the
+Backward row lowest, with differences widening at lower write percentages
+(more queries → more query-path sorting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SystemWorkloadConfig, run_system_benchmark
+from repro.iotdb import IoTDBConfig
+from repro.sorting import PAPER_ALGORITHMS
+
+from conftest import BENCH_WRITE_PERCENTAGES, SYSTEM_POINTS
+
+
+@pytest.mark.parametrize("write_pct", BENCH_WRITE_PERCENTAGES)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_total_latency(benchmark, algorithm, write_pct):
+    config = SystemWorkloadConfig(
+        dataset="absnormal",
+        dataset_params={"mu": 1.0, "sigma": 2.0},
+        total_points=SYSTEM_POINTS,
+        write_percentage=write_pct,
+        seed=19,
+    )
+    benchmark.group = f"fig19-21 absnormal(1,2) wp={write_pct:g}"
+
+    def run():
+        return run_system_benchmark(
+            config,
+            sorter=algorithm,
+            engine_config=IoTDBConfig(
+                sorter=algorithm, memtable_flush_threshold=SYSTEM_POINTS // 4
+            ),
+        )
+
+    result = benchmark.pedantic(run, rounds=2)
+    assert result.flush_count >= 4

@@ -1,0 +1,34 @@
+"""Figure 22 bench: LSTM training on ordered vs disordered series.
+
+Times one full train-and-evaluate episode per disorder level and records
+the resulting test MSE as extra info — the benchmark table's MSE column
+must grow with σ while wall-clock stays flat (disorder hurts accuracy, not
+speed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.downstream import train_and_evaluate
+from repro.theory import LogNormalDelay
+from repro.workloads import TimeSeriesGenerator
+
+_SIGMAS = (0.0, 1.0, 4.0)
+_N = 1_500
+_EPOCHS = 6
+
+
+@pytest.mark.parametrize("sigma", _SIGMAS)
+def test_forecast_training(benchmark, sigma):
+    stream = TimeSeriesGenerator(LogNormalDelay(1.0, sigma)).generate(_N, seed=22)
+    values = np.asarray(stream.values)
+    benchmark.group = f"fig22 LSTM fit, n={_N}, epochs={_EPOCHS}"
+
+    def run():
+        return train_and_evaluate(values, epochs=_EPOCHS, seed=22)
+
+    outcome = benchmark.pedantic(run, rounds=1)
+    benchmark.extra_info["test_mse"] = outcome.test_mse
+    assert outcome.test_mse > 0

@@ -1,0 +1,35 @@
+"""Figure 5 / Example 6 bench: Δτ analytics and the empirical α estimator.
+
+Benchmarks the two measurement paths that feed the figure — the numeric
+convolution of f_Δτ and the interval-inversion estimate on a generated
+stream — and asserts the Example 6 agreement inside the benchmarked body.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import interval_inversion_ratio
+from repro.theory import ExponentialDelay, delay_difference_pdf_numeric
+from repro.workloads import exponential
+
+from conftest import SORT_N
+
+
+@pytest.mark.parametrize("lam", (1.0, 2.0, 3.0))
+def test_numeric_pdf(benchmark, lam):
+    dist = ExponentialDelay(lam)
+    benchmark.group = "fig5 numeric f_dtau(1.0)"
+    value = benchmark(lambda: delay_difference_pdf_numeric(dist, 1.0))
+    assert value == pytest.approx(dist.delay_difference_pdf(1.0), rel=1e-3)
+
+
+@pytest.mark.parametrize("interval", (1, 5))
+def test_empirical_alpha(benchmark, interval):
+    stream = exponential(SORT_N * 5, lam=2.0, seed=5)
+    dist = ExponentialDelay(2.0)
+    benchmark.group = "example6 empirical alpha"
+    alpha = benchmark(lambda: interval_inversion_ratio(stream.timestamps, interval))
+    assert alpha == pytest.approx(
+        dist.delay_difference_tail(float(interval)), rel=0.3, abs=5e-5
+    )

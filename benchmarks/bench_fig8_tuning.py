@@ -1,0 +1,50 @@
+"""Figure 8 bench: (a) IIR profile cost and (b) sort time vs fixed block size.
+
+Figure 8(b)'s U-curve appears directly in the benchmark table: within each
+dataset group, the fixed-block-size rows are slowest at the degenerate
+extremes (tiny L → insertion-like, L = N → Quicksort) and fastest at an
+interior optimum near the dataset's IIR truncation point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import iir_profile
+from repro.sorting import get_sorter
+from repro.workloads import load_dataset
+
+from conftest import SORT_N
+
+_BLOCK_SIZES = (8, 64, 512, 4_096, SORT_N)
+_DATASETS = ("samsung-s10", "citibike-201902")
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+@pytest.mark.parametrize("block_size", _BLOCK_SIZES)
+def test_fixed_block_size_sort(benchmark, dataset, block_size):
+    stream = load_dataset(dataset, SORT_N, seed=8)
+    benchmark.group = f"fig8b {dataset} n={SORT_N} (sort time vs fixed L)"
+
+    def run(ts, vs):
+        get_sorter("backward", fixed_block_size=block_size).sort(ts, vs)
+        assert ts[0] <= ts[-1]
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+def test_iir_profile_cost(benchmark, dataset):
+    """Figure 8(a)'s measurement itself: profiling α over all intervals."""
+    stream = load_dataset(dataset, SORT_N, seed=8)
+    benchmark.group = "fig8a IIR profile computation"
+    profile = benchmark(lambda: iir_profile(stream.timestamps))
+    assert profile[0][0] == 1

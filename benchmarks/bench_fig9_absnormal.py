@@ -1,0 +1,39 @@
+"""Figure 9 bench: sort time on AbsNormal(µ, σ) — one group per (µ, σ).
+
+Within each group the pytest-benchmark table reproduces one sub-plot of
+Figure 9: six algorithms on the same stream.  Expected shape: Backward-Sort
+fastest, everything slower as σ grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.workloads import abs_normal
+
+from conftest import SORT_N
+
+_SIGMAS = (0.5, 1.0, 4.0)
+_MU = 1.0
+
+
+def _fresh_arrays(stream):
+    def _setup():
+        ts, vs = stream.sort_input()
+        return (ts, vs), {}
+
+    return _setup
+
+
+@pytest.mark.parametrize("sigma", _SIGMAS)
+@pytest.mark.parametrize("algorithm", PAPER_ALGORITHMS)
+def test_sort_time(benchmark, algorithm, sigma):
+    stream = abs_normal(SORT_N, mu=_MU, sigma=sigma, seed=9)
+    benchmark.group = f"fig9 absnormal(mu={_MU:g}, sigma={sigma:g}) n={SORT_N}"
+
+    def run(ts, vs):
+        get_sorter(algorithm).sort(ts, vs)
+        assert ts[0] <= ts[-1]
+
+    benchmark.pedantic(run, setup=_fresh_arrays(stream), rounds=3)

@@ -1,0 +1,59 @@
+"""Online vs batch reordering on the same delay-only stream.
+
+Compares the streaming :class:`ReorderBuffer` (sized from the overlap
+analysis) against batch Backward-Sort for producing a fully ordered output.
+The batch path should win on raw throughput (tight loops, no heap), while
+the buffer's value is bounded latency — the extra-info column records its
+straggler rate to show the size/completeness trade-off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ReorderBuffer
+from repro.metrics import max_overhang
+from repro.sorting import get_sorter
+from repro.workloads import log_normal
+
+_N = 20_000
+
+
+def _stream():
+    return log_normal(_N, mu=1.0, sigma=1.0, seed=29)
+
+
+def test_batch_backward_sort(benchmark):
+    benchmark.group = f"online vs batch reordering n={_N}"
+    stream = _stream()
+
+    def setup():
+        return (stream.sort_input(),), {}
+
+    def run(arrays):
+        ts, vs = arrays
+        get_sorter("backward").sort(ts, vs)
+        return ts
+
+    benchmark.pedantic(run, setup=setup, rounds=3)
+
+
+@pytest.mark.parametrize("sizing", ("tight", "lossless"))
+def test_online_reorder_buffer(benchmark, sizing):
+    benchmark.group = f"online vs batch reordering n={_N}"
+    stream = _stream()
+    if sizing == "lossless":
+        capacity = max_overhang(stream.timestamps) + 1
+    else:
+        capacity = 64
+    arrivals = list(zip(stream.timestamps, stream.values))
+
+    def run():
+        buf = ReorderBuffer(capacity=capacity)
+        out = list(buf.process(arrivals))
+        return buf, out
+
+    buf, out = benchmark.pedantic(run, rounds=3)
+    benchmark.extra_info["capacity"] = capacity
+    benchmark.extra_info["straggler_rate"] = buf.stragglers / _N
+    assert [t for t, _ in out] == sorted(t for t, _ in out)

@@ -1,0 +1,35 @@
+"""Shared configuration for the per-figure benchmark targets.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each figure of the paper has one module here; benchmarks are grouped so the
+pytest-benchmark summary table reads like the corresponding figure (one
+group per dataset/panel, one row per algorithm).  Sizes default to the
+"small" scale (20k-point arrays, 8k-point system workloads) so the whole
+suite completes in a few minutes of pure Python; the experiment drivers in
+``repro.experiments`` accept larger scales when more fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Array size for pure-algorithm benchmarks.
+SORT_N = 20_000
+#: Ingested points for system benchmarks.
+SYSTEM_POINTS = 8_000
+#: Reduced write-percentage grid for benchmark cells (full grid in
+#: repro.experiments).
+BENCH_WRITE_PERCENTAGES = (0.5, 0.95)
+
+
+@pytest.fixture
+def sort_n() -> int:
+    return SORT_N
+
+
+@pytest.fixture
+def system_points() -> int:
+    return SYSTEM_POINTS

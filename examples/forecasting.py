@@ -1,0 +1,51 @@
+"""Downstream forecasting on ordered vs disordered data (Figure 22).
+
+Trains the from-scratch NumPy LSTM on the same signal twice — once in
+generation order, once in arrival order under heavy delays — and shows the
+accuracy gap that motivates sorting before analytics ("the disordered data
+points obviously lead to incorrect statistics", §VI-E).
+
+Run:  python examples/forecasting.py
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.downstream import train_and_evaluate
+from repro.theory import LogNormalDelay
+from repro.workloads import TimeSeriesGenerator
+
+N = 4_000
+SIGMAS = (0.0, 0.5, 1.0, 2.0, 4.0)
+
+
+def main() -> None:
+    print(f"forecasting a sine-with-noise signal, {N} points, LSTM(hidden=2)\n")
+    rows = []
+    baseline = None
+    for sigma in SIGMAS:
+        stream = TimeSeriesGenerator(LogNormalDelay(1.0, sigma)).generate(N, seed=9)
+        outcome = train_and_evaluate(np.asarray(stream.values), epochs=12, seed=9)
+        if baseline is None:
+            baseline = outcome
+        rows.append(
+            (
+                sigma,
+                outcome.train_mse,
+                outcome.test_mse,
+                outcome.test_mse / baseline.test_mse,
+            )
+        )
+    print_table(
+        ("sigma", "train_mse", "test_mse", "vs_ordered"),
+        rows,
+        title="LSTM forecast loss vs disorder (LogNormal(1, sigma) delays)",
+    )
+    print(
+        "sigma = 0 is the fully ordered stream; growing sigma corrupts the\n"
+        "temporal structure and the model degrades — the paper's Figure 22(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

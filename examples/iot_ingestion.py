@@ -1,0 +1,88 @@
+"""An IoT fleet writing through the full storage engine.
+
+The paper's motivating scenario (§I): devices emit points in generation
+order, the network delays some of them, and the database must keep every
+sensor queryable in time order.  This example drives the IoTDB substrate
+end-to-end — separation policy, working/flushing memtables, Backward-Sort
+at the flush and query call sites, TsFile sealing — and prints the
+server-side metrics the paper's system experiments measure.
+
+Run:  python examples/iot_ingestion.py
+"""
+
+from repro.iotdb import IoTDBConfig, StorageEngine
+from repro.theory import AbsNormalDelay, LogNormalDelay, MixtureDelay, ConstantDelay
+from repro.workloads import TimeSeriesGenerator
+
+#: Three devices with different network behaviour.
+FLEET = {
+    "root.plant.turbine1": MixtureDelay(
+        [(0.9, ConstantDelay(0.0)), (0.1, AbsNormalDelay(0.0, 2.0))]
+    ),
+    "root.plant.turbine2": AbsNormalDelay(1.0, 1.0),
+    "root.fleet.truck7": LogNormalDelay(1.0, 1.5),  # flaky cellular uplink
+}
+
+POINTS_PER_DEVICE = 20_000
+
+
+def main() -> None:
+    config = IoTDBConfig(
+        sorter="backward",
+        memtable_flush_threshold=15_000,
+        wal_enabled=True,
+    )
+    engine = StorageEngine(config)
+
+    print("ingesting out-of-order streams from 3 devices...")
+    for device, delay in FLEET.items():
+        stream = TimeSeriesGenerator(delay).generate(POINTS_PER_DEVICE, seed=11)
+        engine.write_batch(device, "temperature", stream.timestamps, stream.values)
+
+    print(f"points written : {engine.metrics.points_written}")
+    routed = engine.separation.routed_counts()
+    print(f"separation     : {routed}")
+    print(f"flushes so far : seq={engine.metrics.seq_flushes} unseq={engine.metrics.unseq_flushes}")
+    print(f"mean flush time: {engine.metrics.mean_flush_seconds * 1e3:.1f} ms "
+          f"(sorting: {engine.metrics.mean_flush_sort_seconds * 1e3:.1f} ms)\n")
+
+    # A dashboard-style query: the last 2000 ticks of the flaky truck.
+    device = "root.fleet.truck7"
+    latest = engine.latest_time(device, "temperature")
+    result = engine.query(device, "temperature", latest - 2_000, latest + 1)
+    print(f"tail query on {device}:")
+    print(f"  points returned : {len(result)}")
+    print(f"  time range      : [{result.timestamps[0]}, {result.timestamps[-1]}]")
+    print(f"  query sort cost : {result.stats.sort_seconds * 1e3:.2f} ms")
+    print(f"  sources visited : {result.stats.sources_visited}")
+    in_order = all(
+        a < b for a, b in zip(result.timestamps, result.timestamps[1:])
+    )
+    print(f"  strictly ordered: {in_order}\n")
+
+    # The §VI-E analytics use case: per-window averages require time order.
+    buckets = engine.aggregate_windows(device, "temperature", latest - 2_000, latest, 500)
+    print("GROUP BY time (window=500) on the same range:")
+    for b in buckets:
+        print(f"  [{b.start:>6}, {b.end:>6})  count={b.result.count:4d}  avg={b.result.avg:+.3f}")
+
+    # Compaction folds the unsequence stragglers back into sequence files,
+    # restoring the statistics fast path for aggregations.
+    engine.flush_all()
+    report = engine.compact()
+    print(
+        f"\ncompaction: {report.files_before} files -> {report.files_after} "
+        f"({report.unseq_files_merged} unseq merged, {report.points_written} points)"
+    )
+    agg = engine.aggregate(device, "temperature", 0, latest + 1)
+    print(
+        f"post-compaction aggregate: count={agg.count}, "
+        f"{agg.pages_skipped} pages answered from statistics alone"
+    )
+
+    engine.close()
+    print("\nengine closed; all memtables flushed to sealed TsFiles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — reproduction of "Backward-Sort for Time Series in Apache IoTDB".
+
+Public API highlights:
+
+* :class:`repro.BackwardSorter` / :func:`repro.get_sorter` — the paper's
+  algorithm and every baseline behind one interface.
+* :mod:`repro.metrics` — inversion / interval-inversion disorder measures.
+* :mod:`repro.theory` — delay distributions and the paper's analytical
+  predictions (Propositions 2-6).
+* :mod:`repro.workloads` — delay-only arrival-stream generators and the
+  synthetic / simulated datasets of the evaluation.
+* :mod:`repro.iotdb` — the IoTDB write-path substrate (TVList, MemTable,
+  separation policy, flush pipeline, TsFile-like storage, query engine).
+* :mod:`repro.bench` — the IoTDB-benchmark analogue for system experiments.
+* :mod:`repro.experiments` — one driver per paper figure.
+"""
+
+from repro.core import BackwardSorter, SortStats, Sorter, is_sorted
+from repro.sorting import PAPER_ALGORITHMS, available_sorters, get_sorter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BackwardSorter",
+    "PAPER_ALGORITHMS",
+    "SortStats",
+    "Sorter",
+    "__version__",
+    "available_sorters",
+    "get_sorter",
+    "is_sorted",
+]

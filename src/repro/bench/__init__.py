@@ -1,0 +1,40 @@
+"""IoTDB-benchmark analogue: workloads, client, sweeps, timing, reporting."""
+
+from repro.bench.client import SystemBenchResult, run_system_benchmark
+from repro.bench.harness import SweepConfig, result_rows, run_sweep
+from repro.bench.reporting import (
+    format_table,
+    print_table,
+    series_by_key,
+    to_csv,
+)
+from repro.bench.timing import Timer, TimingResult, measure
+from repro.bench.workload import (
+    PAPER_WRITE_PERCENTAGES,
+    QueryOp,
+    SystemWorkloadConfig,
+    WriteOp,
+    build_operations,
+    build_stream,
+)
+
+__all__ = [
+    "PAPER_WRITE_PERCENTAGES",
+    "QueryOp",
+    "SweepConfig",
+    "SystemBenchResult",
+    "SystemWorkloadConfig",
+    "Timer",
+    "TimingResult",
+    "WriteOp",
+    "build_operations",
+    "build_stream",
+    "format_table",
+    "measure",
+    "print_table",
+    "result_rows",
+    "run_system_benchmark",
+    "run_sweep",
+    "series_by_key",
+    "to_csv",
+]

@@ -1,0 +1,116 @@
+"""The benchmark client: executes a workload and collects the paper's metrics.
+
+Three metrics, matching §VI-A1:
+
+* **query throughput** — points returned per second of query time
+  ("the number of points queried by IoTDB per second", client side);
+* **total test latency** — wall-clock for the whole operation sequence
+  ("the average execution time of the test", client side);
+* **flush time** — mean memtable flush duration, taken from the engine's
+  flush reports ("the performance indicator ... from the server side"),
+  with the sort share broken out separately.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.bench.workload import SystemWorkloadConfig, WriteOp, build_operations
+from repro.iotdb import IoTDBConfig, StorageEngine
+
+
+@dataclass
+class SystemBenchResult:
+    """All client- and server-side metrics of one benchmark run."""
+
+    sorter: str
+    dataset: str
+    write_percentage: float
+    total_points: int
+    # client side
+    total_seconds: float = 0.0
+    write_seconds: float = 0.0
+    query_seconds: float = 0.0
+    queries_executed: int = 0
+    points_returned: int = 0
+    # server side
+    flush_count: int = 0
+    mean_flush_seconds: float = 0.0
+    mean_flush_sort_seconds: float = 0.0
+    query_sort_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def query_throughput(self) -> float:
+        """Queried points per second of query wall-clock (0 when no queries)."""
+        if self.query_seconds <= 0.0:
+            return 0.0
+        return self.points_returned / self.query_seconds
+
+    @property
+    def flush_sort_fraction(self) -> float:
+        if self.mean_flush_seconds <= 0.0:
+            return 0.0
+        return self.mean_flush_sort_seconds / self.mean_flush_seconds
+
+    def row(self) -> dict:
+        """Flat dict for reporting tables / CSV export."""
+        return {
+            "sorter": self.sorter,
+            "dataset": self.dataset,
+            "write_pct": self.write_percentage,
+            "total_s": self.total_seconds,
+            "query_throughput": self.query_throughput,
+            "mean_flush_s": self.mean_flush_seconds,
+            "flush_sort_s": self.mean_flush_sort_seconds,
+            "queries": self.queries_executed,
+            "flushes": self.flush_count,
+        }
+
+
+def run_system_benchmark(
+    config: SystemWorkloadConfig,
+    sorter: str = "backward",
+    engine_config: IoTDBConfig | None = None,
+) -> SystemBenchResult:
+    """Execute one full workload against a fresh engine and report metrics."""
+    if engine_config is None:
+        engine_config = IoTDBConfig(sorter=sorter)
+    else:
+        engine_config.sorter = sorter
+    engine = StorageEngine(engine_config)
+    ops = build_operations(config)
+
+    result = SystemBenchResult(
+        sorter=sorter,
+        dataset=config.dataset,
+        write_percentage=config.write_percentage,
+        total_points=config.total_points,
+    )
+    run_start = time.perf_counter()
+    for op in ops:
+        if isinstance(op, WriteOp):
+            start = time.perf_counter()
+            engine.write_batch(op.device, config.sensor, op.timestamps, op.values)
+            result.write_seconds += time.perf_counter() - start
+        else:
+            latest = engine.latest_time(op.device, config.sensor)
+            if latest is None:
+                continue
+            start_t = max(0, latest - op.window)
+            began = time.perf_counter()
+            query_result = engine.query(op.device, config.sensor, start_t, latest + 1)
+            result.query_seconds += time.perf_counter() - began
+            result.queries_executed += 1
+            result.points_returned += len(query_result)
+            result.query_sort_seconds += query_result.stats.sort_seconds
+    engine.flush_all()
+    result.total_seconds = time.perf_counter() - run_start
+    result.flush_count = len(engine.metrics.flush_reports)
+    result.mean_flush_seconds = engine.metrics.mean_flush_seconds
+    result.mean_flush_sort_seconds = engine.metrics.mean_flush_sort_seconds
+    result.extra["routed"] = {
+        space.value: count for space, count in engine.separation.routed_counts().items()
+    }
+    return result

@@ -1,0 +1,53 @@
+"""Sweep harness over (dataset × sorter × write-percentage) grids.
+
+Figures 13-21 all share one experimental design: fix a dataset, sweep the
+write percentage, and plot one series per sorting algorithm for a system
+metric (query throughput / flush time / total latency).  This module runs
+that grid once and lets each experiment driver extract its metric, so the
+three figure families are consistent views of the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+from repro.bench.client import SystemBenchResult, run_system_benchmark
+from repro.bench.workload import PAPER_WRITE_PERCENTAGES, SystemWorkloadConfig
+from repro.iotdb import IoTDBConfig
+from repro.sorting import PAPER_ALGORITHMS
+
+
+@dataclass
+class SweepConfig:
+    """One grid of system benchmark runs."""
+
+    base: SystemWorkloadConfig = field(default_factory=SystemWorkloadConfig)
+    sorters: Sequence[str] = PAPER_ALGORITHMS
+    write_percentages: Sequence[float] = PAPER_WRITE_PERCENTAGES
+    include_write_only: bool = False  # adds wp = 1.0 (flush-time figures)
+    memtable_flush_threshold: int = 5_000
+
+
+def run_sweep(config: SweepConfig) -> list[SystemBenchResult]:
+    """Run every (sorter, write-percentage) cell; returns flat results."""
+    percentages = list(config.write_percentages)
+    if config.include_write_only and 1.0 not in percentages:
+        percentages.append(1.0)
+    results: list[SystemBenchResult] = []
+    for sorter in config.sorters:
+        for wp in percentages:
+            workload = replace(config.base, write_percentage=wp)
+            engine_config = IoTDBConfig(
+                sorter=sorter,
+                memtable_flush_threshold=config.memtable_flush_threshold,
+            )
+            results.append(
+                run_system_benchmark(workload, sorter=sorter, engine_config=engine_config)
+            )
+    return results
+
+
+def result_rows(results: Sequence[SystemBenchResult]) -> list[dict]:
+    """Flat dict rows for the reporting helpers."""
+    return [r.row() for r in results]

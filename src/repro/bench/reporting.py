@@ -1,0 +1,122 @@
+"""Plain-text tables and CSV export for experiment results.
+
+Every experiment driver prints its figure/table through these helpers so
+all output shares one format: a titled, aligned table with a fixed float
+precision, mirroring how the paper reports each figure as a series per
+algorithm over a swept parameter.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+
+def format_cell(value, precision: int = 4) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10_000 or abs(value) < 10 ** (-precision)):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    precision: int = 4,
+) -> str:
+    """Render an aligned text table; right-aligns everything but column 0."""
+    rendered = [[format_cell(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) if i == 0 else h.rjust(w) for i, (h, w) in enumerate(zip(headers, widths))))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(
+            "  ".join(
+                cell.ljust(w) if i == 0 else cell.rjust(w)
+                for i, (cell, w) in enumerate(zip(row, widths))
+            )
+        )
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> None:
+    print(format_table(headers, rows, title))
+    print()
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Serialise a result table as CSV (for EXPERIMENTS.md appendices)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(headers)
+    for row in rows:
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def ascii_series(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+    log_y: bool = False,
+) -> str:
+    """Render figure-style series as an ASCII scatter chart.
+
+    Each series gets a marker (its name's first letter); x values are
+    spread over ``width`` columns, y over ``height`` rows.  A terminal-only
+    stand-in for the paper's matplotlib figures — good enough to eyeball a
+    crossover.
+    """
+    import math
+
+    points = [
+        (float(x), float(y), name)
+        for name, xy in series.items()
+        for x, y in xy
+        if y is not None
+    ]
+    if not points:
+        return "(no data)"
+    ys = [math.log10(max(p[1], 1e-12)) if log_y else p[1] for p in points]
+    xs = [p[0] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, name), y_scaled in zip(points, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y_scaled - y_lo) / y_span * (height - 1))
+        grid[row][col] = name[0]
+    lines = []
+    if title:
+        lines.append(title)
+    axis_label = "log10(y)" if log_y else "y"
+    lines.append(f"{axis_label} in [{y_lo:.3g}, {y_hi:.3g}]  x in [{x_lo:.3g}, {x_hi:.3g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = "  ".join(f"{name[0]}={name}" for name in sorted(series))
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def series_by_key(
+    rows: Iterable[dict], series_key: str, x_key: str, y_key: str
+) -> dict[str, list[tuple[object, object]]]:
+    """Group flat result rows into per-series (x, y) lists — one series per
+    algorithm, exactly the structure of each figure in the paper."""
+    out: dict[str, list[tuple[object, object]]] = {}
+    for row in rows:
+        out.setdefault(str(row[series_key]), []).append((row[x_key], row[y_key]))
+    return out

@@ -1,0 +1,93 @@
+"""Timing utilities shared by every experiment driver.
+
+Pure-Python timings are noisy, so every reported number is the aggregate of
+repeated runs with fresh inputs per run.  :func:`measure` is the single
+entry point: it owns warmup, repetition, and dispersion statistics, so all
+experiments report comparable numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import BenchmarkError
+
+
+@dataclass
+class TimingResult:
+    """Aggregate of repeated timed runs (seconds)."""
+
+    runs: list[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.runs) / len(self.runs)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.runs)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.runs)
+
+    @property
+    def std(self) -> float:
+        if len(self.runs) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((r - mu) ** 2 for r in self.runs) / (len(self.runs) - 1))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimingResult(mean={self.mean:.6f}s ± {self.std:.6f}s, n={len(self.runs)})"
+
+
+def measure(
+    fn: Callable[[], object],
+    repeats: int = 3,
+    warmup: int = 0,
+    setup: Callable[[], object] | None = None,
+) -> TimingResult:
+    """Time ``fn`` over ``repeats`` runs (after ``warmup`` unrecorded ones).
+
+    Args:
+        fn: the workload; called with the value returned by ``setup`` when a
+            setup callable is given, else with no arguments.
+        repeats: recorded runs (must be >= 1).
+        warmup: unrecorded runs executed first.
+        setup: per-run input factory, excluded from the timed region — use
+            it to hand each run a fresh unsorted copy.
+    """
+    if repeats < 1:
+        raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    def _run_once() -> float:
+        if setup is not None:
+            arg = setup()
+            start = time.perf_counter()
+            fn(arg)
+        else:
+            start = time.perf_counter()
+            fn()
+        return time.perf_counter() - start
+
+    for _ in range(warmup):
+        _run_once()
+    return TimingResult(runs=[_run_once() for _ in range(repeats)])
+
+
+class Timer:
+    """Context manager measuring one wall-clock span."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -1,0 +1,152 @@
+"""System-benchmark workloads: the IoTDB-benchmark analogue (paper §VI-A2).
+
+IoTDB-benchmark "can generate periodic time series data according to the
+configuration ... the Benchmark begins to send the data batch by batch to
+IoTDB-Server" with a configurable batch size (paper's optimum: 500), and
+optionally issues time-range queries.  This module reproduces that client
+behaviour in-process: a dataset's arrival stream is cut into write batches,
+interleaved with tail time-range queries at a configured *write percentage*
+(the x-axis of Figures 13-21), producing a deterministic operation sequence
+the :mod:`repro.bench.client` executes against a storage engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.workloads import ArrivalStream, load_dataset
+
+#: The write percentages swept by the paper's system experiments (§VI-D).
+PAPER_WRITE_PERCENTAGES = (0.25, 0.50, 0.75, 0.90, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One batched ingestion: ``batch_size`` points for one device's column."""
+
+    device: str
+    timestamps: tuple[int, ...]
+    values: tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class QueryOp:
+    """One tail time-range query: ``time > current - window`` (§VI-D).
+
+    The window is resolved against the *latest ingested timestamp* at
+    execution time, matching the paper's choice "to avoid querying data in
+    the disk ... we limit the window of the query to the neighborhood of
+    the latest timestamp (current)".
+    """
+
+    device: str
+    window: int
+
+
+@dataclass
+class SystemWorkloadConfig:
+    """Parameters of one system-benchmark run.
+
+    Attributes:
+        dataset: label understood by :func:`repro.workloads.load_dataset`.
+        dataset_params: extra dataset parameters (``mu``/``sigma``/...).
+        total_points: points ingested over the whole run.
+        batch_size: points per write batch (paper optimum 500).
+        write_percentage: fraction of operations that are writes, in (0, 1];
+            1.0 means no queries (the paper notes "when the write
+            percentage is 1, there is no query operation").
+        query_window: width of the tail time-range query.
+        device / sensor: the column written and queried; with
+            ``n_devices > 1`` the devices are ``{device}-0 .. {device}-k``
+            and each gets its own independent arrival stream (each sensor
+            "corresponds to one TVList ... sorted separately", §V-B).
+        n_devices: how many devices share the workload round-robin.
+        seed: workload determinism.
+    """
+
+    dataset: str = "lognormal"
+    dataset_params: dict = field(default_factory=lambda: {"mu": 1.0, "sigma": 1.0})
+    total_points: int = 20_000
+    batch_size: int = 500
+    write_percentage: float = 0.95
+    query_window: int = 1_000
+    device: str = "root.bench.d1"
+    sensor: str = "s1"
+    n_devices: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.write_percentage <= 1.0:
+            raise BenchmarkError(
+                f"write_percentage must be in (0, 1], got {self.write_percentage}"
+            )
+        if self.batch_size < 1:
+            raise BenchmarkError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.n_devices < 1:
+            raise BenchmarkError(f"n_devices must be >= 1, got {self.n_devices}")
+        if self.total_points < self.batch_size * self.n_devices:
+            raise BenchmarkError("total_points must be >= batch_size * n_devices")
+        if self.query_window < 1:
+            raise BenchmarkError(f"query_window must be >= 1, got {self.query_window}")
+
+    def devices(self) -> list[str]:
+        """The device identifiers this workload writes to."""
+        if self.n_devices == 1:
+            return [self.device]
+        return [f"{self.device}-{i}" for i in range(self.n_devices)]
+
+
+def build_stream(config: SystemWorkloadConfig, device_index: int = 0) -> ArrivalStream:
+    """The arrival stream ingested for one device of the workload."""
+    per_device = config.total_points // config.n_devices
+    return load_dataset(
+        config.dataset,
+        per_device,
+        seed=config.seed + device_index,
+        **config.dataset_params,
+    )
+
+
+def build_operations(config: SystemWorkloadConfig) -> list[WriteOp | QueryOp]:
+    """Deterministic interleaving of write batches and tail queries.
+
+    Write batches round-robin across the devices (each device has its own
+    independent arrival stream).  With ``W`` write batches the schedule
+    contains ``Q = round(W (1 - wp) / wp)`` queries, spread evenly through
+    the write sequence (never before the first batch, so a query always has
+    data to scan) and likewise round-robin over the devices.
+    """
+    devices = config.devices()
+    per_device_batches: list[list[WriteOp]] = []
+    for index, device in enumerate(devices):
+        stream = build_stream(config, index)
+        batches = []
+        for lo in range(0, len(stream), config.batch_size):
+            hi = min(lo + config.batch_size, len(stream))
+            batches.append(
+                WriteOp(
+                    device=device,
+                    timestamps=tuple(stream.timestamps[lo:hi]),
+                    values=tuple(stream.values[lo:hi]),
+                )
+            )
+        per_device_batches.append(batches)
+    # Round-robin interleave the devices' batch sequences.
+    writes: list[WriteOp] = []
+    for round_index in range(max(len(b) for b in per_device_batches)):
+        for batches in per_device_batches:
+            if round_index < len(batches):
+                writes.append(batches[round_index])
+    wp = config.write_percentage
+    n_queries = int(round(len(writes) * (1.0 - wp) / wp)) if wp < 1.0 else 0
+    ops: list[WriteOp | QueryOp] = list(writes)
+    if n_queries:
+        # Insert queries at evenly spaced positions, later ones first so
+        # earlier insertion indices stay valid.
+        positions = np.linspace(1, len(writes), n_queries, dtype=int)
+        for q, pos in enumerate(sorted(positions, reverse=True)):
+            ops.insert(int(pos), QueryOp(device=devices[q % len(devices)], window=config.query_window))
+    return ops

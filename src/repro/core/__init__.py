@@ -1,0 +1,36 @@
+"""Core of the reproduction: the Backward-Sort algorithm and its phases."""
+
+from repro.core.backward_merge import backward_merge_blocks, merge_block_into_suffix
+from repro.core.backward_sort import (
+    BLOCK_SORTERS,
+    BackwardSorter,
+    compute_block_bounds,
+)
+from repro.core.block_size import (
+    DEFAULT_L0,
+    DEFAULT_THETA,
+    BlockSizeResult,
+    empirical_interval_inversion_ratio,
+    find_block_size,
+)
+from repro.core.instrumentation import SortStats, TimedResult
+from repro.core.reorder_buffer import ReorderBuffer
+from repro.core.sorter import Sorter, is_sorted
+
+__all__ = [
+    "BLOCK_SORTERS",
+    "BackwardSorter",
+    "BlockSizeResult",
+    "DEFAULT_L0",
+    "DEFAULT_THETA",
+    "ReorderBuffer",
+    "SortStats",
+    "Sorter",
+    "TimedResult",
+    "backward_merge_blocks",
+    "compute_block_bounds",
+    "empirical_interval_inversion_ratio",
+    "find_block_size",
+    "is_sorted",
+    "merge_block_into_suffix",
+]

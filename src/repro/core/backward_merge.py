@@ -1,0 +1,122 @@
+"""The "backward merge" phase of Backward-Sort (Algorithm 1, lines 13-16).
+
+Blocks are processed from the back of the array: when block ``i`` is reached,
+the whole suffix to its right is already one sorted run, so merging block
+``i`` amounts to interleaving the *overlap* — the tail of the block that
+exceeds the suffix head, and the head of the suffix that undercuts the block
+tail.  Under the paper's delay-only / not-too-distant arrival model the
+expected overlap ``Q`` is bounded by ``E(Δτ | Δτ >= 0)`` (Proposition 4), so
+merges are local, the auxiliary buffer only ever holds the overlapping
+points, and points move strictly *backward* — the behaviour Figure 2 credits
+with ~25 % fewer moves than straight merge.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.core.instrumentation import SortStats
+
+
+def merge_block_into_suffix(
+    ts: list, vs: list, block_start: int, suffix_start: int, stats: SortStats
+) -> int:
+    """Merge sorted ``ts[block_start:suffix_start]`` into sorted ``ts[suffix_start:]``.
+
+    The merge is stable (block elements precede equal-timestamp suffix
+    elements, preserving arrival order) and in place except for a buffer of
+    exactly the overlap length.
+
+    Returns:
+        The overlap length ``u`` — how many suffix points had to interleave
+        with the block.  ``0`` means the block head already abutted the
+        suffix (the common fast path: one comparison, zero moves).
+    """
+    n = len(ts)
+    s = suffix_start
+    stats.comparisons += 1
+    if ts[s - 1] <= ts[s]:
+        stats.merges += 1  # zero-overlap merges still count toward mean Q
+        return 0
+
+    block_max = ts[s - 1]
+    # Suffix points strictly below the block max participate in the merge;
+    # equal points stay put (suffix arrived later, so they sort after).
+    u = bisect_left(ts, block_max, s, n) - s
+    # Block points at or below the suffix head are already in position.
+    w = bisect_right(ts, ts[s], block_start, s)
+    stats.comparisons += _bisect_cost(n - s) + _bisect_cost(s - block_start)
+
+    # Buffer the overlapping head of the suffix, then merge right-to-left.
+    buf_t = ts[s : s + u]
+    buf_v = vs[s : s + u]
+    stats.moves += u
+    stats.note_extra_space(u)
+
+    # Galloping right-to-left merge: instead of comparing one pair at a
+    # time, binary-search how far each side runs before the other
+    # interleaves and move whole runs as slices.  Delay-only data has long
+    # runs, so the Python-level iteration count is the number of
+    # interleavings, not the number of elements.
+    k = s + u - 1  # next write position
+    i = s - 1  # block cursor (moving left, stops at w)
+    j = u - 1  # buffer cursor
+    comparisons = 0
+    moves = 0
+    while j >= 0 and i >= w:
+        # Block elements strictly greater than buf[j] stay to its right
+        # (ties keep the block element left: arrival order, stability).
+        split = bisect_right(ts, buf_t[j], w, i + 1)
+        run = i + 1 - split
+        comparisons += _bisect_cost(i + 1 - w)
+        if run:
+            ts[k - run + 1 : k + 1] = ts[split : i + 1]
+            vs[k - run + 1 : k + 1] = vs[split : i + 1]
+            k -= run
+            i -= run
+            moves += run
+            if i < w:
+                break
+        # Buffer elements >= ts[i] belong to the right of the block top
+        # (equal buffer points arrived later, so they sort after: stable).
+        split_b = bisect_left(buf_t, ts[i], 0, j + 1)
+        run_b = j + 1 - split_b
+        comparisons += _bisect_cost(j + 1)
+        ts[k - run_b + 1 : k + 1] = buf_t[split_b : j + 1]
+        vs[k - run_b + 1 : k + 1] = buf_v[split_b : j + 1]
+        k -= run_b
+        j -= run_b
+        moves += run_b
+    if j >= 0:
+        # Block exhausted: flush the remaining buffer prefix.
+        ts[k - j : k + 1] = buf_t[: j + 1]
+        vs[k - j : k + 1] = buf_v[: j + 1]
+        moves += j + 1
+    # If the buffer exhausted first, the remaining block elements already sit
+    # at their final positions (k == i at that point) — nothing to move.
+    stats.comparisons += comparisons
+    stats.moves += moves
+    stats.merges += 1
+    stats.overlap_total += u
+    return u
+
+
+def backward_merge_blocks(
+    ts: list, vs: list, block_bounds: list[int], stats: SortStats
+) -> None:
+    """Merge individually sorted consecutive blocks, back to front.
+
+    ``block_bounds`` holds half-open boundaries ``[0, b1, ..., N]``; each
+    ``ts[b_i:b_{i+1}]`` must already be sorted.  After the call the whole
+    array is sorted.  This is the loop of Algorithm 1 lines 13-16; the
+    "findOverlappedBlock" step is implicit in the binary searches of
+    :func:`merge_block_into_suffix`, which locate exactly how far into the
+    following blocks the current block reaches.
+    """
+    for b in range(len(block_bounds) - 2, 0, -1):
+        merge_block_into_suffix(ts, vs, block_bounds[b - 1], block_bounds[b], stats)
+
+
+def _bisect_cost(length: int) -> int:
+    """Comparison count charged for a binary search over ``length`` elements."""
+    return max(1, length.bit_length())

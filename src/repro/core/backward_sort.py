@@ -1,0 +1,203 @@
+"""Backward-Sort (Algorithm 1) — the paper's primary contribution.
+
+The algorithm has three phases, each implemented in its own module so that
+the benchmark harness can measure and ablate them independently:
+
+1. **Set block size** (:mod:`repro.core.block_size`): grow ``L`` from ``L0``
+   until the empirical interval inversion ratio drops below ``Θ``.
+2. **Sort by blocks**: partition into ``⌊N/L⌋`` blocks (the final block
+   absorbs the remainder) and sort each independently — Quicksort by default,
+   "and can be substituted by other algorithms" (the ``block_sort`` knob).
+3. **Backward merge** (:mod:`repro.core.backward_merge`): merge blocks back
+   to front, buffering only the overlap.
+
+Degenerate cases (Proposition 5): ``L = 1`` turns the algorithm into straight
+Insertion-Sort; ``L = N`` into plain Quicksort.  Both are reachable through
+``fixed_block_size`` and are exercised by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, ClassVar
+
+from repro.core.block_size import (
+    DEFAULT_L0,
+    DEFAULT_THETA,
+    BlockSizeResult,
+    find_block_size,
+)
+from repro.core.backward_merge import backward_merge_blocks
+from repro.core.instrumentation import SortStats
+from repro.core.sorter import Sorter, insertion_sort_range
+from repro.errors import InvalidParameterError
+
+#: A range sorter: ``(ts, vs, lo, hi, stats) -> None`` sorting ``ts[lo:hi]``.
+BlockSortFn = Callable[[list, list, int, int, SortStats], None]
+
+
+_quicksort_range = None
+
+
+def _quick_block_sort(ts: list, vs: list, lo: int, hi: int, stats: SortStats) -> None:
+    # Imported lazily (repro.sorting's registry imports this module back)
+    # and cached: this runs once per block, so per-call import lookups
+    # would dominate on small blocks.
+    global _quicksort_range
+    if _quicksort_range is None:
+        from repro.sorting.quicksort import quicksort_range
+
+        _quicksort_range = quicksort_range
+    _quicksort_range(ts, vs, lo, hi, stats, cutoff=32)
+
+
+def _insertion_block_sort(
+    ts: list, vs: list, lo: int, hi: int, stats: SortStats
+) -> None:
+    insertion_sort_range(ts, vs, lo, hi, stats)
+
+
+def _tim_block_sort(ts: list, vs: list, lo: int, hi: int, stats: SortStats) -> None:
+    # Imported lazily to avoid a cycle at module import time.
+    from repro.sorting.timsort import TimSorter
+
+    sub_t = ts[lo:hi]
+    sub_v = vs[lo:hi]
+    TimSorter().sort(sub_t, sub_v, stats)
+    ts[lo:hi] = sub_t
+    vs[lo:hi] = sub_v
+    stats.moves += 2 * (hi - lo)
+
+
+def _run_adaptive_block_sort(
+    ts: list, vs: list, lo: int, hi: int, stats: SortStats
+) -> None:
+    """Extension beyond the paper: skip blocks that are natural runs.
+
+    "Incrementally nearly sorted" data (§II-B1) makes many blocks arrive
+    already in order; a linear scan detects that for ``hi - lo`` comparisons
+    and skips the sort entirely, falling back to Quicksort otherwise.  The
+    ablation benchmark compares this against the paper's plain Quicksort
+    blocks.
+    """
+    sorted_prefix = True
+    prev = ts[lo]
+    for i in range(lo + 1, hi):
+        cur = ts[i]
+        if cur < prev:
+            sorted_prefix = False
+            break
+        prev = cur
+    stats.comparisons += hi - lo - 1
+    if sorted_prefix:
+        stats.runs += 1
+        return
+    _quick_block_sort(ts, vs, lo, hi, stats)
+
+
+BLOCK_SORTERS: dict[str, BlockSortFn] = {
+    "quick": _quick_block_sort,
+    "insertion": _insertion_block_sort,
+    "tim": _tim_block_sort,
+    "run-adaptive": _run_adaptive_block_sort,
+}
+
+
+def compute_block_bounds(n: int, block_size: int) -> list[int]:
+    """Half-open block boundaries ``[0, L, 2L, ..., n]`` for ``⌊n/L⌋`` blocks.
+
+    Following Algorithm 1 line 9 (``B = ⌊N/L⌋``) the final block absorbs the
+    remainder, so its length lies in ``[L, 2L)`` — a short straggler block
+    would only add merge overhead.
+    """
+    if block_size < 1:
+        raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+    if n == 0:
+        return [0]
+    b = max(1, n // block_size)
+    bounds = [i * block_size for i in range(b)]
+    bounds.append(n)
+    return bounds
+
+
+class BackwardSorter(Sorter):
+    """The paper's Backward-Sort, with every tuning knob exposed.
+
+    Args:
+        theta: empirical IIR threshold ``Θ`` for the block-size search
+            (paper default 0.04).
+        l0: initial block size ``L0`` (paper default 4).
+        fixed_block_size: bypass the search and use this ``L`` directly —
+            the mode used by the parameter-tuning experiment of Figure 8(b).
+        block_sort: which algorithm sorts each block: ``"quick"`` (paper
+            default), ``"insertion"``, or ``"tim"``.
+        growth: block-size growth strategy, ``"double"`` or ``"ratio"``.
+
+    Stability: sorting inside blocks uses Quicksort by default, which is
+    unstable, so the composite is unstable (matching the paper's
+    implementation).  With ``block_sort="insertion"`` or ``"tim"`` the whole
+    algorithm is stable, because the backward merge itself is stable.
+    """
+
+    name = "backward"
+    stable = False
+
+    #: Stability of the composite per block_sort choice.
+    _STABLE_BLOCK_SORTS: ClassVar[frozenset[str]] = frozenset({"insertion", "tim"})
+
+    def __init__(
+        self,
+        theta: float = DEFAULT_THETA,
+        l0: int = DEFAULT_L0,
+        fixed_block_size: int | None = None,
+        block_sort: str = "quick",
+        growth: str = "double",
+    ) -> None:
+        if block_sort not in BLOCK_SORTERS:
+            raise InvalidParameterError(
+                f"block_sort must be one of {sorted(BLOCK_SORTERS)}, got {block_sort!r}"
+            )
+        if fixed_block_size is not None and fixed_block_size < 1:
+            raise InvalidParameterError(
+                f"fixed_block_size must be >= 1, got {fixed_block_size}"
+            )
+        self.theta = theta
+        self.l0 = l0
+        self.fixed_block_size = fixed_block_size
+        self.block_sort = block_sort
+        self.growth = growth
+        self._block_sort_fn = BLOCK_SORTERS[block_sort]
+        self.stable = block_sort in self._STABLE_BLOCK_SORTS
+        self.last_block_size: BlockSizeResult | None = None
+
+    def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
+        n = len(ts)
+        if self.fixed_block_size is not None:
+            block_size = min(self.fixed_block_size, n)
+            self.last_block_size = BlockSizeResult(
+                block_size=block_size, loops=0, scanned_points=0
+            )
+        else:
+            result = find_block_size(
+                ts, theta=self.theta, l0=self.l0, growth=self.growth, stats=stats
+            )
+            self.last_block_size = result
+            block_size = result.block_size
+        stats.block_size = block_size
+
+        if block_size <= 1:
+            # Degenerate case L = 1: straight Insertion-Sort (Prop. 5).
+            insertion_sort_range(ts, vs, 0, n, stats)
+            stats.block_count = n
+            return
+        if block_size >= n:
+            # Degenerate case L = N: plain Quicksort (Prop. 5).
+            self._block_sort_fn(ts, vs, 0, n, stats)
+            stats.block_count = 1
+            return
+
+        bounds = compute_block_bounds(n, block_size)
+        stats.block_count = len(bounds) - 1
+        block_sort = self._block_sort_fn
+        for b in range(len(bounds) - 1):
+            block_sort(ts, vs, bounds[b], bounds[b + 1], stats)
+        backward_merge_blocks(ts, vs, bounds, stats)

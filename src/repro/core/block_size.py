@@ -1,0 +1,157 @@
+"""The "set block size" phase of Backward-Sort (Algorithm 1, lines 1-8).
+
+Starting from an initial block size ``L0`` (paper default 4), the block size
+is grown until the *empirical interval inversion ratio* between block
+boundaries drops below the threshold ``Θ`` (paper default 0.04).  Because
+only down-sampled boundary pairs are inspected — one pair per current block —
+each iteration scans ``n / L`` points, and with geometric growth the whole
+search scans at most ``2 n / L0`` points in at most ``log2(n / L0) + 1``
+iterations (Proposition 3).  Those two bounds are asserted by the property
+tests in ``tests/core/test_block_size.py``.
+
+Two growth strategies are provided:
+
+* ``"double"`` (paper Eq. 15): ``L ← 2 L``.
+* ``"ratio"`` (the ``updateBlockSizeByRatio`` reading): jump further when the
+  measured ratio exceeds the threshold by a lot, i.e.
+  ``L ← L · 2^max(1, ceil(log2(α / Θ)))``.  Kept as an ablation — see
+  ``benchmarks/bench_ablation_block_size.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.instrumentation import SortStats
+from repro.errors import InvalidParameterError
+
+#: Paper default for the empirical IIR threshold ("Fixed Parameter", §VI-B).
+DEFAULT_THETA = 0.04
+#: The paper sets L0 = 4 (§VI-B), reasoning only that L0 "should not be too
+#: large" so the optimum is never missed.  In Java the per-block overhead is
+#: negligible; in pure Python each block costs a function call, so a floor
+#: of 32 keeps the nearly-sorted fast path fast without overshooting the
+#: optimum ("Loptimal is almost always greater than 4" — and, on every
+#: dataset in Figure 8(b), at least 2^5).  The paper's value remains
+#: available via ``find_block_size(..., l0=4)`` / ``BackwardSorter(l0=4)``,
+#: and DESIGN.md §4 records this as a Python constant-factor substitution.
+DEFAULT_L0 = 32
+#: The paper's literal L0 (kept for experiments that reproduce §VI-B).
+PAPER_L0 = 4
+
+_GROWTH_STRATEGIES = ("double", "ratio")
+
+
+def empirical_interval_inversion_ratio(
+    ts: list,
+    interval: int,
+    anchor_stride: int | None = None,
+    stats: SortStats | None = None,
+) -> float:
+    """Down-sampled estimate ``α̃`` of the interval inversion ratio.
+
+    Anchors are placed every ``anchor_stride`` positions (default: the
+    interval itself, which is what bounds the scan to ``n / L`` points per
+    iteration) and each anchor ``i`` contributes one sampled pair
+    ``(ts[i], ts[i + interval])``.  The estimate is the fraction of sampled
+    pairs that are inverted, mirroring the paper's Example 5.
+
+    Args:
+        ts: the timestamp array in arrival order.
+        interval: the interval ``L`` being probed.
+        anchor_stride: spacing between sampled anchors; defaults to
+            ``interval``.
+        stats: optional counters; ``scanned_points`` and ``comparisons`` are
+            incremented by the number of sampled pairs.
+
+    Returns:
+        The empirical ratio in ``[0, 1]``; ``0.0`` when no pair fits.
+    """
+    if interval < 1:
+        raise InvalidParameterError(f"interval must be >= 1, got {interval}")
+    stride = interval if anchor_stride is None else anchor_stride
+    if stride < 1:
+        raise InvalidParameterError(f"anchor_stride must be >= 1, got {stride}")
+    n = len(ts)
+    pairs = 0
+    inverted = 0
+    for i in range(0, n - interval, stride):
+        pairs += 1
+        if ts[i] > ts[i + interval]:
+            inverted += 1
+    if stats is not None:
+        stats.scanned_points += pairs
+        stats.comparisons += pairs
+    if pairs == 0:
+        return 0.0
+    return inverted / pairs
+
+
+@dataclass
+class BlockSizeResult:
+    """Outcome of the set-block-size search.
+
+    Attributes:
+        block_size: the chosen ``L``.
+        loops: iterations of the search loop (the paper's ``P``).
+        scanned_points: total sampled pairs across all iterations.
+        history: ``(L, α̃)`` per iteration, in search order.
+    """
+
+    block_size: int
+    loops: int
+    scanned_points: int
+    history: list[tuple[int, float]] = field(default_factory=list)
+
+
+def find_block_size(
+    ts: list,
+    theta: float = DEFAULT_THETA,
+    l0: int = DEFAULT_L0,
+    growth: str = "double",
+    stats: SortStats | None = None,
+) -> BlockSizeResult:
+    """Run Algorithm 1 lines 1-8: grow ``L`` until ``α̃_L < Θ``.
+
+    Args:
+        ts: timestamps in arrival order.
+        theta: empirical IIR threshold ``Θ`` (must be in ``(0, 1]``).
+        l0: initial block size ``L0`` (must be ``>= 1``).
+        growth: ``"double"`` or ``"ratio"`` (see module docstring).
+        stats: optional counters to update alongside the returned result.
+
+    Returns:
+        A :class:`BlockSizeResult`; ``block_size`` is capped at ``len(ts)``,
+        which degenerates Backward-Sort into plain Quicksort (Prop. 5).
+    """
+    if not 0.0 < theta <= 1.0:
+        raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
+    if l0 < 1:
+        raise InvalidParameterError(f"l0 must be >= 1, got {l0}")
+    if growth not in _GROWTH_STRATEGIES:
+        raise InvalidParameterError(
+            f"growth must be one of {_GROWTH_STRATEGIES}, got {growth!r}"
+        )
+    n = len(ts)
+    local = SortStats()
+    result = BlockSizeResult(block_size=min(l0, max(n, 1)), loops=0, scanned_points=0)
+    size = l0
+    while size <= n:
+        alpha = empirical_interval_inversion_ratio(ts, size, stats=local)
+        result.loops += 1
+        result.history.append((size, alpha))
+        if alpha < theta:
+            break
+        if growth == "double":
+            size *= 2
+        else:
+            factor = 2 ** max(1, math.ceil(math.log2(alpha / theta)))
+            size *= factor
+    result.block_size = min(size, n) if n else l0
+    result.scanned_points = local.scanned_points
+    if stats is not None:
+        stats.scanned_points += local.scanned_points
+        stats.comparisons += local.comparisons
+        stats.block_size_loops += result.loops
+    return result

@@ -1,0 +1,87 @@
+"""Online reordering: a streaming counterpart to Backward-Sort.
+
+Backward-Sort fixes disorder *in batch* at flush/query time.  The same two
+arrival features — delay-only and not-too-distant — also enable an *online*
+fix: hold arriving points in a small buffer and release them in timestamp
+order once no earlier point can still arrive.  This is the reorder-buffer
+idiom of out-of-order stream processing (the paper's §VII sliding-window
+related work), sized by exactly the quantity Backward-Sort's analysis
+provides: the expected overlap ``Q`` bounds how far back a late point
+reaches, so a buffer of a few multiples of ``Q`` reorders almost everything.
+
+:class:`ReorderBuffer` is capacity-bound, so it cannot stall on an
+arbitrarily late point: when full it emits its minimum; a point arriving
+with a timestamp below the last emitted one is a *straggler* and is routed
+to the ``on_late`` callback — the in-memory analogue of IoTDB's separation
+policy sending extreme laggards to the unsequence memtable.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import InvalidParameterError
+
+
+class ReorderBuffer:
+    """Bounded min-heap reorderer with straggler routing.
+
+    Args:
+        capacity: maximum points held; when exceeded the minimum-timestamp
+            point is emitted.  Larger capacity tolerates longer delays
+            (size it ≳ a few × the stream's expected overlap ``Q``).
+        on_late: called with ``(timestamp, value)`` for stragglers that
+            arrive after their slot was already emitted; default drops them
+            into :attr:`late_points`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        on_late: Callable[[int, object], None] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.late_points: list[tuple[int, object]] = []
+        self._on_late = on_late if on_late is not None else self._collect_late
+        self._heap: list[tuple[int, int, object]] = []
+        self._sequence = 0  # FIFO tie-break for equal timestamps
+        self._watermark: int | None = None  # last emitted timestamp
+        self.emitted = 0
+        self.stragglers = 0
+
+    def _collect_late(self, timestamp: int, value: object) -> None:
+        self.late_points.append((timestamp, value))
+
+    def push(self, timestamp: int, value: object = None) -> Iterator[tuple[int, object]]:
+        """Insert one arrival; yields any points released in order."""
+        if self._watermark is not None and timestamp < self._watermark:
+            self.stragglers += 1
+            self._on_late(timestamp, value)
+            return
+        heapq.heappush(self._heap, (timestamp, self._sequence, value))
+        self._sequence += 1
+        while len(self._heap) > self.capacity:
+            yield self._emit_min()
+
+    def _emit_min(self) -> tuple[int, object]:
+        timestamp, _, value = heapq.heappop(self._heap)
+        self._watermark = timestamp
+        self.emitted += 1
+        return timestamp, value
+
+    def drain(self) -> Iterator[tuple[int, object]]:
+        """Release everything still buffered, in order (end of stream)."""
+        while self._heap:
+            yield self._emit_min()
+
+    def process(self, arrivals: Iterable[tuple[int, object]]) -> Iterator[tuple[int, object]]:
+        """Reorder a whole arrival iterable, draining at the end."""
+        for timestamp, value in arrivals:
+            yield from self.push(timestamp, value)
+        yield from self.drain()
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,163 @@
+"""The common sorter interface shared by Backward-Sort and every baseline.
+
+The paper implements all compared algorithms behind one interface inside
+Apache IoTDB (Section V-C) so that each can be plugged into the TVList sort
+call sites (flush and query).  This module is the Python analogue: a sorter
+rearranges two parallel arrays — ``timestamps`` (the sort key) and ``values``
+(the payload) — in place, and reports operation counts through
+:class:`~repro.core.instrumentation.SortStats`.
+
+All algorithms move *pairs*: whenever a timestamp moves, its value moves with
+it.  This matches TVList semantics, where the paper notes that "the cost of
+moves (TV pairs) is higher in IoTDB than that in general arrays".
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from typing import Any, ClassVar, Sequence
+
+from repro.core.instrumentation import SortStats, TimedResult
+from repro.errors import LengthMismatchError
+
+
+class Sorter(ABC):
+    """Abstract base class for every timestamp-ordering algorithm.
+
+    Subclasses set two class attributes and implement :meth:`_sort`:
+
+    * ``name`` — the registry key (e.g. ``"backward"``, ``"quick"``),
+    * ``stable`` — whether equal timestamps keep their arrival order.
+    """
+
+    name: ClassVar[str] = "abstract"
+    stable: ClassVar[bool] = False
+
+    def sort(
+        self,
+        timestamps: list,
+        values: list | None = None,
+        stats: SortStats | None = None,
+    ) -> SortStats:
+        """Sort ``timestamps`` (and ``values`` alongside) in place.
+
+        Args:
+            timestamps: mutable sequence of comparable sort keys.
+            values: optional payload list of the same length; permuted with
+                the timestamps.  When omitted, a throwaway payload is used so
+                that move accounting stays comparable across call sites.
+            stats: counters to update; a fresh :class:`SortStats` is created
+                when not supplied.
+
+        Returns:
+            The stats object that was updated.
+
+        Raises:
+            LengthMismatchError: if ``values`` is given with a different
+                length than ``timestamps``.
+        """
+        if stats is None:
+            stats = SortStats()
+        n = len(timestamps)
+        if values is None:
+            values = [None] * n
+        elif len(values) != n:
+            raise LengthMismatchError(n, len(values))
+        if n > 1:
+            self._sort(timestamps, values, stats)
+        return stats
+
+    def timed_sort(
+        self,
+        timestamps: list,
+        values: list | None = None,
+    ) -> TimedResult:
+        """Run :meth:`sort` and report wall-clock seconds with the stats."""
+        stats = SortStats()
+        start = time.perf_counter()
+        self.sort(timestamps, values, stats)
+        elapsed = time.perf_counter() - start
+        return TimedResult(seconds=elapsed, stats=stats)
+
+    @abstractmethod
+    def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
+        """Algorithm body; ``ts`` and ``vs`` are equal-length with ``len >= 2``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__} name={self.name!r} stable={self.stable}>"
+
+
+def is_sorted(seq: Sequence[Any]) -> bool:
+    """Return True when ``seq`` is non-decreasing."""
+    return all(seq[i] <= seq[i + 1] for i in range(len(seq) - 1))
+
+
+def insertion_sort_range(
+    ts: list, vs: list, lo: int, hi: int, stats: SortStats
+) -> None:
+    """Straight insertion sort of ``ts[lo:hi]`` (and ``vs``) in place.
+
+    Shared by several algorithms (Backward-Sort's ``L = 1`` degenerate case,
+    CKSort's small-array path, Timsort's run extension fallback).  Stable.
+    """
+    comparisons = 0
+    moves = 0
+    for i in range(lo + 1, hi):
+        key_t = ts[i]
+        key_v = vs[i]
+        j = i - 1
+        # Fast path: already in position (one comparison, zero moves).
+        comparisons += 1
+        if ts[j] <= key_t:
+            continue
+        while j >= lo:
+            if ts[j] > key_t:
+                ts[j + 1] = ts[j]
+                vs[j + 1] = vs[j]
+                moves += 1
+                j -= 1
+                if j >= lo:
+                    comparisons += 1
+            else:
+                break
+        ts[j + 1] = key_t
+        vs[j + 1] = key_v
+        moves += 1
+    stats.comparisons += comparisons
+    stats.moves += moves
+
+
+def binary_insertion_sort_range(
+    ts: list, vs: list, lo: int, hi: int, start: int, stats: SortStats
+) -> None:
+    """Binary insertion sort of ``ts[lo:hi]``, assuming ``ts[lo:start]`` sorted.
+
+    Used by Timsort to extend short natural runs to ``minrun``.  Stable:
+    the insertion point for equal keys is after the existing ones.
+    """
+    comparisons = 0
+    moves = 0
+    if start <= lo:
+        start = lo + 1
+    for i in range(start, hi):
+        key_t = ts[i]
+        key_v = vs[i]
+        left, right = lo, i
+        while left < right:
+            mid = (left + right) >> 1
+            comparisons += 1
+            if key_t < ts[mid]:
+                right = mid
+            else:
+                left = mid + 1
+        for j in range(i, left, -1):
+            ts[j] = ts[j - 1]
+            vs[j] = vs[j - 1]
+            moves += 1
+        if left != i:
+            ts[left] = key_t
+            vs[left] = key_v
+            moves += 1
+    stats.comparisons += comparisons
+    stats.moves += moves

@@ -1,0 +1,20 @@
+"""Downstream application (Figure 22): LSTM forecasting on (dis)ordered data."""
+
+from repro.downstream.forecast import (
+    DisorderImpact,
+    ForecastOutcome,
+    disorder_impact,
+    make_windows,
+    train_and_evaluate,
+)
+from repro.downstream.lstm import LSTMForecaster, LSTMParams
+
+__all__ = [
+    "DisorderImpact",
+    "ForecastOutcome",
+    "LSTMForecaster",
+    "LSTMParams",
+    "disorder_impact",
+    "make_windows",
+    "train_and_evaluate",
+]

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the Backward-Sort reproduction.
+
+All exceptions raised by this library derive from :class:`ReproError`, so a
+caller can catch the whole family with one clause.  Sub-families mirror the
+package layout: sorting, storage-engine (IoTDB substrate), workload
+generation, and benchmarking each get their own branch.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class SortError(ReproError):
+    """Raised when a sorting routine is mis-used or detects corruption."""
+
+
+class LengthMismatchError(SortError):
+    """Raised when timestamp and value arrays have different lengths."""
+
+    def __init__(self, n_times: int, n_values: int) -> None:
+        super().__init__(
+            f"timestamps ({n_times}) and values ({n_values}) must have equal length"
+        )
+        self.n_times = n_times
+        self.n_values = n_values
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a configuration or algorithm parameter is out of range."""
+
+
+class StorageError(ReproError):
+    """Base class for errors in the IoTDB storage substrate."""
+
+
+class MemTableFlushedError(StorageError):
+    """Raised when writing to a memtable that has already transitioned to flushing."""
+
+
+class TsFileCorruptionError(StorageError):
+    """Raised when a serialized TsFile-like blob fails validation on read."""
+
+
+class EncodingError(StorageError):
+    """Raised when a column encoder or decoder is fed invalid input."""
+
+
+class WalCorruptionError(StorageError):
+    """Raised when a write-ahead-log record fails its checksum."""
+
+
+class QueryError(StorageError):
+    """Raised for malformed queries (e.g. inverted time ranges)."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload/dataset generator is configured inconsistently."""
+
+
+class BenchmarkError(ReproError):
+    """Raised when the benchmark harness is configured inconsistently."""

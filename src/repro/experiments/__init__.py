@@ -1,0 +1,39 @@
+"""One driver per paper figure/table; see ``repro.experiments.runner``.
+
+Each module exposes ``run(...) -> rows`` (structured results, consumed by
+``benchmarks/``) and ``main(scale)`` (prints the figure's series as a text
+table).  The mapping from paper artifact to module is recorded in
+DESIGN.md's per-experiment index.
+"""
+
+from repro.experiments import (
+    ablation,
+    complexity_check,
+    delay_pdf,
+    downstream_forecast,
+    merge_moves,
+    outage_robustness,
+    parameter_tuning,
+    sort_time_array_size,
+    sort_time_realworld,
+    sort_time_sigma,
+    system_flush,
+    system_latency,
+    system_throughput,
+)
+
+__all__ = [
+    "ablation",
+    "complexity_check",
+    "delay_pdf",
+    "downstream_forecast",
+    "merge_moves",
+    "outage_robustness",
+    "parameter_tuning",
+    "sort_time_array_size",
+    "sort_time_realworld",
+    "sort_time_sigma",
+    "system_flush",
+    "system_latency",
+    "system_throughput",
+]

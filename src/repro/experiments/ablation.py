@@ -1,0 +1,87 @@
+"""Ablation experiment: quantify each Backward-Sort design choice.
+
+DESIGN.md §6 lists the design decisions worth ablating; the benchmark
+targets in ``benchmarks/bench_ablation_*.py`` time them under
+pytest-benchmark, and this driver prints them as one comparable table for
+the ``repro-experiments`` CLI: every variant on the same stream, with time,
+the block size it ended up using, and its operation counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import print_table
+from repro.bench.timing import measure
+from repro.experiments.common import ALGORITHM_SCALE_POINTS, scale_points
+from repro.sorting import get_sorter
+from repro.workloads import log_normal
+
+#: (label, backward-sorter kwargs) for every ablated variant.
+VARIANTS: tuple[tuple[str, dict], ...] = (
+    ("default (searched L, Θ=0.04, quick blocks)", {}),
+    ("paper L0=4", {"l0": 4}),
+    ("L0=128", {"l0": 128}),
+    ("Θ=0.01", {"theta": 0.01}),
+    ("Θ=0.16", {"theta": 0.16}),
+    ("growth=ratio", {"growth": "ratio"}),
+    ("blocks=insertion", {"block_sort": "insertion"}),
+    ("blocks=tim", {"block_sort": "tim"}),
+    ("blocks=run-adaptive", {"block_sort": "run-adaptive"}),
+    ("fixed L=64", {"fixed_block_size": 64}),
+    ("fixed L=1024", {"fixed_block_size": 1024}),
+    ("fixed L=N (quicksort)", {"fixed_block_size": -1}),  # resolved to n below
+)
+
+
+@dataclass
+class AblationRow:
+    variant: str
+    mean_seconds: float
+    block_size: int | None
+    comparisons: int
+    moves: int
+
+
+def run(scale: str = "small", seed: int = 0, repeats: int = 3) -> list[AblationRow]:
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    stream = log_normal(n, mu=1.0, sigma=1.0, seed=seed)
+    rows: list[AblationRow] = []
+    for label, kwargs in VARIANTS:
+        resolved = dict(kwargs)
+        if resolved.get("fixed_block_size") == -1:
+            resolved["fixed_block_size"] = n
+        captured = {}
+
+        def _sort(arrays, resolved=resolved, captured=captured):
+            ts, vs = arrays
+            captured["stats"] = get_sorter("backward", **resolved).sort(ts, vs)
+
+        timing = measure(_sort, repeats=repeats, setup=stream.sort_input)
+        stats = captured["stats"]
+        rows.append(
+            AblationRow(
+                variant=label,
+                mean_seconds=timing.mean,
+                block_size=stats.block_size,
+                comparisons=stats.comparisons,
+                moves=stats.moves,
+            )
+        )
+    return rows
+
+
+def main(scale: str = "small") -> None:
+    rows = run(scale=scale)
+    print_table(
+        ("variant", "time_ms", "L", "comparisons", "moves"),
+        [
+            (r.variant, r.mean_seconds * 1e3, r.block_size, r.comparisons, r.moves)
+            for r in rows
+        ],
+        title="Backward-Sort ablations on lognormal(1,1) (DESIGN.md §6)",
+    )
+
+
+if __name__ == "__main__":
+    main()

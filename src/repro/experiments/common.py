@@ -1,0 +1,105 @@
+"""Shared plumbing for the per-figure experiment drivers.
+
+Every driver exposes ``run(scale=...) -> rows`` and ``main()`` which prints
+the paper's series as a text table.  ``scale`` maps to array sizes: the
+paper ran 10^6-point arrays for algorithm experiments and 10^7 points for
+system tests on a Java testbed; a pure-Python reproduction defaults to
+"small" so the whole suite finishes in minutes, with "medium"/"paper"
+available when more fidelity is wanted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.timing import measure
+from repro.errors import InvalidParameterError
+from repro.sorting import get_sorter
+from repro.workloads import ArrivalStream
+
+#: Array sizes per scale for the pure-algorithm experiments.
+ALGORITHM_SCALE_POINTS = {
+    "tiny": 2_000,
+    "small": 20_000,
+    "medium": 100_000,
+    "paper": 1_000_000,
+}
+
+#: Total ingested points per scale for the system experiments.
+SYSTEM_SCALE_POINTS = {
+    "tiny": 4_000,
+    "small": 20_000,
+    "medium": 100_000,
+    "paper": 1_000_000,
+}
+
+
+def scale_points(scale: str, table: dict[str, int]) -> int:
+    try:
+        return table[scale]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scale {scale!r}; choose one of {sorted(table)}"
+        ) from None
+
+
+@dataclass
+class SortTimingRow:
+    """One (dataset, algorithm) cell of a sort-time figure."""
+
+    dataset: str
+    algorithm: str
+    n: int
+    mean_seconds: float
+    std_seconds: float
+    comparisons: int
+    moves: int
+
+    def as_tuple(self):
+        return (
+            self.dataset,
+            self.algorithm,
+            self.n,
+            self.mean_seconds * 1e3,  # report milliseconds like the paper
+            self.std_seconds * 1e3,
+            self.comparisons,
+            self.moves,
+        )
+
+
+SORT_TABLE_HEADERS = (
+    "dataset",
+    "algorithm",
+    "n",
+    "time_ms",
+    "std_ms",
+    "comparisons",
+    "moves",
+)
+
+
+def time_sorter_on_stream(
+    name: str,
+    stream: ArrivalStream,
+    repeats: int = 3,
+    **sorter_kwargs,
+) -> SortTimingRow:
+    """Measure one algorithm on one stream with fresh copies per run."""
+    last_stats = {}
+
+    def _sort(arrays):
+        ts, vs = arrays
+        stats = get_sorter(name, **sorter_kwargs).sort(ts, vs)
+        last_stats["stats"] = stats
+
+    timing = measure(_sort, repeats=repeats, setup=stream.sort_input)
+    stats = last_stats["stats"]
+    return SortTimingRow(
+        dataset=stream.name,
+        algorithm=name,
+        n=len(stream),
+        mean_seconds=timing.mean,
+        std_seconds=timing.std,
+        comparisons=stats.comparisons,
+        moves=stats.moves,
+    )

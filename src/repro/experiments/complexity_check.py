@@ -1,0 +1,95 @@
+"""Proposition 6 check: Backward-Sort's complexity across disorder regimes.
+
+``O(max{n log n, n log L0 + η n Q / L0})`` predicts two regimes:
+
+* **low disorder** (small Q): cost ≈ ``n log L`` with L near L0 — close to
+  *linear* in n for fixed L, so doubling n should roughly double the cost;
+* **high disorder** (large Q): the algorithm degenerates to Quicksort and
+  cost tracks ``n log n``.
+
+The experiment measures comparisons+moves (platform-independent) across a
+doubling ladder of n for a mild and a heavy delay model, fits the local
+scaling exponent between consecutive rungs, and prints it next to the
+exponent Quicksort produces on the same data.  Expected shape: exponents
+≈ 1.0-1.1 for Backward-Sort on mild disorder (sub-linearithmic), drifting
+toward Quicksort's ≈ 1.0-1.15 · log-factor growth under heavy disorder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bench.reporting import print_table
+from repro.errors import InvalidParameterError
+from repro.sorting import get_sorter
+from repro.theory import ExponentialDelay, LogNormalDelay
+from repro.workloads import TimeSeriesGenerator
+
+_SCALE_TOP = {"tiny": 8_000, "small": 40_000, "medium": 160_000, "paper": 1_000_000}
+
+#: (label, delay distribution) for the two regimes.
+REGIMES = (
+    ("mild exp(1)", ExponentialDelay(1.0)),
+    ("heavy lognormal(1,2)", LogNormalDelay(1.0, 2.0)),
+)
+
+
+@dataclass
+class ComplexityRow:
+    regime: str
+    algorithm: str
+    n: int
+    operations: int
+    local_exponent: float | None  # d log(ops) / d log(n) vs previous rung
+
+
+def run(scale: str = "small", seed: int = 0) -> list[ComplexityRow]:
+    try:
+        top = _SCALE_TOP[scale]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown scale {scale!r}; choose one of {sorted(_SCALE_TOP)}"
+        ) from None
+    ladder = [top // 8, top // 4, top // 2, top]
+    rows: list[ComplexityRow] = []
+    for label, dist in REGIMES:
+        for algorithm in ("backward", "quick"):
+            previous: tuple[int, int] | None = None
+            for n in ladder:
+                stream = TimeSeriesGenerator(dist).generate(n, seed=seed)
+                ts, vs = stream.sort_input()
+                stats = get_sorter(algorithm).sort(ts, vs)
+                operations = stats.comparisons + stats.moves
+                exponent = None
+                if previous is not None:
+                    prev_n, prev_ops = previous
+                    exponent = math.log(operations / prev_ops) / math.log(n / prev_n)
+                rows.append(
+                    ComplexityRow(
+                        regime=label,
+                        algorithm=algorithm,
+                        n=n,
+                        operations=operations,
+                        local_exponent=exponent,
+                    )
+                )
+                previous = (n, operations)
+    return rows
+
+
+def main(scale: str = "small") -> None:
+    rows = run(scale=scale)
+    print_table(
+        ("regime", "algorithm", "n", "comparisons+moves", "local exponent"),
+        [
+            (r.regime, r.algorithm, r.n, r.operations,
+             "-" if r.local_exponent is None else round(r.local_exponent, 3))
+            for r in rows
+        ],
+        title="Proposition 6 — operation-count scaling of Backward-Sort vs Quicksort",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+"""Experiment E-fig8: parameter tuning (Figure 8a + 8b).
+
+(a) The interval inversion ratio of the four real-world(simulated)
+    datasets at power-of-two intervals — the disorder fingerprint that
+    predicts the optimal block size.
+(b) Backward-Sort's sort time with the block size *fixed manually* across
+    the same power-of-two ladder ("by omitting the first step of the
+    algorithm, we directly set the block size manually"), exposing the
+    U-shaped cost curve whose minimum the set-block-size phase must find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.reporting import print_table
+from repro.bench.timing import measure
+from repro.core.block_size import find_block_size
+from repro.experiments.common import ALGORITHM_SCALE_POINTS, scale_points
+from repro.metrics import iir_profile
+from repro.sorting import get_sorter
+from repro.workloads import REAL_WORLD_DATASETS, ArrivalStream, load_dataset
+
+
+@dataclass
+class IIRRow:
+    dataset: str
+    interval: int
+    alpha: float
+
+
+@dataclass
+class BlockSizeTimingRow:
+    dataset: str
+    block_size: int
+    mean_seconds: float
+    found_by_search: bool
+
+
+def run_iir_profiles(scale: str = "small", seed: int = 0) -> list[IIRRow]:
+    """Figure 8(a): α_L over power-of-two intervals per dataset."""
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    rows: list[IIRRow] = []
+    for name in REAL_WORLD_DATASETS:
+        stream = load_dataset(name, n, seed=seed)
+        for interval, alpha in iir_profile(stream.timestamps):
+            rows.append(IIRRow(dataset=name, interval=interval, alpha=alpha))
+    return rows
+
+
+def _block_size_ladder(n: int) -> list[int]:
+    ladder = []
+    size = 2
+    while size < n:
+        ladder.append(size)
+        size *= 4
+    ladder.append(n)  # the Quicksort degenerate point
+    return ladder
+
+
+def run_block_size_sweep(
+    scale: str = "small",
+    seed: int = 0,
+    repeats: int = 3,
+    datasets: tuple[str, ...] = REAL_WORLD_DATASETS,
+) -> list[BlockSizeTimingRow]:
+    """Figure 8(b): sort time vs manually fixed block size, plus the L the
+    set-block-size search would have chosen (marked in the output)."""
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    rows: list[BlockSizeTimingRow] = []
+    for name in datasets:
+        stream = load_dataset(name, n, seed=seed)
+        searched = find_block_size(list(stream.timestamps)).block_size
+        for block_size in _block_size_ladder(n):
+            timing = _time_fixed_block(stream, block_size, repeats)
+            rows.append(
+                BlockSizeTimingRow(
+                    dataset=name,
+                    block_size=block_size,
+                    mean_seconds=timing,
+                    found_by_search=_same_ladder_rung(block_size, searched),
+                )
+            )
+    return rows
+
+
+def _time_fixed_block(stream: ArrivalStream, block_size: int, repeats: int) -> float:
+    def _sort(arrays):
+        ts, vs = arrays
+        get_sorter("backward", fixed_block_size=block_size).sort(ts, vs)
+
+    return measure(_sort, repeats=repeats, setup=stream.sort_input).mean
+
+
+def _same_ladder_rung(block_size: int, searched: int) -> bool:
+    return block_size <= searched < block_size * 4
+
+
+def best_block_size(rows: list[BlockSizeTimingRow], dataset: str) -> int:
+    """The empirically fastest fixed block size for one dataset."""
+    candidates = [r for r in rows if r.dataset == dataset]
+    return min(candidates, key=lambda r: r.mean_seconds).block_size
+
+
+@dataclass
+class CostModelRow:
+    """Proposition 5's prediction against measurement for one delay model."""
+
+    dataset: str
+    predicted_overlap: float
+    predicted_optimum: float
+    measured_optimum: int
+    searched: int
+
+
+def run_cost_model_comparison(
+    scale: str = "small", seed: int = 0, repeats: int = 2
+) -> list[CostModelRow]:
+    """For known delay models, compare the Prop. 5 optimum ``L* = ηQ``
+    against the empirically fastest fixed block size and the search's pick."""
+    from repro.theory import ExponentialDelay, LogNormalDelay, expected_overlap
+    from repro.workloads import TimeSeriesGenerator
+
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    models = [
+        ("exp(0.1)", ExponentialDelay(0.1)),
+        ("exp(0.02)", ExponentialDelay(0.02)),
+        ("lognormal(1,1)", LogNormalDelay(1.0, 1.0)),
+    ]
+    rows: list[CostModelRow] = []
+    for label, dist in models:
+        stream = TimeSeriesGenerator(dist, name=label).generate(n, seed=seed)
+        overlap = expected_overlap(dist)
+        ladder = _block_size_ladder(n)
+        timings = {
+            size: _time_fixed_block(stream, size, repeats) for size in ladder
+        }
+        measured = min(timings, key=timings.get)
+        searched = find_block_size(list(stream.timestamps)).block_size
+        from repro.theory import optimal_block_size
+
+        rows.append(
+            CostModelRow(
+                dataset=label,
+                predicted_overlap=overlap,
+                predicted_optimum=optimal_block_size(overlap, n=n),
+                measured_optimum=measured,
+                searched=searched,
+            )
+        )
+    return rows
+
+
+def main(scale: str = "small") -> None:
+    iir_rows = run_iir_profiles(scale)
+    print_table(
+        ("dataset", "interval", "alpha"),
+        [(r.dataset, r.interval, r.alpha) for r in iir_rows],
+        title="Figure 8(a) — interval inversion ratio vs interval",
+    )
+    sweep = run_block_size_sweep(scale)
+    print_table(
+        ("dataset", "block_size", "time_ms", "search_rung"),
+        [
+            (r.dataset, r.block_size, r.mean_seconds * 1e3, "*" if r.found_by_search else "")
+            for r in sweep
+        ],
+        title="Figure 8(b) — Backward-Sort time vs fixed block size "
+        "(* = rung the set-block-size search lands on)",
+    )
+    model_rows = run_cost_model_comparison(scale)
+    print_table(
+        ("delay model", "E(Q)", "predicted L*", "measured best L", "searched L"),
+        [
+            (r.dataset, r.predicted_overlap, r.predicted_optimum, r.measured_optimum, r.searched)
+            for r in model_rows
+        ],
+        title="Proposition 5 — cost-model optimum vs measured optimum vs search",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""CLI entry point: run any (or every) paper experiment by name.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments --list
+    repro-experiments fig9 fig10 --scale small
+    repro-experiments all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import ablation, delay_pdf, downstream_forecast, merge_moves
+from repro.experiments import complexity_check, outage_robustness
+from repro.experiments import parameter_tuning, sort_time_array_size
+from repro.experiments import sort_time_realworld, sort_time_sigma
+from repro.experiments import system_flush, system_latency, system_throughput
+
+#: experiment id -> (description, main(scale) callable).
+EXPERIMENTS: dict[str, tuple[str, Callable[[str], None]]] = {
+    "fig2": (
+        "Figure 2 / Example 3: straight vs backward merge moves",
+        lambda scale: merge_moves.main(),
+    ),
+    "fig5": (
+        "Figure 5 / Example 6: Δτ PDF and α check for exponential delays",
+        lambda scale: delay_pdf.main(),
+    ),
+    "fig8": (
+        "Figure 8: IIR profiles and block-size tuning",
+        parameter_tuning.main,
+    ),
+    "fig9": (
+        "Figure 9: sort time on AbsNormal, varying σ",
+        lambda scale: sort_time_sigma.main_family("absnormal", scale),
+    ),
+    "fig10": (
+        "Figure 10: sort time on LogNormal, varying σ",
+        lambda scale: sort_time_sigma.main_family("lognormal", scale),
+    ),
+    "fig11": (
+        "Figure 11: sort time on real-world datasets",
+        sort_time_realworld.main,
+    ),
+    "fig12": (
+        "Figure 12: sort time varying array size",
+        sort_time_array_size.main,
+    ),
+    "fig13-15": (
+        "Figures 13-15: query throughput vs write percentage",
+        system_throughput.main,
+    ),
+    "fig16-18": (
+        "Figures 16-18: flush time vs write percentage",
+        system_flush.main,
+    ),
+    "fig19-21": (
+        "Figures 19-21: total test latency vs write percentage",
+        system_latency.main,
+    ),
+    "fig22": (
+        "Figure 22: downstream LSTM forecast vs disorder",
+        downstream_forecast.main,
+    ),
+    "ablation": (
+        "Ablations of Backward-Sort's design choices (DESIGN.md §6)",
+        ablation.main,
+    ),
+    "outage": (
+        "Extension: sorter robustness under correlated outage bursts",
+        outage_robustness.main,
+    ),
+    "prop6": (
+        "Proposition 6: operation-count scaling across disorder regimes",
+        complexity_check.main,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables/figures of the Backward-Sort paper.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="small",
+        choices=("tiny", "small", "medium", "paper"),
+        help="array / workload size (default: small)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        metavar="DIR",
+        help="also write each experiment's console output to DIR/<id>.txt",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for name, (description, _) in EXPERIMENTS.items():
+            print(f"{name:10s} {description}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    output_dir = None
+    if args.output_dir is not None:
+        from pathlib import Path
+
+        output_dir = Path(args.output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        description, fn = EXPERIMENTS[name]
+        print(f"=== {name}: {description} (scale={args.scale}) ===")
+        start = time.perf_counter()
+        if output_dir is not None:
+            import contextlib
+            import io
+
+            capture = io.StringIO()
+            with contextlib.redirect_stdout(capture):
+                fn(args.scale)
+            body = capture.getvalue()
+            (output_dir / f"{name.replace('/', '-')}.txt").write_text(body)
+            print(body, end="")
+        else:
+            fn(args.scale)
+        print(f"[{name} completed in {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""Experiment E-fig12: sort time vs array size (Figure 12).
+
+"We choose AbsNormal(0,1), LogNormal(0,1), CitiBike-1808 and Samsung-S10
+and vary the array size" — the paper sweeps 10^4 to 10^7; the default here
+sweeps a decade ladder whose top rung scales with the chosen experiment
+size.  Expected shape: every algorithm roughly linearithmic, Backward-Sort
+lowest across scales, noisier rankings at the smallest size (the paper
+notes sub-millisecond runs have larger relative error).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_table
+from repro.experiments.common import (
+    ALGORITHM_SCALE_POINTS,
+    SORT_TABLE_HEADERS,
+    SortTimingRow,
+    scale_points,
+    time_sorter_on_stream,
+)
+from repro.sorting import PAPER_ALGORITHMS
+from repro.workloads import load_dataset
+
+#: The figure's dataset selection.
+FIG12_DATASETS = (
+    ("absnormal", {"mu": 0.0, "sigma": 1.0}),
+    ("lognormal", {"mu": 0.0, "sigma": 1.0}),
+    ("citibike-201808", {}),
+    ("samsung-s10", {}),
+)
+
+
+def array_size_ladder(top: int) -> list[int]:
+    """Decade ladder ending at ``top``: top/100, top/10, top."""
+    return [max(top // 100, 1_000), max(top // 10, 2_000), top]
+
+
+def run(
+    scale: str = "small",
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    seed: int = 0,
+    repeats: int = 3,
+) -> list[SortTimingRow]:
+    top = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    rows: list[SortTimingRow] = []
+    for dataset, params in FIG12_DATASETS:
+        for n in array_size_ladder(top):
+            stream = load_dataset(dataset, n, seed=seed, **params)
+            for name in algorithms:
+                rows.append(time_sorter_on_stream(name, stream, repeats=repeats))
+    return rows
+
+
+def main(scale: str = "small") -> None:
+    rows = run(scale=scale)
+    print_table(
+        SORT_TABLE_HEADERS,
+        [r.as_tuple() for r in rows],
+        title="Figure 12 — sort time varying the array size",
+    )
+
+
+if __name__ == "__main__":
+    main()

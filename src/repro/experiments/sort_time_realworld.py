@@ -1,0 +1,49 @@
+"""Experiment E-fig11: sort time on the real-world(simulated) datasets.
+
+One bar per algorithm per dataset.  Expected shape (paper §VI-C1): YSort
+shines on the barely disordered Samsung-D5 but collapses on
+CitiBike-201808; CKSort is stable but behind Backward-Sort; Backward-Sort
+leads overall.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_table
+from repro.experiments.common import (
+    ALGORITHM_SCALE_POINTS,
+    SORT_TABLE_HEADERS,
+    SortTimingRow,
+    scale_points,
+    time_sorter_on_stream,
+)
+from repro.sorting import PAPER_ALGORITHMS
+from repro.workloads import REAL_WORLD_DATASETS, load_dataset
+
+
+def run(
+    scale: str = "small",
+    datasets: tuple[str, ...] = REAL_WORLD_DATASETS,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    seed: int = 0,
+    repeats: int = 3,
+) -> list[SortTimingRow]:
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    rows: list[SortTimingRow] = []
+    for dataset in datasets:
+        stream = load_dataset(dataset, n, seed=seed)
+        for name in algorithms:
+            rows.append(time_sorter_on_stream(name, stream, repeats=repeats))
+    return rows
+
+
+def main(scale: str = "small") -> None:
+    rows = run(scale=scale)
+    print_table(
+        SORT_TABLE_HEADERS,
+        [r.as_tuple() for r in rows],
+        title="Figure 11 — sort time on real-world datasets",
+    )
+
+
+if __name__ == "__main__":
+    main()

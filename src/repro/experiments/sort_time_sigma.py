@@ -1,0 +1,85 @@
+"""Experiments E-fig9 / E-fig10: sort time vs delay σ (Figures 9 and 10).
+
+"Since σ has a greater impact on the inversions, we set µ = 1 or µ = 4 and
+then vary the standard deviation σ to change the degree of out-of-order."
+One series per algorithm (the paper's six), AbsNormal for Figure 9 and
+LogNormal for Figure 10.
+
+Expected shapes: sort time grows with σ for every algorithm; Backward-Sort
+leads overall (paper: 30-100 % faster than Quicksort); Patience destabilises
+on LogNormal.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_table
+from repro.experiments.common import (
+    ALGORITHM_SCALE_POINTS,
+    SORT_TABLE_HEADERS,
+    SortTimingRow,
+    scale_points,
+    time_sorter_on_stream,
+)
+from repro.sorting import PAPER_ALGORITHMS
+from repro.workloads import abs_normal, log_normal
+
+#: The σ grid of Figures 9 and 10.
+PAPER_SIGMAS = (0.25, 0.5, 1.0, 2.0, 4.0)
+#: The µ settings of the two sub-figures in each family.
+PAPER_MUS = (1.0, 4.0)
+
+
+def run(
+    family: str = "absnormal",
+    scale: str = "small",
+    mus: tuple[float, ...] = PAPER_MUS,
+    sigmas: tuple[float, ...] = PAPER_SIGMAS,
+    algorithms: tuple[str, ...] = PAPER_ALGORITHMS,
+    seed: int = 0,
+    repeats: int = 3,
+) -> list[SortTimingRow]:
+    """One row per (µ, σ, algorithm)."""
+    n = scale_points(scale, ALGORITHM_SCALE_POINTS)
+    factory = abs_normal if family == "absnormal" else log_normal
+    rows: list[SortTimingRow] = []
+    for mu in mus:
+        for sigma in sigmas:
+            stream = factory(n, mu=mu, sigma=sigma, seed=seed)
+            for name in algorithms:
+                rows.append(time_sorter_on_stream(name, stream, repeats=repeats))
+    return rows
+
+
+def main_family(family: str, scale: str = "small") -> None:
+    from repro.bench.reporting import ascii_series
+
+    figure = "Figure 9" if family == "absnormal" else "Figure 10"
+    rows = run(family=family, scale=scale)
+    print_table(
+        SORT_TABLE_HEADERS,
+        [r.as_tuple() for r in rows],
+        title=f"{figure} — sort time on {family} datasets, varying σ",
+    )
+    # Figure-style view: one series per algorithm over σ (µ = 1 panel).
+    series: dict[str, list[tuple[float, float]]] = {}
+    for r in rows:
+        if not r.dataset.endswith(")") or "(1," not in r.dataset:
+            continue
+        sigma = float(r.dataset.split(",")[1].rstrip(")"))
+        series.setdefault(r.algorithm, []).append((sigma, r.mean_seconds * 1e3))
+    print(
+        ascii_series(
+            series,
+            title=f"{figure} (µ=1 panel): sort time (ms) vs σ",
+        )
+    )
+    print()
+
+
+def main(scale: str = "small") -> None:
+    for family in ("absnormal", "lognormal"):
+        main_family(family, scale)
+
+
+if __name__ == "__main__":
+    main()

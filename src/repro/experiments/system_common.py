@@ -1,0 +1,111 @@
+"""Shared grid definitions for the system experiments (Figures 13-21).
+
+Each figure family (query throughput / flush time / total latency) reuses
+the same (dataset × sorter × write-percentage) sweep; this module fixes the
+dataset panels so all three families report over identical runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench import (
+    PAPER_WRITE_PERCENTAGES,
+    SweepConfig,
+    SystemBenchResult,
+    SystemWorkloadConfig,
+    run_sweep,
+)
+from repro.errors import InvalidParameterError
+from repro.experiments.common import SYSTEM_SCALE_POINTS, scale_points
+from repro.sorting import PAPER_ALGORITHMS
+
+#: The four panels of each system figure, per dataset family.
+SYSTEM_PANELS: dict[str, list[tuple[str, dict]]] = {
+    "absnormal": [
+        ("absnormal", {"mu": 1.0, "sigma": 1.0}),
+        ("absnormal", {"mu": 1.0, "sigma": 4.0}),
+        ("absnormal", {"mu": 4.0, "sigma": 1.0}),
+        ("absnormal", {"mu": 4.0, "sigma": 4.0}),
+    ],
+    "lognormal": [
+        ("lognormal", {"mu": 1.0, "sigma": 0.5}),
+        ("lognormal", {"mu": 1.0, "sigma": 1.0}),
+        ("lognormal", {"mu": 1.0, "sigma": 2.0}),
+        ("lognormal", {"mu": 4.0, "sigma": 1.0}),
+    ],
+    "realworld": [
+        ("citibike-201808", {}),
+        ("citibike-201902", {}),
+        ("samsung-d5", {}),
+        ("samsung-s10", {}),
+    ],
+}
+
+
+@dataclass
+class SystemExperimentRow:
+    """One cell of a system figure: a metric per (panel, sorter, write %)."""
+
+    panel: str
+    sorter: str
+    write_percentage: float
+    query_throughput: float
+    mean_flush_seconds: float
+    flush_sort_seconds: float
+    total_seconds: float
+    queries_executed: int
+
+
+def run_family(
+    family: str,
+    scale: str = "small",
+    sorters: tuple[str, ...] = PAPER_ALGORITHMS,
+    write_percentages: tuple[float, ...] = PAPER_WRITE_PERCENTAGES,
+    include_write_only: bool = False,
+    seed: int = 0,
+) -> list[SystemExperimentRow]:
+    """Run the full sweep for one dataset family; one row per cell."""
+    if family not in SYSTEM_PANELS:
+        raise InvalidParameterError(
+            f"unknown family {family!r}; choose one of {sorted(SYSTEM_PANELS)}"
+        )
+    total_points = scale_points(scale, SYSTEM_SCALE_POINTS)
+    rows: list[SystemExperimentRow] = []
+    for dataset, params in SYSTEM_PANELS[family]:
+        base = SystemWorkloadConfig(
+            dataset=dataset,
+            dataset_params=params,
+            total_points=total_points,
+            seed=seed,
+        )
+        sweep = SweepConfig(
+            base=base,
+            sorters=sorters,
+            write_percentages=write_percentages,
+            include_write_only=include_write_only,
+            memtable_flush_threshold=max(total_points // 8, 500),
+        )
+        panel = _panel_label(dataset, params)
+        for result in run_sweep(sweep):
+            rows.append(_to_row(panel, result))
+    return rows
+
+
+def _panel_label(dataset: str, params: dict) -> str:
+    if params:
+        return f"{dataset}({params.get('mu', 0):g},{params.get('sigma', 0):g})"
+    return dataset
+
+
+def _to_row(panel: str, result: SystemBenchResult) -> SystemExperimentRow:
+    return SystemExperimentRow(
+        panel=panel,
+        sorter=result.sorter,
+        write_percentage=result.write_percentage,
+        query_throughput=result.query_throughput,
+        mean_flush_seconds=result.mean_flush_seconds,
+        flush_sort_seconds=result.mean_flush_sort_seconds,
+        total_seconds=result.total_seconds,
+        queries_executed=result.queries_executed,
+    )

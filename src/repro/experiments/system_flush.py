@@ -1,0 +1,50 @@
+"""Experiments E-fig16/17/18: flush time vs write percentage.
+
+"The flush time records the range from when the table state transitions
+(working to flushing) to the completion of writing to the disk" — our
+flush pipeline clocks exactly that span and splits out the sorting share,
+reproducing the stacked bars of Figures 16-18.  The sweep includes write
+percentage 1.0 (no queries), which the paper's flush figures also plot.
+"""
+
+from __future__ import annotations
+
+from repro.bench.workload import PAPER_WRITE_PERCENTAGES
+from repro.bench.reporting import print_table
+from repro.experiments.system_common import SystemExperimentRow, run_family
+
+FAMILIES = (("absnormal", "Figure 16"), ("lognormal", "Figure 17"), ("realworld", "Figure 18"))
+
+
+def run(family: str = "realworld", scale: str = "small", seed: int = 0) -> list[SystemExperimentRow]:
+    return run_family(
+        family,
+        scale=scale,
+        seed=seed,
+        write_percentages=PAPER_WRITE_PERCENTAGES,
+        include_write_only=True,
+    )
+
+
+def main(scale: str = "small") -> None:
+    for family, figure in FAMILIES:
+        rows = run(family, scale=scale)
+        print_table(
+            ("panel", "sorter", "write_pct", "flush_ms", "flush_sort_ms"),
+            [
+                (
+                    r.panel,
+                    r.sorter,
+                    r.write_percentage,
+                    r.mean_flush_seconds * 1e3,
+                    r.flush_sort_seconds * 1e3,
+                )
+                for r in rows
+            ],
+            title=f"{figure} — flush time for {family} datasets "
+            "(total with sort share broken out)",
+        )
+
+
+if __name__ == "__main__":
+    main()

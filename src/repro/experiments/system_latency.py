@@ -1,0 +1,33 @@
+"""Experiments E-fig19/20/21: total test latency vs write percentage.
+
+"The total test latency mainly consists of preprocessing, query and flush,
+which could indicate the whole performance of the IoTDB system."  Expected
+shape: differences between sorters widen as queries dominate (lower write
+percentages), with CKSort and YSort costing the most and Backward-Sort the
+least.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_table
+from repro.experiments.system_common import SystemExperimentRow, run_family
+
+FAMILIES = (("absnormal", "Figure 19"), ("lognormal", "Figure 20"), ("realworld", "Figure 21"))
+
+
+def run(family: str = "realworld", scale: str = "small", seed: int = 0) -> list[SystemExperimentRow]:
+    return run_family(family, scale=scale, seed=seed)
+
+
+def main(scale: str = "small") -> None:
+    for family, figure in FAMILIES:
+        rows = run(family, scale=scale)
+        print_table(
+            ("panel", "sorter", "write_pct", "total_latency_s"),
+            [(r.panel, r.sorter, r.write_percentage, r.total_seconds) for r in rows],
+            title=f"{figure} — total test latency for {family} datasets",
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Experiments E-fig13/14/15: query throughput vs write percentage.
+
+"Backward sort shows improvement in query throughput in most tests by
+accelerating sorting for query operations" — the query path sorts the
+working memtable before scanning, so a faster sorter returns more points
+per second of query time.  One table per dataset family (AbsNormal →
+Figure 13, LogNormal → Figure 14, real-world → Figure 15).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import print_table
+from repro.experiments.system_common import SystemExperimentRow, run_family
+
+FAMILIES = (("absnormal", "Figure 13"), ("lognormal", "Figure 14"), ("realworld", "Figure 15"))
+
+
+def run(family: str = "realworld", scale: str = "small", seed: int = 0) -> list[SystemExperimentRow]:
+    return run_family(family, scale=scale, seed=seed)
+
+
+def main(scale: str = "small") -> None:
+    for family, figure in FAMILIES:
+        rows = run(family, scale=scale)
+        print_table(
+            ("panel", "sorter", "write_pct", "query_throughput_pts_per_s"),
+            [
+                (r.panel, r.sorter, r.write_percentage, r.query_throughput)
+                for r in rows
+            ],
+            title=f"{figure} — query throughput for {family} datasets",
+        )
+
+
+if __name__ == "__main__":
+    main()

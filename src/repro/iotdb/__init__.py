@@ -1,0 +1,82 @@
+"""The Apache IoTDB write-path substrate (paper §V), reimplemented in Python."""
+
+from repro.iotdb.aggregation import (
+    AGGREGATIONS,
+    AggregationResult,
+    WindowAggregate,
+    aggregate_from_points,
+    aggregate_windows,
+)
+from repro.iotdb.compaction import CompactionReport, compact
+
+from repro.iotdb.config import IoTDBConfig, TSDataType
+from repro.iotdb.encoding import Encoder, get_encoder
+from repro.iotdb.engine import EngineMetrics, StorageEngine
+from repro.iotdb.flush import ChunkFlushReport, FlushReport, flush_memtable
+from repro.iotdb.memtable import MemTable, MemTableState
+from repro.iotdb.query import QueryResult, QueryStats, TimeRangeQueryExecutor
+from repro.iotdb.separation import SeparationPolicy, Space
+from repro.iotdb.session import ParsedQuery, Session
+from repro.iotdb.tsfile import (
+    ChunkMetadata,
+    PageMetadata,
+    PageStatistics,
+    TsFileReader,
+    TsFileWriter,
+)
+from repro.iotdb.tvlist import TVList, dedupe_sorted
+from repro.iotdb.typed_tvlists import (
+    BooleanTVList,
+    DoubleTVList,
+    FloatTVList,
+    IntTVList,
+    LongTVList,
+    TextTVList,
+    infer_dtype,
+    tvlist_for,
+)
+from repro.iotdb.wal import WriteAheadLog
+
+__all__ = [
+    "AGGREGATIONS",
+    "AggregationResult",
+    "CompactionReport",
+    "aggregate_from_points",
+    "aggregate_windows",
+    "WindowAggregate",
+    "compact",
+    "BooleanTVList",
+    "ChunkFlushReport",
+    "ChunkMetadata",
+    "DoubleTVList",
+    "Encoder",
+    "EngineMetrics",
+    "FloatTVList",
+    "FlushReport",
+    "IntTVList",
+    "IoTDBConfig",
+    "LongTVList",
+    "MemTable",
+    "MemTableState",
+    "PageMetadata",
+    "PageStatistics",
+    "QueryResult",
+    "QueryStats",
+    "SeparationPolicy",
+    "ParsedQuery",
+    "Session",
+    "Space",
+    "StorageEngine",
+    "TSDataType",
+    "TVList",
+    "TextTVList",
+    "TimeRangeQueryExecutor",
+    "TsFileReader",
+    "TsFileWriter",
+    "WriteAheadLog",
+    "dedupe_sorted",
+    "flush_memtable",
+    "get_encoder",
+    "infer_dtype",
+    "tvlist_for",
+]

@@ -1,0 +1,104 @@
+"""Full-merge compaction: fold unsequence files back into sequence space.
+
+The separation policy (paper §II, building on the authors' ICDE 2022
+"Separation or not" study) deliberately lets very late points accumulate in
+unsequence files so the in-memory sorter only sees *not-too-distant*
+disorder.  The deferred cost is query-time merging across seq and unseq
+files; compaction pays that cost once: for every column it k-way merges all
+sealed files with the engine's overwrite semantics (unsequence beats
+sequence, later files beat earlier ones), and rewrites the result as a
+single sealed sequence file per device set.
+
+After compaction the engine serves the same query results (asserted by the
+equivalence tests) from one file, with every page once again eligible for
+the aggregation statistics fast path.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from dataclasses import dataclass
+
+from repro.iotdb.separation import Space
+
+
+@dataclass
+class CompactionReport:
+    """Outcome of one full-merge compaction pass."""
+
+    files_before: int
+    files_after: int
+    unseq_files_merged: int
+    points_written: int
+    seconds: float
+
+
+def compact(engine) -> CompactionReport:
+    """Merge all sealed files of ``engine`` into one sequence file.
+
+    Live memtables are untouched (IoTDB compacts sealed files only).  A
+    no-op when there is at most one sealed file and nothing unsequence.
+    """
+    sealed = engine._sealed
+    unseq_count = sum(1 for f in sealed if f.space is Space.UNSEQUENCE)
+    start = time.perf_counter()
+    if len(sealed) <= 1 and unseq_count == 0:
+        return CompactionReport(
+            files_before=len(sealed),
+            files_after=len(sealed),
+            unseq_files_merged=0,
+            points_written=0,
+            seconds=time.perf_counter() - start,
+        )
+
+    # Freshness order matches the query executor: seq files then unseq
+    # files, each in write order; later sources overwrite earlier ones.
+    ordered = [f for f in sealed if f.space is Space.SEQUENCE] + [
+        f for f in sealed if f.space is Space.UNSEQUENCE
+    ]
+    columns: dict[tuple[str, str], dict[int, object]] = {}
+    dtypes: dict[tuple[str, str], object] = {}
+    for f in ordered:
+        reader = f.reader
+        for device in reader.devices():
+            for sensor in reader.sensors(device):
+                ts, vs = reader.read_chunk(device, sensor)
+                merged = columns.setdefault((device, sensor), {})
+                for t, v in zip(ts, vs):
+                    merged[t] = v
+                dtypes[(device, sensor)] = reader.chunk_metadata(device, sensor).dtype
+
+    writer, new_sealed = engine._new_sink(Space.SEQUENCE)
+    points = 0
+    for (device, sensor) in sorted(columns):
+        merged = columns[(device, sensor)]
+        ts = sorted(merged)
+        vs = [merged[t] for t in ts]
+        if not ts:
+            continue
+        writer.write_chunk(
+            device,
+            sensor,
+            dtypes[(device, sensor)],
+            ts,
+            vs,
+            time_encoding=engine.config.time_encoding,
+            value_encoding=engine.config.value_encoding_for(dtypes[(device, sensor)]),
+            page_size=engine.config.page_size,
+            compression=engine.config.compression,
+        )
+        points += len(ts)
+    writer.close()
+
+    from repro.iotdb.tsfile import TsFileReader
+
+    new_sealed.reader = TsFileReader(new_sealed.buffer)
+    engine._replace_sealed([new_sealed] if points else [])
+    return CompactionReport(
+        files_before=len(sealed),
+        files_after=1 if points else 0,
+        unseq_files_merged=unseq_count,
+        points_written=points,
+        seconds=time.perf_counter() - start,
+    )

@@ -1,0 +1,108 @@
+"""Configuration for the IoTDB-substrate storage engine.
+
+Defaults mirror the Apache IoTDB behaviour the paper describes: TVList
+arrays of 32 slots (§V-B "The size of the array is configurable with its
+default value 32"), Backward-Sort as the TVList sorter, and a memtable
+flush threshold around the "appropriate memory points size" of 100,000
+(§VI-A3) — scaled down by default so unit tests stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+from repro.errors import InvalidParameterError
+
+
+class TSDataType(Enum):
+    """Column value types, mirroring IoTDB's typed TVList classes (§V-A)."""
+
+    INT32 = "int32"
+    INT64 = "int64"
+    FLOAT = "float"
+    DOUBLE = "double"
+    BOOLEAN = "boolean"
+    TEXT = "text"
+
+
+@dataclass
+class IoTDBConfig:
+    """Tunable knobs of the storage substrate.
+
+    Attributes:
+        array_size: slots per TVList backing array (IoTDB default 32).
+        memtable_flush_threshold: total points across a memtable that
+            trigger a flush.
+        sorter: registry name of the TVList sorting algorithm — the paper's
+            experiments swap this between ``backward``, ``quick``, ``tim``,
+            ``patience``, ``ck`` and ``y``.
+        sorter_options: constructor kwargs for the sorter (e.g. ``theta``).
+        page_size: points per page inside a TsFile chunk.
+        time_encoding: encoder for timestamp columns (``ts2diff`` default,
+            IoTDB's TS_2DIFF).
+        compression: page-payload compression: ``none`` (default) or
+            ``zlib`` (IoTDB offers GZIP/SNAPPY at the same layer).
+        value_encodings: per-type value encoder overrides; types not listed
+            use :attr:`default_value_encoding`.
+        default_value_encoding: fallback value encoder (``plain``).
+        data_dir: directory for sealed TsFiles; ``None`` keeps them in
+            memory (the benchmarking default — isolates sort cost from I/O
+            noise, cf. DESIGN.md §4).
+        wal_enabled: write records to a write-ahead log before the memtable.
+        separation_enabled: route points older than the flush watermark to
+            the unsequence memtable (§II: "any timestamp smaller than the
+            current flushing time will be ingested into the unsequence
+            memtable").
+        deferred_flush: when True, a full memtable transitions to FLUSHING
+            and writes continue into a fresh working memtable, but the
+            sort-encode-write work happens later (at
+            :meth:`StorageEngine.drain_flushes`, a query that needs it, or
+            close) — IoTDB's asynchronous flush, "it is asynchronously
+            awaited" (§VI-D2).  Queries served meanwhile read the flushing
+            memtables directly.  When False (default), flushes run inline.
+        ttl: time-to-live in timestamp units, relative to each column's
+            latest event time (IoTDB's TTL, against event time since the
+            substrate has no wall clock).  Expired points are invisible to
+            queries/aggregations and dropped when a memtable flushes.
+            ``None`` (default) disables expiry.
+    """
+
+    array_size: int = 32
+    memtable_flush_threshold: int = 10_000
+    sorter: str = "backward"
+    sorter_options: dict = field(default_factory=dict)
+    page_size: int = 1_024
+    time_encoding: str = "ts2diff"
+    compression: str = "none"
+    value_encodings: dict = field(default_factory=dict)
+    default_value_encoding: str = "plain"
+    data_dir: str | Path | None = None
+    wal_enabled: bool = False
+    separation_enabled: bool = True
+    deferred_flush: bool = False
+    ttl: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.array_size < 1:
+            raise InvalidParameterError(f"array_size must be >= 1, got {self.array_size}")
+        if self.memtable_flush_threshold < 1:
+            raise InvalidParameterError(
+                "memtable_flush_threshold must be >= 1, "
+                f"got {self.memtable_flush_threshold}"
+            )
+        if self.page_size < 1:
+            raise InvalidParameterError(f"page_size must be >= 1, got {self.page_size}")
+        if self.ttl is not None and self.ttl < 1:
+            raise InvalidParameterError(f"ttl must be >= 1, got {self.ttl}")
+        if self.compression not in ("none", "zlib"):
+            raise InvalidParameterError(
+                f"compression must be 'none' or 'zlib', got {self.compression!r}"
+            )
+        if self.data_dir is not None:
+            self.data_dir = Path(self.data_dir)
+
+    def value_encoding_for(self, dtype: TSDataType) -> str:
+        """Resolve the value encoder name for a column type."""
+        return self.value_encodings.get(dtype, self.default_value_encoding)

@@ -1,0 +1,519 @@
+"""StorageEngine: the front door tying the whole write path together.
+
+Write path (§V): a point is routed by the separation policy to the sequence
+or unsequence *working* memtable (optionally after a WAL append); when a
+memtable crosses the flush threshold it transitions to *flushing*, is
+sorted chunk-by-chunk with the configured sorter, encoded, and sealed into
+an immutable TsFile (in memory by default, on disk when ``data_dir`` is
+set).  Sequence flushes advance the per-device watermark that drives the
+separation policy.
+
+Query path: a time-range query merges sealed files and live memtables; the
+working memtable must be sorted first, putting the sorter on the query's
+critical path — the effect the paper's system experiments measure.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.sorter import Sorter
+from repro.errors import StorageError
+from repro.iotdb.config import IoTDBConfig
+from repro.iotdb.flush import FlushReport, flush_memtable
+from repro.iotdb.memtable import MemTable
+from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
+from repro.iotdb.separation import SeparationPolicy, Space
+from repro.iotdb.tsfile import TsFileReader, TsFileWriter
+from repro.iotdb.wal import WriteAheadLog
+from repro.sorting.registry import get_sorter
+
+
+@dataclass
+class _SealedFile:
+    """One immutable TsFile plus where its bytes live."""
+
+    space: Space
+    reader: TsFileReader
+    path: Path | None = None
+    buffer: io.BytesIO | None = None
+
+
+@dataclass
+class EngineMetrics:
+    """Server-side observability the benchmark harness consumes."""
+
+    points_written: int = 0
+    queries_executed: int = 0
+    flush_reports: list[FlushReport] = field(default_factory=list)
+    seq_flushes: int = 0
+    unseq_flushes: int = 0
+
+    @property
+    def mean_flush_seconds(self) -> float:
+        if not self.flush_reports:
+            return 0.0
+        return sum(r.total_seconds for r in self.flush_reports) / len(self.flush_reports)
+
+    @property
+    def mean_flush_sort_seconds(self) -> float:
+        if not self.flush_reports:
+            return 0.0
+        return sum(r.sort_seconds for r in self.flush_reports) / len(self.flush_reports)
+
+
+def _combine_aggregates(partials: list):
+    """Merge per-file aggregates of non-overlapping, time-ordered chunks."""
+    from repro.iotdb.aggregation import AggregationResult
+
+    combined = AggregationResult(
+        count=0, sum=None, avg=None, min_value=None, max_value=None,
+        first=None, last=None,
+    )
+    total: float | None = 0.0
+    for p in partials:
+        if p.count == 0:
+            continue
+        combined.count += p.count
+        if p.sum is None:
+            total = None
+        elif total is not None:
+            total += p.sum
+        if p.min_value is not None:
+            combined.min_value = (
+                p.min_value
+                if combined.min_value is None
+                else min(combined.min_value, p.min_value)
+            )
+        if p.max_value is not None:
+            combined.max_value = (
+                p.max_value
+                if combined.max_value is None
+                else max(combined.max_value, p.max_value)
+            )
+        if combined.first is None:
+            combined.first = p.first
+        combined.last = p.last
+        combined.pages_skipped += p.pages_skipped
+        combined.pages_decoded += p.pages_decoded
+    if combined.count:
+        combined.sum = total
+        combined.avg = total / combined.count if total is not None else None
+    return combined
+
+
+class StorageEngine:
+    """An in-process time-series store with a pluggable TVList sorter."""
+
+    def __init__(self, config: IoTDBConfig | None = None, sorter: Sorter | None = None) -> None:
+        self.config = config if config is not None else IoTDBConfig()
+        if sorter is not None:
+            self.sorter = sorter
+        else:
+            self.sorter = get_sorter(self.config.sorter, **self.config.sorter_options)
+        self.separation = SeparationPolicy(enabled=self.config.separation_enabled)
+        self._working: dict[Space, MemTable] = {
+            Space.SEQUENCE: MemTable(self.config),
+            Space.UNSEQUENCE: MemTable(self.config),
+        }
+        self._flushing: list[tuple[Space, MemTable]] = []
+        self._sealed: list[_SealedFile] = []
+        self._file_counter = 0
+        self._executor = TimeRangeQueryExecutor(self.sorter)
+        self.metrics = EngineMetrics()
+        if self.config.data_dir is not None:
+            Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
+        self._wals: dict[Space, WriteAheadLog] | None = None
+        if self.config.wal_enabled:
+            if self.config.data_dir is not None:
+                # Fresh-start semantics: the constructor truncates any WAL
+                # segments left behind; use StorageEngine.open() to recover
+                # them instead.
+                self._wals = {
+                    space: WriteAheadLog(
+                        open(Path(self.config.data_dir) / f"wal-{space.value}.log", "wb+")
+                    )
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                }
+            else:
+                self._wals = {
+                    Space.SEQUENCE: WriteAheadLog(),
+                    Space.UNSEQUENCE: WriteAheadLog(),
+                }
+
+    # -- write path ----------------------------------------------------------
+
+    def write(self, device: str, sensor: str, timestamp: int, value) -> None:
+        """Ingest one point; may trigger a synchronous flush."""
+        space = self.separation.route(device, timestamp)
+        if self._wals is not None:
+            self._wals[space].append(device, sensor, timestamp, value)
+        memtable = self._working[space]
+        memtable.write(device, sensor, timestamp, value)
+        self.metrics.points_written += 1
+        if memtable.should_flush():
+            self._flush_space(space)
+
+    def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
+        """Ingest a batch (the IoTDB-benchmark client's unit of work)."""
+        if len(timestamps) != len(values):
+            raise StorageError("timestamps and values lengths differ")
+        for t, v in zip(timestamps, values):
+            self.write(device, sensor, t, v)
+
+    # -- flushing --------------------------------------------------------------
+
+    def _new_sink(self, space: Space) -> tuple[TsFileWriter, _SealedFile]:
+        self._file_counter += 1
+        if self.config.data_dir is None:
+            buffer = io.BytesIO()
+            return TsFileWriter(buffer), _SealedFile(space=space, reader=None, buffer=buffer)
+        path = Path(self.config.data_dir) / f"{space.value}-{self._file_counter:06d}.tsfile"
+        handle = open(path, "wb+")
+        return TsFileWriter(handle), _SealedFile(space=space, reader=None, path=path, buffer=handle)
+
+    def _retire_working(self, space: Space) -> MemTable | None:
+        """WORKING → FLUSHING: swap in a fresh memtable, enqueue the old one.
+
+        The separation watermark advances here — once the memtable is
+        immutable, "the current flushing time" (§II) is fixed, regardless of
+        when the sort-encode-write work actually happens.
+        """
+        memtable = self._working[space]
+        if memtable.total_points == 0:
+            return None
+        memtable.mark_flushing()
+        self._working[space] = MemTable(self.config)
+        self._flushing.append((space, memtable))
+        if space is Space.SEQUENCE:
+            for device, _sensor, tvlist in memtable.iter_chunks():
+                if tvlist.max_time is not None:
+                    self.separation.update_watermark(device, tvlist.max_time)
+        return memtable
+
+    def _perform_flush(self, space: Space, memtable: MemTable) -> FlushReport:
+        """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
+        writer, sealed = self._new_sink(space)
+        report = flush_memtable(memtable, writer, self.sorter, self.config)
+        sealed.reader = TsFileReader(sealed.buffer)
+        self._sealed.append(sealed)
+        self._flushing.remove((space, memtable))
+        if self._wals is not None:
+            self._wals[space].truncate()
+        self.metrics.flush_reports.append(report)
+        if space is Space.SEQUENCE:
+            self.metrics.seq_flushes += 1
+        else:
+            self.metrics.unseq_flushes += 1
+        return report
+
+    def _flush_space(self, space: Space) -> FlushReport | None:
+        memtable = self._retire_working(space)
+        if memtable is None:
+            return None
+        if self.config.deferred_flush:
+            # Asynchronous mode: the memtable waits in the flushing queue;
+            # drain_flushes() (or close) pays the cost later.
+            return None
+        return self._perform_flush(space, memtable)
+
+    def drain_flushes(self) -> list[FlushReport]:
+        """Flush every queued FLUSHING memtable (the async worker's job)."""
+        reports = []
+        for space, memtable in list(self._flushing):
+            reports.append(self._perform_flush(space, memtable))
+        return reports
+
+    def pending_flushes(self) -> int:
+        """How many memtables are queued in the FLUSHING state."""
+        return len(self._flushing)
+
+    def flush_all(self) -> list[FlushReport]:
+        """Retire and flush both working memtables (shutdown / checkpoint).
+
+        Also drains any deferred FLUSHING memtables, so after this call no
+        live memtable holds data in either mode.
+        """
+        reports: list[FlushReport] = []
+        for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+            if self.config.deferred_flush:
+                self._retire_working(space)
+            else:
+                report = self._flush_space(space)
+                if report is not None:
+                    reports.append(report)
+        reports.extend(self.drain_flushes())
+        return reports
+
+    # -- query path ------------------------------------------------------------
+
+    def _ttl_floor(self, device: str, sensor: str) -> int | None:
+        """Smallest live timestamp under the TTL policy (None = no TTL)."""
+        if self.config.ttl is None:
+            return None
+        latest = self.latest_time(device, sensor)
+        if latest is None:
+            return None
+        return latest - self.config.ttl + 1
+
+    def query(self, device: str, sensor: str, start: int, end: int) -> QueryResult:
+        """``SELECT * FROM device.sensor WHERE start <= time < end``.
+
+        With a TTL configured, expired points (older than the column's
+        latest event time minus the TTL) are excluded.
+        """
+        floor = self._ttl_floor(device, sensor)
+        if floor is not None and floor > start:
+            if floor >= end:
+                from repro.iotdb.query import QueryStats
+
+                self.metrics.queries_executed += 1
+                return QueryResult(timestamps=[], values=[], stats=QueryStats())
+            start = floor
+        seq_readers = [f.reader for f in self._sealed if f.space is Space.SEQUENCE]
+        unseq_readers = [f.reader for f in self._sealed if f.space is Space.UNSEQUENCE]
+        flushing = [m for _, m in self._flushing]
+        # Both working memtables can hold in-range points; merge order makes
+        # the sequence table freshest-but-one, the unsequence table holds
+        # late rewrites of old timestamps.
+        result = self._executor.execute(
+            device,
+            sensor,
+            start,
+            end,
+            seq_readers=seq_readers,
+            unseq_readers=unseq_readers,
+            flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
+            working_memtable=self._working[Space.SEQUENCE],
+        )
+        self.metrics.queries_executed += 1
+        return result
+
+    def aggregate(self, device: str, sensor: str, start: int, end: int):
+        """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last.
+
+        When the range is served *only* by sealed sequence files (no live
+        memtable points, no unsequence data in range), fully covered pages
+        are answered from their statistics without decoding — the payoff of
+        the statistics the flush pipeline computes.  Any fresher overlapping
+        source forces the always-correct merged raw scan, because an
+        overwrite could invalidate per-page sums.
+        """
+        from repro.errors import QueryError
+        from repro.iotdb.aggregation import (
+            AggregationResult,
+            aggregate_from_points,
+            aggregate_sealed_chunk,
+        )
+
+        if start >= end:
+            raise QueryError(f"empty time range [{start}, {end})")
+        floor = self._ttl_floor(device, sensor)
+        if floor is not None and floor > start:
+            if floor >= end:
+                return AggregationResult(
+                    count=0, sum=None, avg=None, min_value=None,
+                    max_value=None, first=None, last=None,
+                )
+            start = floor
+        if self._fast_aggregation_safe(device, sensor, start, end):
+            partials = []
+            for sealed in self._sealed:
+                if sealed.space is not Space.SEQUENCE:
+                    continue
+                meta = sealed.reader.chunk_metadata(device, sensor)
+                if meta is None or meta.max_time < start or meta.min_time >= end:
+                    continue
+                partials.append(
+                    aggregate_sealed_chunk(sealed.reader, device, sensor, start, end)
+                )
+            self.metrics.queries_executed += 1
+            return _combine_aggregates(partials)
+        return aggregate_from_points(self.query(device, sensor, start, end))
+
+    def aggregate_windows(
+        self, device: str, sensor: str, start: int, end: int, window: int
+    ):
+        """``GROUP BY time``: per-window aggregates over ``[start, end)``.
+
+        The §VI-E use case ("the average speed of an engine in every
+        minute") — executed over the merged, time-ordered query result, so
+        every bucket sees exactly the freshest value per timestamp.
+        """
+        from repro.iotdb.aggregation import aggregate_windows
+
+        return aggregate_windows(
+            self.query(device, sensor, start, end), start, end, window
+        )
+
+    def _fast_aggregation_safe(
+        self, device: str, sensor: str, start: int, end: int
+    ) -> bool:
+        """No source fresher than the sealed sequence files overlaps the range."""
+        for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+            tvlist = self._working[space].chunk(device, sensor)
+            if tvlist is not None and tvlist.overlaps(start, end):
+                return False
+        for _space, memtable in self._flushing:
+            tvlist = memtable.chunk(device, sensor)
+            if tvlist is not None and tvlist.overlaps(start, end):
+                return False
+        for sealed in self._sealed:
+            if sealed.space is not Space.UNSEQUENCE:
+                continue
+            meta = sealed.reader.chunk_metadata(device, sensor)
+            if meta is not None and meta.min_time < end and meta.max_time >= start:
+                return False
+        return True
+
+    def latest_time(self, device: str, sensor: str) -> int | None:
+        """Largest timestamp ever written for a column (benchmark helper)."""
+        best: int | None = None
+        live_memtables = list(self._working.values()) + [m for _, m in self._flushing]
+        for memtable in live_memtables:
+            tvlist = memtable.chunk(device, sensor)
+            if tvlist is not None and tvlist.max_time is not None:
+                best = tvlist.max_time if best is None else max(best, tvlist.max_time)
+        for sealed in self._sealed:
+            meta = sealed.reader.chunk_metadata(device, sensor)
+            if meta is not None and meta.max_time is not None:
+                best = meta.max_time if best is None else max(best, meta.max_time)
+        return best
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self):
+        """Full-merge compaction of all sealed files (see
+        :mod:`repro.iotdb.compaction`)."""
+        from repro.iotdb.compaction import compact
+
+        return compact(self)
+
+    def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
+        """Swap the sealed-file set after a compaction, closing old handles."""
+        for old in self._sealed:
+            if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
+                old.buffer.close()
+            if old.path is not None:
+                old.path.unlink(missing_ok=True)
+        self._sealed = new_sealed
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def sealed_file_count(self) -> dict[Space, int]:
+        counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
+        for f in self._sealed:
+            counts[f.space] += 1
+        return counts
+
+    def describe(self) -> dict:
+        """Operator-facing snapshot of the whole engine's state."""
+        working = {
+            space.value: self._working[space].total_points
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+        }
+        sealed = [
+            {"space": f.space.value, **f.reader.describe()} for f in self._sealed
+        ]
+        return {
+            "sorter": self.sorter.name,
+            "points_written": self.metrics.points_written,
+            "working_points": working,
+            "pending_flushes": self.pending_flushes(),
+            "sealed_files": len(sealed),
+            "sealed": sealed,
+            "watermarks": dict(self.separation._watermarks),
+            "flushes": {
+                "seq": self.metrics.seq_flushes,
+                "unseq": self.metrics.unseq_flushes,
+                "mean_seconds": self.metrics.mean_flush_seconds,
+            },
+        }
+
+    def close(self) -> None:
+        """Flush everything and release on-disk file handles."""
+        self.flush_all()
+        if self.config.data_dir is not None:
+            for sealed in self._sealed:
+                if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
+                    sealed.buffer.close()
+        if self._wals is not None:
+            for wal in self._wals.values():
+                wal.close()
+
+    def recover_from_wal(self) -> int:
+        """Replay WALs into the working memtables (crash-recovery path).
+
+        Returns the number of replayed points.  Only meaningful on a fresh
+        engine constructed over the same WAL buffers.
+        """
+        if self._wals is None:
+            raise StorageError("WAL is disabled in this configuration")
+        replayed = 0
+        for space, wal in self._wals.items():
+            for device, sensor, timestamp, value in wal.replay():
+                self._working[space].write(device, sensor, timestamp, value)
+                replayed += 1
+        self.metrics.points_written += replayed
+        return replayed
+
+    @classmethod
+    def open(cls, config: IoTDBConfig, sorter: Sorter | None = None) -> "StorageEngine":
+        """Reopen an on-disk engine after a restart (or crash).
+
+        Scans ``config.data_dir`` for sealed TsFiles (space and write order
+        come from the ``<space>-<seq>.tsfile`` naming), rebuilds the sealed
+        readers, replays on-disk WAL segments into fresh working memtables
+        (torn tails tolerated), and re-derives the per-device separation
+        watermarks from the recovered sequence data so late points keep
+        routing correctly.
+        """
+        if config.data_dir is None:
+            raise StorageError("StorageEngine.open requires a data_dir configuration")
+        from dataclasses import replace
+
+        # Construct without WALs so the fresh-start constructor does not
+        # truncate the on-disk segments we are about to replay.
+        engine = cls(replace(config, wal_enabled=False), sorter=sorter)
+        engine.config = config
+        data_dir = Path(config.data_dir)
+
+        for path in sorted(data_dir.glob("*.tsfile")):
+            prefix, _, counter = path.stem.partition("-")
+            try:
+                space = Space(prefix)
+                file_number = int(counter)
+            except (ValueError, KeyError):
+                raise StorageError(f"unrecognised TsFile name {path.name!r}") from None
+            handle = open(path, "rb+")
+            sealed = _SealedFile(
+                space=space, reader=TsFileReader(handle), path=path, buffer=handle
+            )
+            engine._sealed.append(sealed)
+            engine._file_counter = max(engine._file_counter, file_number)
+
+        # Watermarks: the largest sequence-space time per device.
+        for sealed in engine._sealed:
+            if sealed.space is not Space.SEQUENCE:
+                continue
+            for device in sealed.reader.devices():
+                for sensor in sealed.reader.sensors(device):
+                    meta = sealed.reader.chunk_metadata(device, sensor)
+                    if meta is not None and meta.max_time is not None:
+                        engine.separation.update_watermark(device, meta.max_time)
+
+        # WAL replay: unflushed writes come back into the working memtables.
+        if config.wal_enabled:
+            engine._wals = {}
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                wal_path = data_dir / f"wal-{space.value}.log"
+                handle = open(wal_path, "ab+") if wal_path.exists() else open(wal_path, "wb+")
+                wal = WriteAheadLog(handle)
+                engine._wals[space] = wal
+                for device, sensor, timestamp, value in wal.replay():
+                    engine._working[space].write(device, sensor, timestamp, value)
+                    engine.metrics.points_written += 1
+                handle.seek(0, io.SEEK_END)
+        return engine

@@ -1,0 +1,112 @@
+"""MemTable: the working / flushing in-memory table (paper §V-A).
+
+"In Apache IoTDB, the memtable is divided into two categories, the active
+memtable (working memtable) and immutable memtable (flushing memtable)."
+A memtable owns one TVList per (device, sensor) column; when its point
+count crosses the flush threshold the engine transitions it from WORKING to
+FLUSHING (no further writes accepted) and hands it to the flush pipeline.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import InvalidParameterError, MemTableFlushedError
+from repro.iotdb.config import IoTDBConfig, TSDataType
+from repro.iotdb.tvlist import TVList
+from repro.iotdb.typed_tvlists import infer_dtype, tvlist_for
+
+
+class MemTableState(Enum):
+    WORKING = "working"
+    FLUSHING = "flushing"
+    FLUSHED = "flushed"
+
+
+class MemTable:
+    """One generation of in-memory data for a storage group.
+
+    Schema is per-column and sticky: the first value written to a
+    (device, sensor) pins its :class:`TSDataType`; later writes of another
+    type are rejected at ingestion (the typed-TVList validation of §V-A).
+    """
+
+    def __init__(self, config: IoTDBConfig | None = None) -> None:
+        self.config = config if config is not None else IoTDBConfig()
+        self.state = MemTableState.WORKING
+        self._chunks: dict[tuple[str, str], TVList] = {}
+        self._total_points = 0
+
+    # -- writes ------------------------------------------------------------
+
+    def write(self, device: str, sensor: str, timestamp: int, value) -> None:
+        """Ingest one point into the column's TVList."""
+        if self.state is not MemTableState.WORKING:
+            raise MemTableFlushedError(
+                f"memtable is {self.state.value}; writes are rejected"
+            )
+        if not isinstance(timestamp, int) or isinstance(timestamp, bool):
+            raise InvalidParameterError(
+                f"timestamp must be int, got {type(timestamp).__name__}"
+            )
+        key = (device, sensor)
+        tvlist = self._chunks.get(key)
+        if tvlist is None:
+            dtype = infer_dtype(value)
+            tvlist = tvlist_for(dtype, array_size=self.config.array_size)
+            self._chunks[key] = tvlist
+        tvlist.put(timestamp, value)
+        self._total_points += 1
+
+    def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
+        if len(timestamps) != len(values):
+            raise InvalidParameterError("timestamps and values lengths differ")
+        for t, v in zip(timestamps, values):
+            self.write(device, sensor, t, v)
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def total_points(self) -> int:
+        return self._total_points
+
+    def should_flush(self) -> bool:
+        """True once the configured point threshold is reached."""
+        return self._total_points >= self.config.memtable_flush_threshold
+
+    def mark_flushing(self) -> None:
+        """WORKING → FLUSHING: the table becomes immutable."""
+        if self.state is not MemTableState.WORKING:
+            raise MemTableFlushedError(f"cannot mark {self.state.value} memtable flushing")
+        self.state = MemTableState.FLUSHING
+
+    def mark_flushed(self) -> None:
+        """FLUSHING → FLUSHED: data is durable in a sealed TsFile."""
+        if self.state is not MemTableState.FLUSHING:
+            raise MemTableFlushedError(f"cannot mark {self.state.value} memtable flushed")
+        self.state = MemTableState.FLUSHED
+
+    # -- access ------------------------------------------------------------
+
+    def chunk(self, device: str, sensor: str) -> TVList | None:
+        return self._chunks.get((device, sensor))
+
+    def chunk_dtype(self, device: str, sensor: str) -> TSDataType | None:
+        tvlist = self._chunks.get((device, sensor))
+        return tvlist.dtype if tvlist is not None else None
+
+    def iter_chunks(self) -> Iterator[tuple[str, str, TVList]]:
+        """Yield (device, sensor, tvlist) in deterministic order."""
+        for (device, sensor) in sorted(self._chunks):
+            yield device, sensor, self._chunks[(device, sensor)]
+
+    def devices(self) -> list[str]:
+        return sorted({d for d, _ in self._chunks})
+
+    def __len__(self) -> int:
+        return self._total_points
+
+    def memory_slots(self) -> int:
+        """Total allocated TVList slots across all chunks."""
+        return sum(tv.memory_slots() for tv in self._chunks.values())

@@ -1,0 +1,199 @@
+"""TVList — IoTDB's in-memory buffer of <T, V> pairs (paper §V-B).
+
+A TVList stores one sensor's points as parallel *lists of fixed-size
+arrays* ("a common compromise ... to allocate contiguous block memory,
+similar to the design pattern of Deque, to achieve a trade-off between
+memory utilization and memory access").  Appends fill the tail array and
+allocate a new one when full; random access decomposes an index into
+(array, offset).
+
+Sorting: a TVList tracks whether appends ever went back in time.  The sort
+entry points materialise the (time, value) pairs into flat arrays, run the
+configured :class:`~repro.core.sorter.Sorter`, and write back — IoTDB sorts
+in place over the backing arrays through the same index arithmetic; the
+flatten/write-back here costs the same for every algorithm, so relative
+comparisons are preserved (DESIGN.md §4).
+
+``get_sorted_arrays`` is the *query* path: it never mutates the list (IoTDB
+clones the working TVList for queries).  ``sort_in_place`` is the *flush*
+path.  Both report sort timing and operation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.instrumentation import SortStats, TimedResult
+from repro.core.sorter import Sorter
+from repro.errors import InvalidParameterError
+from repro.iotdb.config import TSDataType
+
+
+class TVList:
+    """Append-only list of (timestamp, value) pairs in arrival order.
+
+    Subclasses (one per :class:`TSDataType`, mirroring IoTDB's DoubleTVList
+    etc.) override :meth:`_validate_value`; this base class accepts any
+    value.
+    """
+
+    dtype: TSDataType | None = None
+
+    def __init__(self, array_size: int = 32) -> None:
+        if array_size < 1:
+            raise InvalidParameterError(f"array_size must be >= 1, got {array_size}")
+        self._array_size = array_size
+        self._time_arrays: list[list[int]] = []
+        self._value_arrays: list[list] = []
+        self._size = 0
+        self._max_time_seen: int | None = None
+        self._min_time_seen: int | None = None
+        self._sorted = True
+
+    # -- ingestion ---------------------------------------------------------
+
+    def put(self, timestamp: int, value) -> None:
+        """Append one point; tracks whether arrival order stayed sorted."""
+        self._validate_value(value)
+        offset = self._size % self._array_size
+        if offset == 0:
+            self._time_arrays.append([0] * self._array_size)
+            self._value_arrays.append([None] * self._array_size)
+        self._time_arrays[-1][offset] = timestamp
+        self._value_arrays[-1][offset] = value
+        self._size += 1
+        if self._max_time_seen is not None and timestamp < self._max_time_seen:
+            self._sorted = False
+        if self._max_time_seen is None or timestamp > self._max_time_seen:
+            self._max_time_seen = timestamp
+        if self._min_time_seen is None or timestamp < self._min_time_seen:
+            self._min_time_seen = timestamp
+
+    def put_all(self, timestamps, values) -> None:
+        """Append many points (lengths must match)."""
+        if len(timestamps) != len(values):
+            raise InvalidParameterError("timestamps and values lengths differ")
+        for t, v in zip(timestamps, values):
+            self.put(t, v)
+
+    def _validate_value(self, value) -> None:
+        """Subclass hook: reject values of the wrong type."""
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_sorted(self) -> bool:
+        """True when appends never went back in time."""
+        return self._sorted
+
+    @property
+    def max_time(self) -> int | None:
+        """Largest timestamp ingested so far (None when empty)."""
+        return self._max_time_seen
+
+    @property
+    def min_time(self) -> int | None:
+        """Smallest timestamp ingested so far (None when empty)."""
+        return self._min_time_seen
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """True when any ingested timestamp could fall in ``[start, end)``."""
+        if self._size == 0:
+            return False
+        return self._min_time_seen < end and self._max_time_seen >= start
+
+    def get_time(self, index: int) -> int:
+        self._check_index(index)
+        return self._time_arrays[index // self._array_size][index % self._array_size]
+
+    def get_value(self, index: int):
+        self._check_index(index)
+        return self._value_arrays[index // self._array_size][index % self._array_size]
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range for TVList of size {self._size}")
+
+    def __iter__(self) -> Iterator[tuple[int, object]]:
+        for i in range(self._size):
+            yield self.get_time(i), self.get_value(i)
+
+    def timestamps(self) -> list[int]:
+        """Flat copy of all timestamps in arrival order."""
+        out: list[int] = []
+        full, tail = divmod(self._size, self._array_size)
+        for arr in self._time_arrays[:full]:
+            out.extend(arr)
+        if tail:
+            out.extend(self._time_arrays[full][:tail])
+        return out
+
+    def values(self) -> list:
+        """Flat copy of all values in arrival order."""
+        out: list = []
+        full, tail = divmod(self._size, self._array_size)
+        for arr in self._value_arrays[:full]:
+            out.extend(arr)
+        if tail:
+            out.extend(self._value_arrays[full][:tail])
+        return out
+
+    def memory_slots(self) -> int:
+        """Allocated slots (>= size): the deque trade-off made visible."""
+        return len(self._time_arrays) * self._array_size
+
+    # -- sorting -----------------------------------------------------------
+
+    def get_sorted_arrays(self, sorter: Sorter) -> tuple[list[int], list, TimedResult]:
+        """Query path: sorted copies of (times, values) without mutation.
+
+        Already-sorted lists skip the sort entirely (IoTDB checks the same
+        flag); the returned :class:`TimedResult` then reports zero cost.
+        """
+        ts = self.timestamps()
+        vs = self.values()
+        if self._sorted:
+            return ts, vs, TimedResult(seconds=0.0, stats=SortStats())
+        timed = sorter.timed_sort(ts, vs)
+        return ts, vs, timed
+
+    def sort_in_place(self, sorter: Sorter) -> TimedResult:
+        """Flush path: sort the backing arrays, returning timing + counters."""
+        if self._sorted:
+            return TimedResult(seconds=0.0, stats=SortStats())
+        ts = self.timestamps()
+        vs = self.values()
+        timed = sorter.timed_sort(ts, vs)
+        self._write_back(ts, vs)
+        self._sorted = True
+        return timed
+
+    def _write_back(self, ts: list[int], vs: list) -> None:
+        for i in range(self._size):
+            arr, off = divmod(i, self._array_size)
+            self._time_arrays[arr][off] = ts[i]
+            self._value_arrays[arr][off] = vs[i]
+
+
+def dedupe_sorted(ts: list[int], vs: list) -> tuple[list[int], list]:
+    """Collapse duplicate timestamps, keeping the *last* written value.
+
+    IoTDB semantics: re-writing a timestamp overwrites the previous value;
+    the duplicate is resolved when the sorted run is materialised (flush or
+    query).  Requires ``ts`` sorted; stable sorting guarantees the last
+    arrival sits last within its tie group.
+    """
+    if not ts:
+        return ts, vs
+    out_t: list[int] = []
+    out_v: list = []
+    for i in range(len(ts)):
+        if out_t and out_t[-1] == ts[i]:
+            out_v[-1] = vs[i]
+        else:
+            out_t.append(ts[i])
+            out_v.append(vs[i])
+    return out_t, out_v

@@ -1,0 +1,114 @@
+"""Typed TVList variants, one per column type (paper §V-A).
+
+"In the real implementation of IoTDB, in order to reduce the time-consuming
+of Java template conversion, IoTDB implements a separate class for each
+custom basic type such as DoubleTVList."  Python has no template-erasure
+cost, so the per-type classes here earn their keep through *validation*:
+each rejects values that its on-disk encoders could not round-trip, failing
+at ingestion time instead of at flush time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.iotdb.config import TSDataType
+from repro.iotdb.tvlist import TVList
+
+_INT32_MIN, _INT32_MAX = -(2**31), 2**31 - 1
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+class IntTVList(TVList):
+    """32-bit integer values (IoTDB INT32)."""
+
+    dtype = TSDataType.INT32
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise InvalidParameterError(f"INT32 TVList requires int, got {type(value).__name__}")
+        if not _INT32_MIN <= value <= _INT32_MAX:
+            raise InvalidParameterError(f"value {value} out of INT32 range")
+
+
+class LongTVList(TVList):
+    """64-bit integer values (IoTDB INT64)."""
+
+    dtype = TSDataType.INT64
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise InvalidParameterError(f"INT64 TVList requires int, got {type(value).__name__}")
+        if not _INT64_MIN <= value <= _INT64_MAX:
+            raise InvalidParameterError(f"value {value} out of INT64 range")
+
+
+class FloatTVList(TVList):
+    """Single-precision float values (IoTDB FLOAT); stored as Python float."""
+
+    dtype = TSDataType.FLOAT
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise InvalidParameterError(f"FLOAT TVList requires float, got {type(value).__name__}")
+
+
+class DoubleTVList(TVList):
+    """Double-precision float values (IoTDB DOUBLE)."""
+
+    dtype = TSDataType.DOUBLE
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise InvalidParameterError(f"DOUBLE TVList requires float, got {type(value).__name__}")
+
+
+class BooleanTVList(TVList):
+    """Boolean values (IoTDB BOOLEAN)."""
+
+    dtype = TSDataType.BOOLEAN
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, bool):
+            raise InvalidParameterError(f"BOOLEAN TVList requires bool, got {type(value).__name__}")
+
+
+class TextTVList(TVList):
+    """String values (IoTDB TEXT)."""
+
+    dtype = TSDataType.TEXT
+
+    def _validate_value(self, value) -> None:
+        if not isinstance(value, str):
+            raise InvalidParameterError(f"TEXT TVList requires str, got {type(value).__name__}")
+
+
+_TVLIST_CLASSES: dict[TSDataType, type[TVList]] = {
+    TSDataType.INT32: IntTVList,
+    TSDataType.INT64: LongTVList,
+    TSDataType.FLOAT: FloatTVList,
+    TSDataType.DOUBLE: DoubleTVList,
+    TSDataType.BOOLEAN: BooleanTVList,
+    TSDataType.TEXT: TextTVList,
+}
+
+
+def tvlist_for(dtype: TSDataType, array_size: int = 32) -> TVList:
+    """Instantiate the typed TVList for a column type."""
+    try:
+        cls = _TVLIST_CLASSES[dtype]
+    except KeyError:
+        raise InvalidParameterError(f"no TVList class for {dtype!r}") from None
+    return cls(array_size=array_size)
+
+
+def infer_dtype(value) -> TSDataType:
+    """Infer a column type from the first written value (schema-on-write)."""
+    if isinstance(value, bool):
+        return TSDataType.BOOLEAN
+    if isinstance(value, int):
+        return TSDataType.INT64
+    if isinstance(value, float):
+        return TSDataType.DOUBLE
+    if isinstance(value, str):
+        return TSDataType.TEXT
+    raise InvalidParameterError(f"cannot infer TSDataType for {type(value).__name__}")

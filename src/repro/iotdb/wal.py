@@ -1,0 +1,83 @@
+"""Write-ahead log: crash durability for the memtable write path.
+
+Each record is::
+
+    uint32 length | payload | uint32 crc32(payload)
+
+with the payload a JSON array ``[device, sensor, timestamp, value]``.  The
+engine appends a record before acknowledging a write and truncates the log
+once the covering memtable has been flushed to a sealed TsFile.  Replay
+stops cleanly at the first torn record (a crash mid-append), surfacing
+everything durable before it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from typing import Iterator
+
+from repro.errors import WalCorruptionError
+
+_HEADER = struct.Struct("<I")
+
+
+class WriteAheadLog:
+    """Append-only record log over a seekable binary file-like object."""
+
+    def __init__(self, fileobj: io.BytesIO | io.BufferedRandom | None = None) -> None:
+        self._file = fileobj if fileobj is not None else io.BytesIO()
+        self._file.seek(0, io.SEEK_END)
+
+    def append(self, device: str, sensor: str, timestamp: int, value) -> None:
+        """Durably record one write."""
+        payload = json.dumps([device, sensor, timestamp, value]).encode("utf-8")
+        self._file.write(_HEADER.pack(len(payload)))
+        self._file.write(payload)
+        self._file.write(_HEADER.pack(zlib.crc32(payload)))
+
+    def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
+        """Yield every intact record from the start of the log.
+
+        Args:
+            strict: raise :class:`WalCorruptionError` on a corrupt record
+                instead of treating it as the torn tail of a crash.
+        """
+        self._file.seek(0)
+        while True:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack(header)
+            payload = self._file.read(length)
+            crc_bytes = self._file.read(_HEADER.size)
+            if len(payload) < length or len(crc_bytes) < _HEADER.size:
+                if strict:
+                    raise WalCorruptionError("torn record at end of WAL")
+                return
+            (crc,) = _HEADER.unpack(crc_bytes)
+            if zlib.crc32(payload) != crc:
+                if strict:
+                    raise WalCorruptionError("WAL record checksum mismatch")
+                return
+            device, sensor, timestamp, value = json.loads(payload.decode("utf-8"))
+            yield device, sensor, timestamp, value
+
+    def truncate(self) -> None:
+        """Drop all records (called after the covering memtable flushed)."""
+        self._file.seek(0)
+        self._file.truncate()
+
+    def close(self) -> None:
+        """Release the underlying file handle (no-op for BytesIO)."""
+        if not isinstance(self._file, io.BytesIO):
+            self._file.close()
+
+    def size_bytes(self) -> int:
+        pos = self._file.tell()
+        self._file.seek(0, io.SEEK_END)
+        size = self._file.tell()
+        self._file.seek(pos)
+        return size

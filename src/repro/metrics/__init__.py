@@ -1,0 +1,51 @@
+"""Disorder measures for out-of-order time series (paper §II, §III-A)."""
+
+from repro.metrics.delay_stats import (
+    check_delay_only,
+    delay_difference_samples,
+    empirical_delay_difference_tail,
+    expected_nonnegative_delay_difference,
+    max_overhang,
+    mean_overhang,
+)
+from repro.metrics.disorder import dis, disorder_summary, exc, rem, runs
+from repro.metrics.interval_inversion import (
+    count_interval_inversions,
+    empirical_interval_inversion_ratio,
+    iir_profile,
+    iir_truncation_point,
+    interval_inversion_ratio,
+)
+from repro.metrics.report import DisorderReport, fit_delay_model, profile_stream
+from repro.metrics.inversions import (
+    FenwickTree,
+    count_inversions,
+    count_inversions_merge,
+    inversion_ratio,
+)
+
+__all__ = [
+    "FenwickTree",
+    "check_delay_only",
+    "count_interval_inversions",
+    "count_inversions",
+    "count_inversions_merge",
+    "delay_difference_samples",
+    "dis",
+    "DisorderReport",
+    "fit_delay_model",
+    "profile_stream",
+    "disorder_summary",
+    "empirical_delay_difference_tail",
+    "empirical_interval_inversion_ratio",
+    "exc",
+    "expected_nonnegative_delay_difference",
+    "iir_profile",
+    "iir_truncation_point",
+    "interval_inversion_ratio",
+    "inversion_ratio",
+    "max_overhang",
+    "mean_overhang",
+    "rem",
+    "runs",
+]

@@ -1,0 +1,40 @@
+"""Baseline sorting algorithms implemented from scratch for the evaluation."""
+
+from repro.sorting.cksort import CKSorter
+from repro.sorting.dualpivot import DualPivotQuickSorter
+from repro.sorting.impatience import ImpatienceSorter
+from repro.sorting.insertion import BinaryInsertionSorter, InsertionSorter
+from repro.sorting.mergesort import MergeSorter, merge_into, straight_block_merge
+from repro.sorting.patience import PatienceSorter
+from repro.sorting.quicksort import QuickSorter, quicksort_range
+from repro.sorting.registry import (
+    PAPER_ALGORITHMS,
+    available_sorters,
+    get_sorter,
+    register_sorter,
+)
+from repro.sorting.smoothsort import SmoothSorter
+from repro.sorting.timsort import TimSorter, compute_minrun
+from repro.sorting.ysort import YSorter
+
+__all__ = [
+    "BinaryInsertionSorter",
+    "CKSorter",
+    "DualPivotQuickSorter",
+    "ImpatienceSorter",
+    "InsertionSorter",
+    "MergeSorter",
+    "PAPER_ALGORITHMS",
+    "PatienceSorter",
+    "QuickSorter",
+    "SmoothSorter",
+    "TimSorter",
+    "YSorter",
+    "available_sorters",
+    "compute_minrun",
+    "get_sorter",
+    "merge_into",
+    "quicksort_range",
+    "register_sorter",
+    "straight_block_merge",
+]

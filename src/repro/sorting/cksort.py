@@ -1,0 +1,69 @@
+"""CKSort (Cook & Kim, CACM 1980) — "best sorting algorithm for nearly sorted lists".
+
+The paper describes it as "a hybrid sorting algorithm of Quicksort, Insertion
+Sort and Merge Sort.  It extracts the unordered pairs into another array,
+then sorts and merges the two arrays.  The downside of CKSort is that it
+requires O(n) extra space and may bring multiple redundant moves."
+
+Phase 1 extracts *pairs*: scanning left to right with a kept-prefix, whenever
+the incoming element is smaller than the tail of the kept prefix, both
+elements of the inverted pair (the kept tail and the newcomer) are moved to
+the overflow array.  The kept prefix therefore stays sorted by construction.
+Phase 2 sorts the overflow with Quicksort (Insertion-Sort when it is tiny).
+Phase 3 merges the two sorted sequences back into the input.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrumentation import SortStats
+from repro.core.sorter import Sorter, insertion_sort_range
+from repro.sorting.mergesort import merge_into
+from repro.sorting.quicksort import quicksort_range
+
+# Below this overflow size, insertion sort beats quicksort on the overflow.
+_SMALL_OVERFLOW = 32
+
+
+class CKSorter(Sorter):
+    """Extract inverted pairs, sort them, merge back; O(n) extra space."""
+
+    name = "ck"
+    stable = False
+
+    def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
+        n = len(ts)
+        kept_t: list = []
+        kept_v: list = []
+        over_t: list = []
+        over_v: list = []
+        comparisons = 0
+        moves = 0
+        for i in range(n):
+            t = ts[i]
+            if kept_t:
+                comparisons += 1
+                if kept_t[-1] > t:
+                    # Inverted pair: evict both to the overflow array.
+                    over_t.append(kept_t.pop())
+                    over_v.append(kept_v.pop())
+                    over_t.append(t)
+                    over_v.append(vs[i])
+                    moves += 2
+                    continue
+            kept_t.append(t)
+            kept_v.append(vs[i])
+            moves += 1
+        stats.comparisons += comparisons
+        stats.moves += moves
+        stats.note_extra_space(n + len(over_t))
+
+        if len(over_t) <= _SMALL_OVERFLOW:
+            insertion_sort_range(over_t, over_v, 0, len(over_t), stats)
+        else:
+            quicksort_range(over_t, over_v, 0, len(over_t), stats)
+
+        # Merge kept + overflow back into the caller's arrays.
+        src_t = kept_t + over_t
+        src_v = kept_v + over_v
+        merge_into(src_t, src_v, 0, len(kept_t), n, ts, vs, 0, stats)
+        stats.merges += 1

@@ -1,0 +1,124 @@
+"""Bottom-up Merge-Sort and the straight block-merge baseline of Figure 2.
+
+Two roles in the reproduction:
+
+* :class:`MergeSorter` is the textbook stable baseline.
+* :func:`straight_block_merge` is the "Straight Merge" of the paper's
+  Example 3 / Figure 2: pre-sorted blocks are merged left-to-right, so early
+  blocks are copied again on every later merge ("the first block is moved
+  again, causing redundant moves").  Backward merge (in
+  :mod:`repro.core.backward_merge`) is evaluated against this.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrumentation import SortStats
+from repro.core.sorter import Sorter
+
+
+def merge_into(
+    src_t: list,
+    src_v: list,
+    lo: int,
+    mid: int,
+    hi: int,
+    dst_t: list,
+    dst_v: list,
+    dst_lo: int,
+    stats: SortStats,
+) -> None:
+    """Stable two-way merge of ``src[lo:mid]`` and ``src[mid:hi]`` into ``dst``.
+
+    Output occupies ``dst[dst_lo : dst_lo + (hi - lo)]``.  Every element lands
+    in ``dst`` exactly once, so the merge costs ``hi - lo`` moves plus at most
+    ``hi - lo - 1`` comparisons.
+    """
+    i, j, k = lo, mid, dst_lo
+    comparisons = 0
+    while i < mid and j < hi:
+        comparisons += 1
+        if src_t[j] < src_t[i]:
+            dst_t[k] = src_t[j]
+            dst_v[k] = src_v[j]
+            j += 1
+        else:
+            dst_t[k] = src_t[i]
+            dst_v[k] = src_v[i]
+            i += 1
+        k += 1
+    while i < mid:
+        dst_t[k] = src_t[i]
+        dst_v[k] = src_v[i]
+        i += 1
+        k += 1
+    while j < hi:
+        dst_t[k] = src_t[j]
+        dst_v[k] = src_v[j]
+        j += 1
+        k += 1
+    stats.comparisons += comparisons
+    stats.moves += hi - lo
+
+
+class MergeSorter(Sorter):
+    """Stable bottom-up merge sort with a full-size auxiliary buffer."""
+
+    name = "merge"
+    stable = True
+
+    def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
+        n = len(ts)
+        buf_t: list = [None] * n
+        buf_v: list = [None] * n
+        stats.note_extra_space(n)
+        src_t, src_v = ts, vs
+        dst_t, dst_v = buf_t, buf_v
+        width = 1
+        while width < n:
+            for lo in range(0, n, 2 * width):
+                mid = min(lo + width, n)
+                hi = min(lo + 2 * width, n)
+                if mid >= hi:
+                    # Lone tail run: carry it over unmerged.
+                    dst_t[lo:hi] = src_t[lo:hi]
+                    dst_v[lo:hi] = src_v[lo:hi]
+                    stats.moves += hi - lo
+                else:
+                    merge_into(src_t, src_v, lo, mid, hi, dst_t, dst_v, lo, stats)
+            src_t, dst_t = dst_t, src_t
+            src_v, dst_v = dst_v, src_v
+            width *= 2
+        if src_t is not ts:
+            ts[:] = src_t
+            vs[:] = src_v
+            stats.moves += n
+
+
+def straight_block_merge(
+    ts: list,
+    vs: list,
+    block_bounds: list[int],
+    stats: SortStats,
+) -> None:
+    """Left-to-right merge of pre-sorted consecutive blocks (Figure 2, "I").
+
+    ``block_bounds`` holds half-open boundaries ``[b0, b1, ..., bk]`` with
+    ``b0 == 0`` and ``bk == len(ts)``; each ``ts[b_i:b_{i+1}]`` must already
+    be sorted.  The running prefix is merged with each next block through an
+    auxiliary buffer and copied back.  The prefix is re-moved on every merge,
+    which is exactly the redundancy the paper's Example 3 charges straight
+    merge for (``4M + 4`` moves on its three-block example).
+    """
+    if len(block_bounds) < 3:
+        return
+    for b in range(1, len(block_bounds) - 1):
+        lo, mid, hi = block_bounds[0], block_bounds[b], block_bounds[b + 1]
+        width = hi - lo
+        buf_t: list = [None] * width
+        buf_v: list = [None] * width
+        stats.note_extra_space(width)
+        merge_into(ts, vs, lo, mid, hi, buf_t, buf_v, 0, stats)
+        ts[lo:hi] = buf_t
+        vs[lo:hi] = buf_v
+        stats.moves += width  # copy-back from the auxiliary buffer
+        stats.merges += 1

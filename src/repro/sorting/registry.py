@@ -1,0 +1,75 @@
+"""Name-based registry of every sorter in the library.
+
+Mirrors the paper's Section V-C design, where all compared algorithms sit
+behind one interface so the TVList sort call sites (flush and query) can be
+switched by configuration.  The storage engine, the benchmark harness, and
+the experiment drivers all resolve sorters through this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.backward_sort import BackwardSorter
+from repro.core.sorter import Sorter
+from repro.errors import InvalidParameterError
+from repro.sorting.cksort import CKSorter
+from repro.sorting.dualpivot import DualPivotQuickSorter
+from repro.sorting.impatience import ImpatienceSorter
+from repro.sorting.insertion import BinaryInsertionSorter, InsertionSorter
+from repro.sorting.mergesort import MergeSorter
+from repro.sorting.patience import PatienceSorter
+from repro.sorting.quicksort import QuickSorter
+from repro.sorting.smoothsort import SmoothSorter
+from repro.sorting.timsort import TimSorter
+from repro.sorting.ysort import YSorter
+
+_FACTORIES: dict[str, Callable[[], Sorter]] = {
+    BackwardSorter.name: BackwardSorter,
+    QuickSorter.name: QuickSorter,
+    TimSorter.name: TimSorter,
+    PatienceSorter.name: PatienceSorter,
+    ImpatienceSorter.name: ImpatienceSorter,
+    CKSorter.name: CKSorter,
+    DualPivotQuickSorter.name: DualPivotQuickSorter,
+    YSorter.name: YSorter,
+    InsertionSorter.name: InsertionSorter,
+    BinaryInsertionSorter.name: BinaryInsertionSorter,
+    MergeSorter.name: MergeSorter,
+    SmoothSorter.name: SmoothSorter,
+}
+
+#: The six algorithms compared throughout the paper's evaluation (§VI-A1).
+PAPER_ALGORITHMS = ("backward", "quick", "tim", "patience", "ck", "y")
+
+
+def available_sorters() -> tuple[str, ...]:
+    """Names of every registered sorter, sorted alphabetically."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_sorter(name: str, **kwargs) -> Sorter:
+    """Instantiate a sorter by registry name.
+
+    Args:
+        name: a key from :func:`available_sorters`.
+        **kwargs: forwarded to the sorter constructor (e.g. ``theta`` or
+            ``fixed_block_size`` for ``"backward"``).
+
+    Raises:
+        InvalidParameterError: for an unknown name.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown sorter {name!r}; available: {', '.join(available_sorters())}"
+        ) from None
+    return factory(**kwargs)
+
+
+def register_sorter(factory: Callable[[], Sorter], name: str) -> None:
+    """Register a custom sorter factory under ``name`` (extension hook)."""
+    if name in _FACTORIES:
+        raise InvalidParameterError(f"sorter name {name!r} is already registered")
+    _FACTORIES[name] = factory

@@ -1,0 +1,108 @@
+"""Smoothsort (Dijkstra, 1982) — adaptive heapsort over Leonardo heaps.
+
+Included because the paper's related-work section singles it out:
+"Smoothsort is inspired by heapsort, and maintains a priority queue to
+extract the maximum.  Though its upper bound is O(n log n), it is unstable."
+On already-sorted input it runs in O(n), which makes it an interesting
+adaptive reference point next to Backward-Sort.
+
+The implementation follows Dijkstra's original structure: the array is
+maintained as a string of Leonardo-tree max-heaps whose roots ascend left to
+right.  ``_sift`` restores a single heap, ``_trinkle`` restores the root
+string.  The build phase grows the string one element at a time; the shrink
+phase pops the global maximum off the right and re-exposes children heaps.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrumentation import SortStats
+from repro.core.sorter import Sorter
+
+
+def _leonardo_numbers(limit: int) -> list[int]:
+    """Leonardo numbers 1, 1, 3, 5, 9, 15, ... up to at least ``limit``."""
+    nums = [1, 1]
+    while nums[-1] < limit:
+        nums.append(nums[-1] + nums[-2] + 1)
+    return nums
+
+
+class SmoothSorter(Sorter):
+    """In-place, unstable, adaptive O(n log n) smoothsort."""
+
+    name = "smooth"
+    stable = False
+
+    def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
+        n = len(ts)
+        leo = _leonardo_numbers(n)
+        orders: list[int] = []  # heap orders, leftmost heap first
+
+        def sift(pos: int, order: int) -> None:
+            root_t = ts[pos]
+            root_v = vs[pos]
+            while order >= 2:
+                right = pos - 1
+                left = pos - 1 - leo[order - 2]
+                stats.comparisons += 1
+                if ts[left] >= ts[right]:
+                    child, child_order = left, order - 1
+                else:
+                    child, child_order = right, order - 2
+                stats.comparisons += 1
+                if ts[child] <= root_t:
+                    break
+                ts[pos] = ts[child]
+                vs[pos] = vs[child]
+                stats.moves += 1
+                pos, order = child, child_order
+            ts[pos] = root_t
+            vs[pos] = root_v
+            stats.moves += 1
+
+        def trinkle(pos: int, heap_idx: int) -> None:
+            """Restore ascending roots ending at heap ``heap_idx`` (root at pos)."""
+            order = orders[heap_idx]
+            while heap_idx > 0:
+                prev_pos = pos - leo[order]
+                stats.comparisons += 1
+                if ts[prev_pos] <= ts[pos]:
+                    break
+                if order >= 2:
+                    # Only hoist the previous root if it also dominates the
+                    # current heap's children; otherwise sifting suffices.
+                    right = pos - 1
+                    left = pos - 1 - leo[order - 2]
+                    stats.comparisons += 2
+                    if ts[prev_pos] < ts[left] or ts[prev_pos] < ts[right]:
+                        break
+                ts[pos], ts[prev_pos] = ts[prev_pos], ts[pos]
+                vs[pos], vs[prev_pos] = vs[prev_pos], vs[pos]
+                stats.moves += 3
+                pos = prev_pos
+                heap_idx -= 1
+                order = orders[heap_idx]
+            sift(pos, order)
+
+        # Build phase: grow the heap string over the whole array.
+        for i in range(n):
+            if len(orders) >= 2 and orders[-2] == orders[-1] + 1:
+                orders.pop()
+                orders[-1] += 1
+            elif orders and orders[-1] == 1:
+                orders.append(0)
+            else:
+                orders.append(1)
+            trinkle(i, len(orders) - 1)
+
+        # Shrink phase: repeatedly remove the maximum from the right end.
+        for i in range(n - 1, 0, -1):
+            order = orders.pop()
+            if order >= 2:
+                # Expose the two child heaps and restore the root string for
+                # each newly exposed root (left child first, then right).
+                orders.append(order - 1)
+                orders.append(order - 2)
+                left_root = i - 1 - leo[order - 2]
+                trinkle(left_root, len(orders) - 2)
+                trinkle(i - 1, len(orders) - 1)

@@ -1,0 +1,51 @@
+"""Delay-distribution theory: Propositions 1-6 in executable form."""
+
+from repro.theory.delay_difference import (
+    delay_difference_pdf_curve,
+    delay_difference_pdf_numeric,
+    delay_difference_tail_numeric,
+    verify_even_pdf,
+)
+from repro.theory.distributions import (
+    AbsNormalDelay,
+    ConstantDelay,
+    DelayDistribution,
+    DiscreteUniformDelay,
+    ExponentialDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.theory.predictions import (
+    cost_model,
+    expected_block_size_search,
+    expected_iir,
+    expected_overlap,
+    expected_strict_overlap,
+    optimal_block_size,
+    predicted_complexity,
+)
+
+__all__ = [
+    "AbsNormalDelay",
+    "ConstantDelay",
+    "DelayDistribution",
+    "DiscreteUniformDelay",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "MixtureDelay",
+    "ParetoDelay",
+    "UniformDelay",
+    "cost_model",
+    "delay_difference_pdf_curve",
+    "delay_difference_pdf_numeric",
+    "delay_difference_tail_numeric",
+    "expected_block_size_search",
+    "expected_iir",
+    "expected_overlap",
+    "expected_strict_overlap",
+    "optimal_block_size",
+    "predicted_complexity",
+    "verify_even_pdf",
+]

@@ -1,0 +1,114 @@
+"""Numeric analysis of the delay difference ``Δτ = τ_i - τ_j`` (§IV-A).
+
+Proposition 1 shows ``f_Δτ`` is even; Proposition 2 that the expected
+interval inversion ratio equals its tail, ``E(α_L) = F̄_Δτ(L)``.  For
+distributions without closed forms this module evaluates both by numeric
+integration on a quantile-bounded grid:
+
+* ``f_Δτ(t) = ∫ f(x + t) f(x) dx``  (Equation 6, the self-correlation), and
+* ``F̄_Δτ(L) = P(τ_i > τ_j + L) = ∫ f(x) F̄(x + L) dx``.
+
+Discrete distributions are handled by exact pmf summation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.theory.distributions import DelayDistribution
+
+#: Grid resolution for the numeric integrals; chosen so the exponential
+#: closed forms are matched to ~1e-6 absolute error in the unit tests.
+_GRID_POINTS = 4001
+
+
+def _support_upper_bound(dist: DelayDistribution, quantile: float = 1.0 - 1e-9) -> float:
+    """Upper integration bound: the ``quantile`` point found by bisection."""
+    lo, hi = 0.0, 1.0
+    while dist.cdf(hi) < quantile and hi < 1e12:
+        hi *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if dist.cdf(mid) < quantile:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def delay_difference_pdf_numeric(
+    dist: DelayDistribution, t: float, grid_points: int = _GRID_POINTS
+) -> float:
+    """``f_Δτ(t)`` by trapezoidal integration of Equation 6."""
+    if dist.discrete:
+        raise InvalidParameterError(
+            "use the distribution's delay_difference_pmf for discrete delays"
+        )
+    # The integrand vanishes below x = max(0, -t) (Equation 10's lower
+    # bound); starting there keeps the kink on the grid boundary so the
+    # trapezoid rule stays accurate and the evenness of f_Δτ is preserved
+    # numerically.
+    lower = max(0.0, -t)
+    upper = lower + _support_upper_bound(dist)
+    xs = np.linspace(lower, upper, grid_points)
+    f = np.vectorize(dist.pdf, otypes=[float])
+    integrand = f(xs + t) * f(xs)
+    return float(np.trapezoid(integrand, xs))
+
+
+def delay_difference_pdf_curve(
+    dist: DelayDistribution, ts: np.ndarray, grid_points: int = _GRID_POINTS
+) -> np.ndarray:
+    """Vectorised :func:`delay_difference_pdf_numeric` over ``ts``."""
+    return np.array(
+        [delay_difference_pdf_numeric(dist, float(t), grid_points) for t in ts]
+    )
+
+
+def delay_difference_tail_numeric(
+    dist: DelayDistribution, length: float, grid_points: int = _GRID_POINTS
+) -> float:
+    """``F̄_Δτ(L) = ∫ f(x) F̄(x + L) dx`` (continuous) or exact pmf sum.
+
+    ``F̄(x + L) = P(τ_i > x + L)`` conditions on ``τ_j = x``; integrating out
+    ``τ_j`` gives the unconditional tail, exactly the derivation of
+    Equation 8.
+    """
+    if dist.discrete:
+        # Exact double summation over the (small) integer support.
+        upper = int(_support_upper_bound(dist)) + 2
+        total = 0.0
+        for j in range(upper + 1):
+            pj = dist.pdf(float(j))
+            if pj == 0.0:
+                continue
+            for i in range(upper + 1):
+                if i - j > length:
+                    total += pj * dist.pdf(float(i))
+        return total
+    upper = _support_upper_bound(dist)
+    xs = np.linspace(0.0, upper, grid_points)
+    f = np.vectorize(dist.pdf, otypes=[float])
+    tail = np.vectorize(dist.tail, otypes=[float])
+    integrand = f(xs) * tail(xs + length)
+    return float(np.trapezoid(integrand, xs))
+
+
+def verify_even_pdf(
+    dist: DelayDistribution, ts: np.ndarray | None = None, tol: float = 1e-4
+) -> bool:
+    """Numerically check Proposition 1: ``f_Δτ(t) == f_Δτ(-t)``."""
+    if ts is None:
+        scale = max(dist.mean(), 1.0)
+        if not math.isfinite(scale):
+            scale = 10.0
+        ts = np.linspace(0.1 * scale, 3.0 * scale, 7)
+    for t in ts:
+        pos = delay_difference_pdf_numeric(dist, float(t))
+        neg = delay_difference_pdf_numeric(dist, float(-t))
+        if abs(pos - neg) > tol * max(pos, neg, 1e-12):
+            return False
+    return True

@@ -1,0 +1,380 @@
+"""Delay distributions ``D`` (Definition 5) with sampling and analytics.
+
+A :class:`DelayDistribution` models the i.i.d. per-point delay ``τ``.  Each
+distribution can
+
+* draw samples (driving the workload generators),
+* evaluate its density / mass, CDF, and mean,
+* compute the *delay-difference tail* ``F̄_Δτ(L) = P(τ_i - τ_j > L)`` — the
+  quantity Proposition 2 identifies with the expected interval inversion
+  ratio ``E(α_L)`` — either in closed form (Exponential, DiscreteUniform)
+  or numerically through :mod:`repro.theory.delay_difference`.
+
+The evaluation's synthetic datasets use :class:`AbsNormalDelay` and
+:class:`LogNormalDelay` (paper §VI-A3), with the standard deviation ``σ``
+controlling the degree of out-of-order.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _norm_pdf(x: float) -> float:
+    return math.exp(-0.5 * x * x) / math.sqrt(2.0 * math.pi)
+
+
+def _norm_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+class DelayDistribution(ABC):
+    """Abstract i.i.d. delay model ``τ ~ D`` with non-negative support."""
+
+    #: True for distributions over integers (affects E(Q) accumulation).
+    discrete: bool = False
+
+    @abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` delays; all values must be >= 0 (delay-only)."""
+
+    @abstractmethod
+    def pdf(self, t: float) -> float:
+        """Density (or mass, for discrete distributions) at ``t``."""
+
+    @abstractmethod
+    def cdf(self, t: float) -> float:
+        """``P(τ <= t)``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """``E(τ)``."""
+
+    def tail(self, t: float) -> float:
+        """``F̄(t) = P(τ > t)``."""
+        return 1.0 - self.cdf(t)
+
+    def delay_difference_tail(self, length: float) -> float:
+        """``F̄_Δτ(L) = P(τ_i - τ_j > L)`` for independent ``τ_i, τ_j``.
+
+        Subclasses override with closed forms where they exist; the default
+        defers to the numeric integrator.
+        """
+        from repro.theory.delay_difference import delay_difference_tail_numeric
+
+        return delay_difference_tail_numeric(self, length)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.removesuffix("Delay")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{type(self).__name__}>"
+
+
+class ConstantDelay(DelayDistribution):
+    """Every point delayed by the same constant — a fully ordered stream."""
+
+    def __init__(self, value: float = 0.0) -> None:
+        if value < 0:
+            raise InvalidParameterError(f"delay must be >= 0, got {value}")
+        self.value = value
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def pdf(self, t: float) -> float:
+        return math.inf if t == self.value else 0.0
+
+    def cdf(self, t: float) -> float:
+        return 1.0 if t >= self.value else 0.0
+
+    def mean(self) -> float:
+        return self.value
+
+    def delay_difference_tail(self, length: float) -> float:
+        # Δτ is identically zero.
+        return 0.0 if length >= 0 else 1.0
+
+
+class ExponentialDelay(DelayDistribution):
+    """``τ ~ Exp(λ)`` — the paper's worked Example 6.
+
+    The delay difference has the Laplace density ``f_Δτ(t) = λ e^{-λ|t|}/2``
+    (Equation 10), hence ``E(α_L) = F̄_Δτ(L) = e^{-λL}/2`` (Equation 11).
+    """
+
+    def __init__(self, lam: float = 1.0) -> None:
+        if lam <= 0:
+            raise InvalidParameterError(f"lambda must be > 0, got {lam}")
+        self.lam = lam
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.exponential(scale=1.0 / self.lam, size=n)
+
+    def pdf(self, t: float) -> float:
+        return self.lam * math.exp(-self.lam * t) if t >= 0 else 0.0
+
+    def cdf(self, t: float) -> float:
+        return 1.0 - math.exp(-self.lam * t) if t >= 0 else 0.0
+
+    def mean(self) -> float:
+        return 1.0 / self.lam
+
+    def delay_difference_pdf(self, t: float) -> float:
+        """Closed-form Laplace density of Δτ (Equation 10, Figure 5)."""
+        return 0.5 * self.lam * math.exp(-self.lam * abs(t))
+
+    def delay_difference_tail(self, length: float) -> float:
+        if length >= 0:
+            return 0.5 * math.exp(-self.lam * length)
+        return 1.0 - 0.5 * math.exp(self.lam * length)
+
+
+class AbsNormalDelay(DelayDistribution):
+    """``τ = |N(µ, σ²)|`` — the AbsNormal synthetic dataset (paper §VI-A3).
+
+    ``σ`` is the disorder knob swept in Figure 9; ``µ`` shifts how far the
+    typical delay reaches (the paper uses µ = 1 and µ = 4).
+    """
+
+    def __init__(self, mu: float = 0.0, sigma: float = 1.0) -> None:
+        if sigma < 0:
+            raise InvalidParameterError(f"sigma must be >= 0, got {sigma}")
+        self.mu = mu
+        self.sigma = sigma
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.abs(rng.normal(loc=self.mu, scale=self.sigma, size=n))
+
+    def pdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        if self.sigma == 0:
+            return math.inf if t == abs(self.mu) else 0.0
+        z1 = (t - self.mu) / self.sigma
+        z2 = (t + self.mu) / self.sigma
+        return (_norm_pdf(z1) + _norm_pdf(z2)) / self.sigma
+
+    def cdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        if self.sigma == 0:
+            return 1.0 if t >= abs(self.mu) else 0.0
+        return _norm_cdf((t - self.mu) / self.sigma) - _norm_cdf(
+            (-t - self.mu) / self.sigma
+        )
+
+    def mean(self) -> float:
+        if self.sigma == 0:
+            return abs(self.mu)
+        z = self.mu / self.sigma
+        return self.sigma * math.sqrt(2.0 / math.pi) * math.exp(
+            -0.5 * z * z
+        ) + self.mu * (1.0 - 2.0 * _norm_cdf(-z))
+
+
+class LogNormalDelay(DelayDistribution):
+    """``τ ~ LogNormal(µ, σ²)`` — the heavy-tailed synthetic dataset.
+
+    Used by Figure 10 (sort time) and Figure 22 (downstream LSTM, with
+    ``LogNormal(1, σ)``).  ``σ = 0`` degenerates to a constant delay
+    ``e^µ`` (the paper's "LogNormal(1, 0) ... means no delayed points").
+    """
+
+    def __init__(self, mu: float = 0.0, sigma: float = 1.0) -> None:
+        if sigma < 0:
+            raise InvalidParameterError(f"sigma must be >= 0, got {sigma}")
+        self.mu = mu
+        self.sigma = sigma
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return np.full(n, math.exp(self.mu))
+        return rng.lognormal(mean=self.mu, sigma=self.sigma, size=n)
+
+    def pdf(self, t: float) -> float:
+        if t <= 0:
+            return 0.0
+        if self.sigma == 0:
+            return math.inf if t == math.exp(self.mu) else 0.0
+        z = (math.log(t) - self.mu) / self.sigma
+        return _norm_pdf(z) / (t * self.sigma)
+
+    def cdf(self, t: float) -> float:
+        if t <= 0:
+            return 0.0
+        if self.sigma == 0:
+            return 1.0 if t >= math.exp(self.mu) else 0.0
+        return _norm_cdf((math.log(t) - self.mu) / self.sigma)
+
+    def mean(self) -> float:
+        return math.exp(self.mu + 0.5 * self.sigma * self.sigma)
+
+
+class UniformDelay(DelayDistribution):
+    """``τ ~ Uniform[a, b]`` — a simple bounded continuous delay."""
+
+    def __init__(self, low: float = 0.0, high: float = 1.0) -> None:
+        if low < 0 or high <= low:
+            raise InvalidParameterError(
+                f"need 0 <= low < high, got low={low}, high={high}"
+            )
+        self.low = low
+        self.high = high
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(self.low, self.high, size=n)
+
+    def pdf(self, t: float) -> float:
+        if self.low <= t <= self.high:
+            return 1.0 / (self.high - self.low)
+        return 0.0
+
+    def cdf(self, t: float) -> float:
+        if t < self.low:
+            return 0.0
+        if t > self.high:
+            return 1.0
+        return (t - self.low) / (self.high - self.low)
+
+    def mean(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def delay_difference_tail(self, length: float) -> float:
+        # Δτ is triangular on [-(b-a), b-a].
+        width = self.high - self.low
+        if length >= width:
+            return 0.0
+        if length <= -width:
+            return 1.0
+        if length >= 0:
+            return 0.5 * (1.0 - length / width) ** 2
+        return 1.0 - 0.5 * (1.0 + length / width) ** 2
+
+
+class DiscreteUniformDelay(DelayDistribution):
+    """``P(τ = k) = 1/m`` for ``k in {0, ..., m-1}`` — Example 7's delay.
+
+    With ``m = 4`` the paper computes ``E(Q) = E(Δτ⁺) = 10/16 = 5/8``.
+    """
+
+    discrete = True
+
+    def __init__(self, m: int = 4) -> None:
+        if m < 1:
+            raise InvalidParameterError(f"m must be >= 1, got {m}")
+        self.m = m
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.integers(0, self.m, size=n).astype(float)
+
+    def pdf(self, t: float) -> float:
+        if t == int(t) and 0 <= t < self.m:
+            return 1.0 / self.m
+        return 0.0
+
+    def cdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        return min(1.0, (math.floor(t) + 1) / self.m)
+
+    def mean(self) -> float:
+        return (self.m - 1) / 2.0
+
+    def delay_difference_pmf(self, d: int) -> float:
+        """Triangular pmf of Δτ: ``P(Δτ = d) = (m - |d|) / m²`` for |d| < m."""
+        if abs(d) >= self.m:
+            return 0.0
+        return (self.m - abs(d)) / (self.m * self.m)
+
+    def delay_difference_tail(self, length: float) -> float:
+        # P(Δτ > L) summed over the triangular pmf.
+        k = math.floor(length)
+        total = 0.0
+        for d in range(max(k + 1, -(self.m - 1)), self.m):
+            if d > length:
+                total += self.delay_difference_pmf(d)
+        return total
+
+
+class MixtureDelay(DelayDistribution):
+    """A finite mixture of delay distributions.
+
+    Real device traces are rarely unimodal: most points arrive almost on
+    time while a small fraction suffers bursty, much larger delays (network
+    hiccups, duty-cycled radios).  The simulated Samsung/CitiBike datasets
+    in :mod:`repro.workloads.datasets` are built from such mixtures.
+    """
+
+    def __init__(self, components: list[tuple[float, DelayDistribution]]) -> None:
+        if not components:
+            raise InvalidParameterError("mixture needs at least one component")
+        total = sum(w for w, _ in components)
+        if total <= 0 or any(w < 0 for w, _ in components):
+            raise InvalidParameterError("mixture weights must be >= 0 with a positive sum")
+        self.components = [(w / total, dist) for w, dist in components]
+        self.discrete = all(dist.discrete for _, dist in self.components)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        weights = np.array([w for w, _ in self.components])
+        choices = rng.choice(len(self.components), size=n, p=weights)
+        out = np.empty(n)
+        for idx, (_, dist) in enumerate(self.components):
+            mask = choices == idx
+            count = int(mask.sum())
+            if count:
+                out[mask] = dist.sample(count, rng)
+        return out
+
+    def pdf(self, t: float) -> float:
+        return sum(w * dist.pdf(t) for w, dist in self.components)
+
+    def cdf(self, t: float) -> float:
+        return sum(w * dist.cdf(t) for w, dist in self.components)
+
+    def mean(self) -> float:
+        return sum(w * dist.mean() for w, dist in self.components)
+
+
+class ParetoDelay(DelayDistribution):
+    """``τ ~ Pareto(α) - 1`` scaled — a heavy-tail stressor beyond the paper.
+
+    Heavy-tailed delays violate the "not-too-distant" assumption, pushing
+    Backward-Sort toward its Quicksort degenerate case; used by the
+    robustness tests and ablation benchmarks.
+    """
+
+    def __init__(self, alpha: float = 2.0, scale: float = 1.0) -> None:
+        if alpha <= 0 or scale <= 0:
+            raise InvalidParameterError(
+                f"need alpha > 0 and scale > 0, got alpha={alpha}, scale={scale}"
+            )
+        self.alpha = alpha
+        self.scale = scale
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.scale * rng.pareto(self.alpha, size=n)
+
+    def pdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        x = t / self.scale + 1.0
+        return (self.alpha / self.scale) * x ** (-self.alpha - 1.0)
+
+    def cdf(self, t: float) -> float:
+        if t < 0:
+            return 0.0
+        return 1.0 - (t / self.scale + 1.0) ** (-self.alpha)
+
+    def mean(self) -> float:
+        if self.alpha <= 1:
+            return math.inf
+        return self.scale / (self.alpha - 1.0)

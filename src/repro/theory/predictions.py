@@ -1,0 +1,141 @@
+"""Analytical predictions of the paper's Propositions 2-6.
+
+Everything the benchmark harness compares measurements against lives here:
+
+* :func:`expected_iir` — Proposition 2: ``E(α_L) = F̄_Δτ(L)``.
+* :func:`expected_overlap` — Propositions 4's bound / Equation 20:
+  ``E(Q) <= Σ_{k>=0} F̄_Δτ(k) = E(Δτ⁺)`` (equality for discrete Δτ).
+* :func:`cost_model` / :func:`optimal_block_size` — Proposition 5's
+  objective ``g(L) = n (ln L + η Q / L)`` with minimiser ``L* = η Q``.
+* :func:`predicted_complexity` — Proposition 6's bound
+  ``O(max{n log n, n log L0 + η n Q / L0})``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.theory.distributions import DelayDistribution
+
+
+def expected_iir(dist: DelayDistribution, interval: float) -> float:
+    """Proposition 2: the expected interval inversion ratio at ``L``."""
+    if interval < 0:
+        raise InvalidParameterError(f"interval must be >= 0, got {interval}")
+    return dist.delay_difference_tail(interval)
+
+
+def expected_overlap(dist: DelayDistribution, max_terms: int = 100_000) -> float:
+    """The Proposition 4 bound on the expected merge overlap ``E(Q)``.
+
+    Discrete Δτ: the exact ``Σ_{k>=0} F̄_Δτ(k)`` of Equation 20.
+    Continuous Δτ: the integral bound ``∫_0^∞ F̄_Δτ(t) dt`` of Equation 21,
+    evaluated by adaptive trapezoidal quadrature until the tail contributes
+    less than 1e-9 (capped at ``max_terms`` panels).
+    """
+    if dist.discrete:
+        total = 0.0
+        k = 0
+        while k < max_terms:
+            term = dist.delay_difference_tail(float(k))
+            if term <= 0.0:
+                break
+            total += term
+            k += 1
+        return total
+    # E(Δτ⁺) = E[max(τ_i - τ_j, 0)] evaluated as one vectorised double
+    # integral over a quantile-bounded grid: Σ_{x>y} (x - y) f(x) f(y) ΔxΔy.
+    from repro.theory.delay_difference import _support_upper_bound
+
+    upper = _support_upper_bound(dist)
+    edges = np.linspace(0.0, upper, 2050)
+    xs = 0.5 * (edges[:-1] + edges[1:])  # midpoint rule: robust to the
+    dx = edges[1] - edges[0]  # pdf discontinuity many delays have at 0
+    weights = np.vectorize(dist.pdf, otypes=[float])(xs) * dx
+    diff = np.maximum(xs[:, None] - xs[None, :], 0.0)
+    return float(weights @ diff @ weights)
+
+
+def expected_strict_overlap(dist: DelayDistribution, max_terms: int = 100_000) -> float:
+    """``Σ_{k>=1} F̄_Δτ(k)`` — the overlap sum without the boundary term.
+
+    The paper's Equation 19 telescopes ``Σ_{i<m} P(Δτ > m - i)`` into
+    ``Σ_k F̄_Δτ(k)``; since ``i < m`` forces ``m - i >= 1``, the empirically
+    measurable mean overhang equals the sum *from k = 1*.  Equation 20
+    starts the sum at ``k = 0`` (adding ``P(Δτ > 0)``), which upper-bounds
+    the measurement; this function provides the tight value so the property
+    tests can assert equality for discrete delays, not just the bound.
+    """
+    if dist.discrete:
+        total = 0.0
+        k = 1
+        while k < max_terms:
+            term = dist.delay_difference_tail(float(k))
+            if term <= 0.0:
+                break
+            total += term
+            k += 1
+        return total
+    total = 0.0
+    k = 1
+    while k < max_terms:
+        term = dist.delay_difference_tail(float(k))
+        if term <= 1e-12 * max(total, 1.0):
+            break
+        total += term
+        k += 1
+    return total
+
+
+def cost_model(n: int, block_size: float, overlap: float, eta: float = 1.0) -> float:
+    """Equation 23: ``g(L) = n (ln L + η Q / L)`` for ``L in [1, n]``."""
+    if block_size < 1:
+        raise InvalidParameterError(f"block_size must be >= 1, got {block_size}")
+    return n * (math.log(block_size) + eta * overlap / block_size)
+
+
+def optimal_block_size(overlap: float, eta: float = 1.0, n: int | None = None) -> float:
+    """Minimiser of the cost model: ``L* = η Q`` (from ``g'(L) = 0``).
+
+    Clamped to ``[1, n]`` when ``n`` is given — outside that range the
+    algorithm degenerates (Proposition 5): towards Insertion-Sort below,
+    towards Quicksort above.
+    """
+    best = max(1.0, eta * overlap)
+    if n is not None:
+        best = min(best, float(n))
+    return best
+
+
+def predicted_complexity(
+    n: int, l0: int, overlap: float, eta: float = 1.0
+) -> float:
+    """Proposition 6: ``max{n log n, n log L0 + η n Q / L0}`` (natural log)."""
+    if n < 2:
+        return float(n)
+    return max(
+        n * math.log(n),
+        n * math.log(max(l0, 2)) + eta * n * overlap / l0,
+    )
+
+
+def expected_block_size_search(
+    dist: DelayDistribution, theta: float, l0: int, n: int
+) -> int:
+    """Predict the ``L`` the set-block-size phase converges to.
+
+    Doubles ``L`` from ``L0`` until ``E(α_L) = F̄_Δτ(L) < Θ`` (or ``L > n``),
+    mirroring Algorithm 1 lines 1-8 with the *expected* ratio in place of
+    the sampled one.  Used to sanity-check the empirical search.
+    """
+    if l0 < 1:
+        raise InvalidParameterError(f"l0 must be >= 1, got {l0}")
+    size = l0
+    while size <= n:
+        if expected_iir(dist, float(size)) < theta:
+            break
+        size *= 2
+    return min(size, n)

@@ -1,0 +1,36 @@
+"""Out-of-order workload generation: delay models → arrival streams."""
+
+from repro.workloads.bursts import outage_stream
+from repro.workloads.csv_loader import load_csv, stream_from_rows
+from repro.workloads.datasets import (
+    REAL_WORLD_DATASETS,
+    abs_normal,
+    citibike_like,
+    exponential,
+    load_dataset,
+    log_normal,
+    samsung_like,
+)
+from repro.workloads.generator import (
+    ArrivalStream,
+    TimeSeriesGenerator,
+    sine_values,
+    stream_from_delays,
+)
+
+__all__ = [
+    "ArrivalStream",
+    "REAL_WORLD_DATASETS",
+    "TimeSeriesGenerator",
+    "abs_normal",
+    "citibike_like",
+    "exponential",
+    "load_csv",
+    "load_dataset",
+    "log_normal",
+    "outage_stream",
+    "samsung_like",
+    "sine_values",
+    "stream_from_delays",
+    "stream_from_rows",
+]

@@ -1,0 +1,61 @@
+"""Bursty disorder: network-outage arrival patterns (paper §II's failure case).
+
+The i.i.d.-delay model (Definition 5) captures jitter, but the paper's §II
+also names *system failure* as a disorder source: during an outage nothing
+arrives, and when connectivity returns, the buffered backlog arrives in one
+burst — after points generated during the outage's tail have already landed.
+This is still strictly delay-only, but the delays are *correlated*, which
+stresses Backward-Sort differently: disorder concentrates in dense pockets
+instead of spreading thinly.
+
+:func:`outage_stream` models it directly: points generated inside an outage
+window are held until the window ends (plus a small flush jitter), all other
+points arrive with light i.i.d. jitter.  Robustness tests assert that the
+sorters and the block-size search handle this correlated regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.theory.distributions import DelayDistribution, ExponentialDelay
+from repro.workloads.generator import ArrivalStream, stream_from_delays
+
+
+def outage_stream(
+    n: int,
+    outage_every: int = 1_000,
+    outage_length: int = 100,
+    base_delay: DelayDistribution | None = None,
+    seed: int = 0,
+    name: str = "outage",
+) -> ArrivalStream:
+    """An arrival stream with periodic buffered-backlog bursts.
+
+    Args:
+        n: number of points.
+        outage_every: generation-time period between outage starts.
+        outage_length: how many ticks each outage lasts; points generated in
+            ``[k·outage_every, k·outage_every + outage_length)`` are delayed
+            until the outage ends.
+        base_delay: light i.i.d. jitter applied to every point (default
+            ``Exp(2)``, mean half a tick).
+        seed: rng seed.
+    """
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    if outage_every < 1 or outage_length < 1:
+        raise WorkloadError("outage_every and outage_length must be >= 1")
+    if outage_length >= outage_every:
+        raise WorkloadError("outage_length must be shorter than outage_every")
+    rng = np.random.default_rng(seed)
+    base = base_delay if base_delay is not None else ExponentialDelay(2.0)
+    delays = base.sample(n, rng)
+    times = np.arange(n)
+    phase = times % outage_every
+    in_outage = phase < outage_length
+    # A buffered point is released when the outage ends, plus its jitter:
+    # delay = (time until outage end) + jitter.
+    delays = np.where(in_outage, (outage_length - phase) + delays, delays)
+    return stream_from_delays(delays, name=f"{name}(every={outage_every},len={outage_length})")

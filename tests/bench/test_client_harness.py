@@ -1,0 +1,130 @@
+"""System benchmark client and sweep harness: metrics must be coherent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    SweepConfig,
+    SystemWorkloadConfig,
+    format_table,
+    result_rows,
+    run_sweep,
+    run_system_benchmark,
+    series_by_key,
+    to_csv,
+)
+from repro.iotdb import IoTDBConfig
+
+
+def _small_config(**kw):
+    defaults = dict(
+        total_points=3_000,
+        batch_size=500,
+        write_percentage=0.75,
+        dataset="lognormal",
+        dataset_params={"mu": 1.0, "sigma": 1.0},
+        seed=2,
+    )
+    defaults.update(kw)
+    return SystemWorkloadConfig(**defaults)
+
+
+class TestRunSystemBenchmark:
+    def test_metrics_populated(self):
+        result = run_system_benchmark(
+            _small_config(),
+            sorter="backward",
+            engine_config=IoTDBConfig(memtable_flush_threshold=1_000),
+        )
+        assert result.total_seconds > 0
+        assert result.write_seconds > 0
+        assert result.queries_executed == 2  # 6 batches, wp .75 -> 2 queries
+        assert result.points_returned > 0
+        assert result.query_throughput > 0
+        assert result.flush_count >= 3
+        assert result.mean_flush_seconds > 0
+        assert 0.0 <= result.flush_sort_fraction <= 1.0
+
+    def test_write_only_run_has_no_queries(self):
+        result = run_system_benchmark(
+            _small_config(write_percentage=1.0),
+            sorter="tim",
+            engine_config=IoTDBConfig(memtable_flush_threshold=1_000),
+        )
+        assert result.queries_executed == 0
+        assert result.query_throughput == 0.0
+
+    def test_row_export(self):
+        result = run_system_benchmark(
+            _small_config(),
+            sorter="quick",
+            engine_config=IoTDBConfig(memtable_flush_threshold=1_000),
+        )
+        row = result.row()
+        assert row["sorter"] == "quick"
+        assert row["write_pct"] == 0.75
+        assert row["flushes"] == result.flush_count
+
+
+class TestSweep:
+    def test_grid_dimensions(self):
+        sweep = SweepConfig(
+            base=_small_config(),
+            sorters=("backward", "tim"),
+            write_percentages=(0.5, 0.9),
+            memtable_flush_threshold=1_000,
+        )
+        results = run_sweep(sweep)
+        assert len(results) == 4
+        combos = {(r.sorter, r.write_percentage) for r in results}
+        assert combos == {("backward", 0.5), ("backward", 0.9), ("tim", 0.5), ("tim", 0.9)}
+
+    def test_include_write_only_adds_wp_1(self):
+        sweep = SweepConfig(
+            base=_small_config(),
+            sorters=("backward",),
+            write_percentages=(0.9,),
+            include_write_only=True,
+            memtable_flush_threshold=1_000,
+        )
+        results = run_sweep(sweep)
+        assert {r.write_percentage for r in results} == {0.9, 1.0}
+
+    def test_result_rows(self):
+        sweep = SweepConfig(
+            base=_small_config(),
+            sorters=("backward",),
+            write_percentages=(0.9,),
+            memtable_flush_threshold=1_000,
+        )
+        rows = result_rows(run_sweep(sweep))
+        assert rows[0]["sorter"] == "backward"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ("name", "value"), [("a", 1.5), ("bbbb", 22.125)], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_small_floats_scientific(self):
+        table = format_table(("x",), [(1.2e-7,)])
+        assert "e-07" in table
+
+    def test_to_csv(self):
+        csv_text = to_csv(("a", "b"), [(1, 2), (3, 4)])
+        assert csv_text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_series_by_key(self):
+        rows = [
+            {"alg": "x", "n": 1, "t": 0.1},
+            {"alg": "x", "n": 2, "t": 0.2},
+            {"alg": "y", "n": 1, "t": 0.3},
+        ]
+        series = series_by_key(rows, "alg", "n", "t")
+        assert series == {"x": [(1, 0.1), (2, 0.2)], "y": [(1, 0.3)]}

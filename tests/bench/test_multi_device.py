@@ -1,0 +1,67 @@
+"""Multi-device workloads: round-robin batching and per-device streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    QueryOp,
+    SystemWorkloadConfig,
+    WriteOp,
+    build_operations,
+    build_stream,
+    run_system_benchmark,
+)
+from repro.errors import BenchmarkError
+from repro.iotdb import IoTDBConfig
+
+
+def _config(**kw):
+    defaults = dict(total_points=6_000, batch_size=500, seed=1)
+    defaults.update(kw)
+    return SystemWorkloadConfig(**defaults)
+
+
+class TestMultiDeviceWorkload:
+    def test_device_names(self):
+        assert _config(n_devices=1).devices() == ["root.bench.d1"]
+        assert _config(n_devices=3).devices() == [
+            "root.bench.d1-0",
+            "root.bench.d1-1",
+            "root.bench.d1-2",
+        ]
+
+    def test_round_robin_batches(self):
+        ops = build_operations(_config(n_devices=3, write_percentage=1.0))
+        writes = [op for op in ops if isinstance(op, WriteOp)]
+        assert [w.device[-1] for w in writes[:6]] == ["0", "1", "2", "0", "1", "2"]
+        # 6000 points / 3 devices / 500 batch = 4 batches per device.
+        assert len(writes) == 12
+
+    def test_each_device_has_independent_stream(self):
+        config = _config(n_devices=2)
+        a = build_stream(config, 0)
+        b = build_stream(config, 1)
+        assert a.timestamps != b.timestamps  # different seeds
+
+    def test_queries_round_robin_devices(self):
+        ops = build_operations(_config(n_devices=2, write_percentage=0.5))
+        queries = [op for op in ops if isinstance(op, QueryOp)]
+        assert len(queries) == 12
+        assert {q.device[-1] for q in queries} == {"0", "1"}
+
+    def test_rejects_too_many_devices(self):
+        with pytest.raises(BenchmarkError):
+            _config(total_points=600, batch_size=500, n_devices=2)
+        with pytest.raises(BenchmarkError):
+            _config(n_devices=0)
+
+    def test_end_to_end_multi_device_run(self):
+        result = run_system_benchmark(
+            _config(n_devices=3, write_percentage=0.75),
+            sorter="backward",
+            engine_config=IoTDBConfig(memtable_flush_threshold=2_000),
+        )
+        assert result.queries_executed == 4
+        assert result.points_returned > 0
+        assert result.flush_count >= 2

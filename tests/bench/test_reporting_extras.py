@@ -1,0 +1,50 @@
+"""ASCII series rendering and the ablation experiment driver."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ascii_series
+from repro.experiments import ablation
+
+
+class TestAsciiSeries:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_series(
+            {"backward": [(1, 2.0), (2, 3.0)], "quick": [(1, 5.0), (2, 9.0)]},
+            width=20,
+            height=5,
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert any("b" in line for line in lines[2:-2])
+        assert any("q" in line for line in lines[2:-2])
+        assert "b=backward" in lines[-1]
+        assert "q=quick" in lines[-1]
+
+    def test_log_scale(self):
+        chart = ascii_series({"x": [(1, 1.0), (2, 1e6)]}, log_y=True, height=4)
+        assert "log10(y)" in chart
+
+    def test_empty(self):
+        assert ascii_series({}) == "(no data)"
+
+    def test_constant_series_does_not_divide_by_zero(self):
+        chart = ascii_series({"flat": [(1, 2.0), (5, 2.0)]}, width=10, height=3)
+        assert "f" in chart
+
+
+class TestAblationDriver:
+    def test_rows_cover_all_variants(self):
+        rows = ablation.run(scale="tiny", repeats=1)
+        assert len(rows) == len(ablation.VARIANTS)
+        labels = {r.variant for r in rows}
+        assert "paper L0=4" in labels
+        assert any("quicksort" in label for label in labels)
+        for r in rows:
+            assert r.mean_seconds > 0
+            assert r.comparisons > 0
+
+    def test_degenerate_variants_hit_expected_block_sizes(self):
+        rows = {r.variant: r for r in ablation.run(scale="tiny", repeats=1)}
+        assert rows["fixed L=64"].block_size == 64
+        assert rows["fixed L=N (quicksort)"].block_size == 2_000

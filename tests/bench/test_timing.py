@@ -1,0 +1,54 @@
+"""Timing utilities: aggregation, setup exclusion, validation."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import Timer, TimingResult, measure
+from repro.errors import BenchmarkError
+
+
+class TestTimingResult:
+    def test_statistics(self):
+        r = TimingResult(runs=[1.0, 2.0, 3.0])
+        assert r.mean == pytest.approx(2.0)
+        assert r.minimum == 1.0
+        assert r.maximum == 3.0
+        assert r.std == pytest.approx(1.0)
+
+    def test_single_run_has_zero_std(self):
+        assert TimingResult(runs=[0.5]).std == 0.0
+
+
+class TestMeasure:
+    def test_counts_runs_and_warmup(self):
+        calls = []
+        result = measure(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5
+        assert len(result.runs) == 3
+
+    def test_setup_excluded_from_timing(self):
+        def slow_setup():
+            time.sleep(0.02)
+            return 1
+
+        result = measure(lambda arg: None, repeats=2, setup=slow_setup)
+        assert result.mean < 0.01  # setup's 20ms must not be counted
+
+    def test_setup_value_passed_to_fn(self):
+        seen = []
+        measure(seen.append, repeats=2, setup=lambda: "payload")
+        assert seen == ["payload", "payload"]
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(BenchmarkError):
+            measure(lambda: None, repeats=0)
+
+
+class TestTimer:
+    def test_measures_span(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert 0.005 < t.seconds < 0.5

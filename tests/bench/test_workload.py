@@ -1,0 +1,74 @@
+"""Workload construction: batching, write-percentage interleaving."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    QueryOp,
+    SystemWorkloadConfig,
+    WriteOp,
+    build_operations,
+    build_stream,
+)
+from repro.errors import BenchmarkError
+
+
+def _config(**kw):
+    defaults = dict(total_points=5_000, batch_size=500, seed=1)
+    defaults.update(kw)
+    return SystemWorkloadConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_write_percentage(self):
+        with pytest.raises(BenchmarkError):
+            _config(write_percentage=0.0)
+        with pytest.raises(BenchmarkError):
+            _config(write_percentage=1.5)
+
+    def test_rejects_bad_batching(self):
+        with pytest.raises(BenchmarkError):
+            _config(batch_size=0)
+        with pytest.raises(BenchmarkError):
+            _config(total_points=100, batch_size=500)
+        with pytest.raises(BenchmarkError):
+            _config(query_window=0)
+
+
+class TestBuildOperations:
+    def test_batches_cover_stream_exactly(self):
+        config = _config(write_percentage=1.0)
+        ops = build_operations(config)
+        assert all(isinstance(op, WriteOp) for op in ops)
+        total = sum(len(op.timestamps) for op in ops)
+        assert total == config.total_points
+        assert len(ops) == 10  # 5000 / 500
+
+    def test_write_percentage_controls_query_count(self):
+        for wp, expected_queries in ((0.5, 10), (0.25, 30), (0.9, 1)):
+            ops = build_operations(_config(write_percentage=wp))
+            queries = sum(isinstance(op, QueryOp) for op in ops)
+            assert queries == expected_queries
+
+    def test_no_query_before_first_write(self):
+        ops = build_operations(_config(write_percentage=0.25))
+        assert isinstance(ops[0], WriteOp)
+
+    def test_deterministic(self):
+        a = build_operations(_config(write_percentage=0.5))
+        b = build_operations(_config(write_percentage=0.5))
+        assert a == b
+
+    def test_stream_matches_dataset(self):
+        config = _config(dataset="samsung-d5", dataset_params={})
+        stream = build_stream(config)
+        assert stream.name == "samsung-d5"
+        assert len(stream) == config.total_points
+
+    def test_batch_contents_follow_arrival_order(self):
+        config = _config(write_percentage=1.0)
+        stream = build_stream(config)
+        ops = build_operations(config)
+        flattened = [t for op in ops for t in op.timestamps]
+        assert flattened == stream.timestamps

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the Backward-Sort reproduction tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads import TimeSeriesGenerator
+from repro.theory import ExponentialDelay
+
+
+def make_delayed_stream(n: int, lam: float = 0.5, seed: int = 0):
+    """A delay-only arrival stream: exponential delays over n points."""
+    return TimeSeriesGenerator(ExponentialDelay(lam)).generate(n, seed=seed)
+
+
+def assert_sorted_permutation(ts, vs, original_pairs):
+    """Assert ts is non-decreasing and (ts, vs) is a permutation of the input."""
+    assert all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1)), "output not sorted"
+    assert sorted(zip(ts, vs)) == sorted(original_pairs), "output not a permutation"
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20230611)
+
+
+@pytest.fixture
+def small_stream():
+    return make_delayed_stream(500, lam=0.5, seed=7)
+
+
+@pytest.fixture
+def medium_stream():
+    return make_delayed_stream(5_000, lam=0.3, seed=11)

@@ -1,0 +1,116 @@
+"""Backward merge: correctness, stability, locality, and move accounting."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backward_merge import backward_merge_blocks, merge_block_into_suffix
+from repro.core.instrumentation import SortStats
+
+
+def _merge_case(block, suffix):
+    ts = sorted(block) + sorted(suffix)
+    vs = list(range(len(ts)))
+    return ts, vs
+
+
+class TestMergeBlockIntoSuffix:
+    def test_no_overlap_fast_path(self):
+        ts, vs = _merge_case([1, 2, 3], [4, 5, 6])
+        stats = SortStats()
+        overlap = merge_block_into_suffix(ts, vs, 0, 3, stats)
+        assert overlap == 0
+        assert stats.moves == 0
+        assert stats.comparisons == 1
+        assert ts == [1, 2, 3, 4, 5, 6]
+
+    def test_single_point_overlap(self):
+        # Figure 1's p9: one delayed point swaps locally with the suffix head.
+        ts, vs = _merge_case([1, 2, 9], [8, 10, 11])
+        stats = SortStats()
+        overlap = merge_block_into_suffix(ts, vs, 0, 3, stats)
+        assert overlap == 1
+        assert ts == [1, 2, 8, 9, 10, 11]
+
+    def test_full_overlap(self):
+        ts, vs = _merge_case([10, 11, 12], [1, 2, 3])
+        stats = SortStats()
+        overlap = merge_block_into_suffix(ts, vs, 0, 3, stats)
+        assert overlap == 3
+        assert ts == [1, 2, 3, 10, 11, 12]
+
+    def test_extra_space_is_overlap_only(self):
+        ts, vs = _merge_case(list(range(100)), [95, 96, 97] + list(range(101, 150)))
+        stats = SortStats()
+        overlap = merge_block_into_suffix(ts, vs, 0, 100, stats)
+        assert overlap == 3
+        assert stats.extra_space == 3
+
+    def test_stability_on_ties(self):
+        # Block elements carry lower value ids (earlier arrival); on equal
+        # timestamps they must stay before suffix elements.
+        ts = [1, 5, 5, 3, 5, 7]
+        vs = [0, 1, 2, 3, 4, 5]
+        stats = SortStats()
+        merge_block_into_suffix(ts, vs, 0, 3, stats)
+        assert ts == [1, 3, 5, 5, 5, 7]
+        assert vs == [0, 3, 1, 2, 4, 5]
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        block=st.lists(st.integers(0, 40), min_size=1, max_size=40),
+        suffix=st.lists(st.integers(0, 40), min_size=1, max_size=40),
+    )
+    def test_property_sorted_permutation(self, block, suffix):
+        ts, vs = _merge_case(block, suffix)
+        original = sorted(zip(ts, vs))
+        stats = SortStats()
+        merge_block_into_suffix(ts, vs, 0, len(block), stats)
+        assert ts == sorted(ts)
+        assert sorted(zip(ts, vs)) == original
+
+
+class TestBackwardMergeBlocks:
+    def test_three_block_example(self):
+        # The Figure 2 layout: timestamps 1 and 3 delayed to the heads of the
+        # following blocks.
+        ts = [2, 4, 5, 1, 6, 7, 3, 8, 9]
+        vs = list(range(9))
+        stats = SortStats()
+        backward_merge_blocks(ts, vs, [0, 3, 6, 9], stats)
+        assert ts == list(range(1, 10))
+
+    def test_many_random_blocks(self):
+        rng = random.Random(5)
+        for trial in range(20):
+            n_blocks = rng.randrange(1, 8)
+            blocks = [
+                sorted(rng.randrange(100) for _ in range(rng.randrange(1, 20)))
+                for _ in range(n_blocks)
+            ]
+            ts = [t for b in blocks for t in b]
+            vs = list(range(len(ts)))
+            bounds = [0]
+            for b in blocks:
+                bounds.append(bounds[-1] + len(b))
+            stats = SortStats()
+            backward_merge_blocks(ts, vs, bounds, stats)
+            assert ts == sorted(ts)
+            assert sorted(vs) == list(range(len(vs)))
+
+    def test_mean_overlap_tracked(self):
+        ts = [2, 4, 5, 1, 6, 7, 3, 8, 9]
+        stats = SortStats()
+        backward_merge_blocks(ts, list(range(9)), [0, 3, 6, 9], stats)
+        assert stats.merges == 2
+        assert stats.overlap_total > 0
+        assert stats.mean_overlap == stats.overlap_total / stats.merges
+
+    def test_single_block_is_noop(self):
+        ts = [1, 2, 3]
+        stats = SortStats()
+        backward_merge_blocks(ts, [0, 0, 0], [0, 3], stats)
+        assert ts == [1, 2, 3]
+        assert stats.merges == 0

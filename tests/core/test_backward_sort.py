@@ -1,0 +1,123 @@
+"""Backward-Sort end-to-end: correctness, degenerate cases, knobs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.backward_sort import BackwardSorter, compute_block_bounds
+from repro.errors import InvalidParameterError
+from tests.conftest import assert_sorted_permutation, make_delayed_stream
+
+
+class TestComputeBlockBounds:
+    def test_exact_division(self):
+        assert compute_block_bounds(12, 4) == [0, 4, 8, 12]
+
+    def test_remainder_absorbed_into_last_block(self):
+        bounds = compute_block_bounds(14, 4)
+        assert bounds == [0, 4, 8, 14]
+        assert bounds[-1] - bounds[-2] == 6  # in [L, 2L)
+
+    def test_block_larger_than_n(self):
+        assert compute_block_bounds(3, 10) == [0, 3]
+
+    def test_empty(self):
+        assert compute_block_bounds(0, 4) == [0]
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(InvalidParameterError):
+            compute_block_bounds(10, 0)
+
+
+class TestBackwardSorter:
+    def test_sorts_delay_only_stream(self, medium_stream):
+        ts, vs = medium_stream.sort_input()
+        original = list(zip(ts, vs))
+        stats = BackwardSorter().sort(ts, vs)
+        assert_sorted_permutation(ts, vs, original)
+        assert stats.block_size is not None
+        assert stats.block_count >= 1
+
+    def test_fixed_block_size_one_degenerates_to_insertion(self):
+        ts = [5, 1, 4, 2, 3]
+        stats = BackwardSorter(fixed_block_size=1).sort(ts, list(range(5)))
+        assert ts == [1, 2, 3, 4, 5]
+        assert stats.block_size == 1
+        assert stats.merges == 0  # insertion path, no blocks to merge
+
+    def test_fixed_block_size_n_degenerates_to_quicksort(self):
+        rng = random.Random(0)
+        ts = rng.sample(range(1000), 1000)
+        stats = BackwardSorter(fixed_block_size=1000).sort(ts, list(range(1000)))
+        assert ts == sorted(range(1000))
+        assert stats.block_count == 1
+        assert stats.merges == 0
+
+    def test_found_block_size_between_degenerate_extremes(self):
+        stream = make_delayed_stream(20_000, lam=0.1, seed=9)
+        ts, vs = stream.sort_input()
+        sorter = BackwardSorter()
+        stats = sorter.sort(ts, vs)
+        assert 1 < stats.block_size < len(ts)
+        assert ts == sorted(ts)
+
+    @pytest.mark.parametrize("block_sort", ("quick", "insertion", "tim", "run-adaptive"))
+    def test_block_sort_substitution(self, block_sort):
+        stream = make_delayed_stream(3_000, lam=0.3, seed=4)
+        ts, vs = stream.sort_input()
+        original = list(zip(ts, vs))
+        BackwardSorter(block_sort=block_sort).sort(ts, vs)
+        assert_sorted_permutation(ts, vs, original)
+
+    def test_unknown_block_sort_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BackwardSorter(block_sort="bogo")
+
+    def test_bad_fixed_block_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            BackwardSorter(fixed_block_size=0)
+
+    def test_last_block_size_result_exposed(self):
+        stream = make_delayed_stream(5_000, lam=0.5, seed=1)
+        sorter = BackwardSorter()
+        ts, vs = stream.sort_input()
+        sorter.sort(ts, vs)
+        assert sorter.last_block_size is not None
+        assert sorter.last_block_size.loops >= 1
+
+    def test_overlap_stats_bounded_by_block_reach(self):
+        # On a mildly disordered stream the mean overlap must stay tiny
+        # relative to the block size (the "not-too-distant" payoff).
+        stream = make_delayed_stream(20_000, lam=1.0, seed=6)
+        ts, vs = stream.sort_input()
+        stats = BackwardSorter().sort(ts, vs)
+        if stats.merges:
+            assert stats.mean_overlap < stats.block_size
+
+    @settings(max_examples=30, deadline=None)
+    @given(ts=st.lists(st.integers(0, 10_000), max_size=400))
+    def test_property_arbitrary_input(self, ts):
+        # Backward-Sort must stay correct even when delay-only is violated.
+        vs = list(range(len(ts)))
+        expected = sorted(ts)
+        BackwardSorter().sort(ts, vs)
+        assert ts == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        ts=st.lists(st.integers(0, 10_000), max_size=300),
+        block_size=st.integers(1, 350),
+    )
+    def test_property_any_fixed_block_size(self, ts, block_size):
+        expected = sorted(ts)
+        BackwardSorter(fixed_block_size=block_size).sort(ts, list(range(len(ts))))
+        assert ts == expected
+
+    def test_empty_and_singleton(self):
+        for ts in ([], [7]):
+            out = list(ts)
+            BackwardSorter().sort(out)
+            assert out == ts

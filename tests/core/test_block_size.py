@@ -1,0 +1,116 @@
+"""Set-block-size phase: estimator semantics and Proposition 3 bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.block_size import (
+    BlockSizeResult,
+    empirical_interval_inversion_ratio,
+    find_block_size,
+)
+from repro.core.instrumentation import SortStats
+from repro.errors import InvalidParameterError
+from tests.conftest import make_delayed_stream
+
+
+class TestEmpiricalIIR:
+    def test_example5_style_sampling(self):
+        # An Example 5 analogue: anchors at multiples of L, one sampled pair
+        # per anchor.  Array engineered so exactly one of the four sampled
+        # pairs at L=3 is inverted.
+        ts = [4, 3, 5, 9, 8, 10, 11, 6, 12, 12, 7, 15, 2, 13, 14]
+        # anchors 0,3,6,9: pairs (4,9),(9,11),(11,12),(12,2) -> 1/4
+        assert empirical_interval_inversion_ratio(ts, 3) == pytest.approx(0.25)
+
+    def test_sorted_input_zero(self):
+        assert empirical_interval_inversion_ratio(list(range(100)), 4) == 0.0
+
+    def test_reverse_input_one(self):
+        assert empirical_interval_inversion_ratio(list(range(100, 0, -1)), 4) == 1.0
+
+    def test_interval_beyond_length(self):
+        assert empirical_interval_inversion_ratio([3, 1], 5) == 0.0
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(InvalidParameterError):
+            empirical_interval_inversion_ratio([1, 2, 3], 0)
+        with pytest.raises(InvalidParameterError):
+            empirical_interval_inversion_ratio([1, 2, 3], 2, anchor_stride=0)
+
+    def test_scanned_points_recorded(self):
+        stats = SortStats()
+        empirical_interval_inversion_ratio(list(range(100)), 10, stats=stats)
+        assert stats.scanned_points == 9
+
+    @settings(max_examples=40, deadline=None)
+    @given(ts=st.lists(st.integers(0, 1000), min_size=2, max_size=200), interval=st.integers(1, 50))
+    def test_ratio_in_unit_interval(self, ts, interval):
+        ratio = empirical_interval_inversion_ratio(ts, interval)
+        assert 0.0 <= ratio <= 1.0
+
+
+class TestFindBlockSize:
+    def test_sorted_input_stops_at_l0(self):
+        result = find_block_size(list(range(10_000)), theta=0.04, l0=4)
+        assert result.block_size == 4
+        assert result.loops == 1
+
+    def test_reverse_input_degenerates_to_n(self):
+        n = 1024
+        result = find_block_size(list(range(n, 0, -1)), theta=0.04, l0=4)
+        assert result.block_size == n
+
+    def test_block_size_grows_with_disorder(self):
+        mild = make_delayed_stream(20_000, lam=2.0, seed=1).timestamps
+        wild = make_delayed_stream(20_000, lam=0.02, seed=1).timestamps
+        l_mild = find_block_size(mild).block_size
+        l_wild = find_block_size(wild).block_size
+        assert l_wild > l_mild
+
+    def test_proposition3_scan_bound(self):
+        # Total scanned points <= 2 n / L0 and loops <= log2(n/L0) + 1.
+        import math
+
+        for lam in (0.02, 0.1, 0.5, 2.0):
+            ts = make_delayed_stream(30_000, lam=lam, seed=2).timestamps
+            n = len(ts)
+            l0 = 4
+            result = find_block_size(ts, theta=0.04, l0=l0)
+            assert result.scanned_points <= 2 * n / l0
+            assert result.loops <= math.log2(n / l0) + 2
+
+    def test_ratio_growth_reaches_threshold_faster(self):
+        ts = make_delayed_stream(30_000, lam=0.02, seed=3).timestamps
+        doubling = find_block_size(ts, growth="double")
+        ratio = find_block_size(ts, growth="ratio")
+        assert ratio.loops <= doubling.loops
+        assert ratio.block_size >= 1
+
+    def test_stats_accumulated(self):
+        stats = SortStats()
+        result = find_block_size(make_delayed_stream(5_000).timestamps, stats=stats)
+        assert stats.block_size_loops == result.loops
+        assert stats.scanned_points == result.scanned_points
+
+    def test_history_records_each_probe(self):
+        result = find_block_size(make_delayed_stream(5_000, lam=0.1).timestamps)
+        assert len(result.history) == result.loops
+        sizes = [size for size, _ in result.history]
+        assert sizes == sorted(sizes)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            find_block_size([1, 2], theta=0.0)
+        with pytest.raises(InvalidParameterError):
+            find_block_size([1, 2], theta=1.5)
+        with pytest.raises(InvalidParameterError):
+            find_block_size([1, 2], l0=0)
+        with pytest.raises(InvalidParameterError):
+            find_block_size([1, 2], growth="triple")
+
+    def test_empty_and_tiny_inputs(self):
+        assert isinstance(find_block_size([]), BlockSizeResult)
+        assert find_block_size([5]).block_size >= 1
+        assert find_block_size([2, 1]).block_size >= 1

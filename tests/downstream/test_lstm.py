@@ -1,0 +1,109 @@
+"""LSTM: gradient correctness, learning ability, forecast pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.downstream import (
+    LSTMForecaster,
+    disorder_impact,
+    make_windows,
+    train_and_evaluate,
+)
+from repro.errors import InvalidParameterError
+
+
+class TestGradients:
+    def test_bptt_matches_numerical_gradients(self):
+        model = LSTMForecaster(input_size=2, hidden_size=3, seed=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 4, 2))
+        y = rng.normal(size=5)
+        _, cache = model._forward(x)
+        _, grads = model._backward(cache, y)
+
+        def loss():
+            pred, _ = model._forward(x)
+            return float(np.mean((pred - y) ** 2))
+
+        eps = 1e-6
+        for tensor, grad in zip(model.params.tensors(), grads.tensors()):
+            flat = tensor.reshape(-1)
+            grad_flat = grad.reshape(-1)
+            for idx in range(0, flat.size, max(1, flat.size // 5)):
+                orig = flat[idx]
+                flat[idx] = orig + eps
+                lp = loss()
+                flat[idx] = orig - eps
+                lm = loss()
+                flat[idx] = orig
+                numeric = (lp - lm) / (2 * eps)
+                assert numeric == pytest.approx(grad_flat[idx], rel=1e-4, abs=1e-7)
+
+
+class TestLearning:
+    def test_loss_decreases_on_sine(self):
+        values = np.sin(np.arange(800) * 2 * np.pi / 40)
+        x, y = make_windows(values, window=10)
+        model = LSTMForecaster(hidden_size=2, seed=0)
+        history = model.fit(x, y, epochs=8, seed=0)
+        assert history[-1] < history[0] / 2
+
+    def test_forecast_accuracy_on_clean_sine(self):
+        values = np.sin(np.arange(1_200) * 2 * np.pi / 60)
+        outcome = train_and_evaluate(values, epochs=10, seed=1)
+        assert outcome.test_mse < 0.05
+
+    def test_deterministic_by_seed(self):
+        values = np.sin(np.arange(400) * 2 * np.pi / 40)
+        a = train_and_evaluate(values, epochs=3, seed=5)
+        b = train_and_evaluate(values, epochs=3, seed=5)
+        assert a.test_mse == b.test_mse
+
+    def test_predict_shape(self):
+        model = LSTMForecaster(seed=0)
+        x = np.zeros((7, 10, 1))
+        assert model.predict(x).shape == (7,)
+
+
+class TestValidation:
+    def test_bad_construction(self):
+        with pytest.raises(InvalidParameterError):
+            LSTMForecaster(input_size=0)
+        with pytest.raises(InvalidParameterError):
+            LSTMForecaster(hidden_size=0)
+        with pytest.raises(InvalidParameterError):
+            LSTMForecaster(learning_rate=0.0)
+
+    def test_make_windows_shapes(self):
+        x, y = make_windows(np.arange(20.0), window=5)
+        assert x.shape == (15, 5, 1)
+        assert y.shape == (15,)
+        assert list(x[0, :, 0]) == [0, 1, 2, 3, 4]
+        assert y[0] == 5.0
+
+    def test_make_windows_needs_enough_data(self):
+        with pytest.raises(InvalidParameterError):
+            make_windows(np.arange(5.0), window=10)
+        with pytest.raises(InvalidParameterError):
+            make_windows(np.arange(20.0), window=0)
+
+    def test_fit_length_mismatch(self):
+        model = LSTMForecaster(seed=0)
+        with pytest.raises(InvalidParameterError):
+            model.fit(np.zeros((4, 10, 1)), np.zeros(3), epochs=1)
+
+    def test_train_fraction_validated(self):
+        with pytest.raises(InvalidParameterError):
+            train_and_evaluate(np.arange(100.0), train_fraction=1.0)
+
+
+class TestDisorderImpact:
+    def test_figure22_shape(self):
+        rows = disorder_impact(sigmas=(0.0, 1.0, 4.0), n=1_200, epochs=6, seed=2)
+        assert [r.sigma for r in rows] == [0.0, 1.0, 4.0]
+        assert rows[0].test_ratio == pytest.approx(1.0)
+        # The paper's finding: loss grows with the disorder degree.
+        assert rows[-1].test_mse > rows[0].test_mse
+        assert rows[-1].train_mse > rows[0].train_mse

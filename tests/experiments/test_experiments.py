@@ -1,0 +1,242 @@
+"""Experiment drivers: every figure regenerates with the paper's shape.
+
+These are integration tests at "tiny" scale: they assert the qualitative
+findings the paper reports for each figure, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    delay_pdf,
+    downstream_forecast,
+    merge_moves,
+    parameter_tuning,
+    sort_time_array_size,
+    sort_time_realworld,
+    sort_time_sigma,
+    system_flush,
+    system_latency,
+    system_throughput,
+)
+
+
+def _mean_time(rows, algorithm, **filters):
+    picked = [
+        r
+        for r in rows
+        if r.algorithm == algorithm
+        and all(getattr(r, k) == v for k, v in filters.items())
+    ]
+    assert picked, f"no rows for {algorithm} with {filters}"
+    return sum(r.mean_seconds for r in picked) / len(picked)
+
+
+class TestFig2MergeMoves:
+    def test_rows_and_shape(self):
+        rows = merge_moves.run(block_lengths=(4, 64))
+        assert len(rows) == 2
+        for r in rows:
+            assert r.backward_moves < r.straight_moves
+            assert r.model_straight == 4 * r.m + 4
+            assert r.model_backward == 3 * r.m + 7
+
+
+class TestFig5DelayPdf:
+    def test_pdf_agreement_and_symmetry(self):
+        rows = delay_pdf.run_pdf_curves(lambdas=(2.0,), ts=(-1.0, 0.0, 1.0))
+        by_t = {r.t: r for r in rows}
+        assert by_t[0.0].closed_form == pytest.approx(1.0)
+        for r in rows:
+            assert r.numeric == pytest.approx(r.closed_form, rel=1e-3)
+        assert by_t[1.0].numeric == pytest.approx(by_t[-1.0].numeric, rel=1e-3)
+
+    def test_example6_alpha(self):
+        rows = delay_pdf.run_alpha_check(n=100_000, seed=1)
+        for r in rows:
+            assert r.empirical == pytest.approx(r.theoretical, rel=0.25, abs=5e-5)
+
+
+class TestFig8Tuning:
+    def test_iir_profiles_separate_datasets(self):
+        rows = parameter_tuning.run_iir_profiles(scale="tiny", seed=1)
+        samsung_big_l = [
+            r.alpha
+            for r in rows
+            if r.dataset.startswith("samsung") and r.interval >= 64
+        ]
+        assert all(alpha == 0.0 for alpha in samsung_big_l)
+        citibike_small_l = [
+            r.alpha
+            for r in rows
+            if r.dataset == "citibike-201808" and r.interval <= 4
+        ]
+        assert all(alpha > 0.05 for alpha in citibike_small_l)
+
+    def test_block_size_sweep_has_interior_optimum_for_mild_disorder(self):
+        rows = parameter_tuning.run_block_size_sweep(
+            scale="tiny", seed=1, repeats=2, datasets=("samsung-s10",)
+        )
+        best = parameter_tuning.best_block_size(rows, "samsung-s10")
+        sizes = sorted({r.block_size for r in rows})
+        assert best not in (sizes[0], sizes[-1])  # strictly between extremes
+
+
+class TestSortTimeFigures:
+    def test_fig9_time_grows_with_sigma_and_backward_wins(self):
+        rows = sort_time_sigma.run(
+            family="absnormal",
+            scale="tiny",
+            mus=(1.0,),
+            sigmas=(0.5, 4.0),
+            algorithms=("backward", "quick"),
+            repeats=2,
+            seed=3,
+        )
+        calm = _mean_time(rows, "quick", dataset="absnormal(1,0.5)")
+        rough = _mean_time(rows, "quick", dataset="absnormal(1,4)")
+        assert rough > calm
+        assert _mean_time(rows, "backward") < _mean_time(rows, "quick")
+
+    def test_fig10_lognormal_runs(self):
+        rows = sort_time_sigma.run(
+            family="lognormal",
+            scale="tiny",
+            mus=(1.0,),
+            sigmas=(1.0,),
+            algorithms=("backward", "tim"),
+            repeats=2,
+            seed=3,
+        )
+        assert len(rows) == 2
+        assert all(r.mean_seconds > 0 for r in rows)
+
+    def test_fig11_backward_beats_quick_on_mild_disorder(self):
+        rows = sort_time_realworld.run(
+            scale="small",
+            datasets=("samsung-d5", "samsung-s10"),
+            algorithms=("backward", "quick"),
+            repeats=2,
+            seed=3,
+        )
+        for dataset in ("samsung-d5", "samsung-s10"):
+            assert _mean_time(rows, "backward", dataset=dataset) < _mean_time(
+                rows, "quick", dataset=dataset
+            )
+
+    def test_fig12_time_grows_with_array_size(self):
+        rows = sort_time_array_size.run(
+            scale="small", algorithms=("backward",), repeats=2, seed=3
+        )
+        for dataset in {r.dataset for r in rows}:
+            sizes = sorted(r.n for r in rows if r.dataset == dataset)
+            small = _mean_time(rows, "backward", dataset=dataset, n=sizes[0])
+            large = _mean_time(rows, "backward", dataset=dataset, n=sizes[-1])
+            assert large > small
+
+
+class TestSystemFigures:
+    def test_fig13_throughput_rows(self):
+        rows = system_throughput.run(family="realworld", scale="tiny", seed=4)
+        assert {r.sorter for r in rows} >= {"backward", "quick", "tim"}
+        queried = [r for r in rows if r.queries_executed > 0]
+        assert queried, "no cell of the sweep executed a query"
+        assert all(r.query_throughput > 0 for r in queried)
+
+    def test_fig16_flush_time_includes_wp_one(self):
+        rows = system_flush.run(family="absnormal", scale="tiny", seed=4)
+        assert 1.0 in {r.write_percentage for r in rows}
+        assert all(r.mean_flush_seconds > 0 for r in rows)
+        assert all(r.flush_sort_seconds <= r.mean_flush_seconds * 1.01 for r in rows)
+
+    def test_fig19_latency_rows(self):
+        rows = system_latency.run(family="lognormal", scale="tiny", seed=4)
+        assert all(r.total_seconds > 0 for r in rows)
+
+    def test_unknown_family_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            system_latency.run(family="nope", scale="tiny")
+
+
+class TestFig22Downstream:
+    def test_loss_grows_with_sigma(self):
+        rows = downstream_forecast.run(scale="tiny", seed=5)
+        assert rows[0].sigma == 0.0
+        assert rows[-1].test_mse > rows[0].test_mse
+
+    def test_unknown_scale_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            downstream_forecast.run(scale="galactic")
+
+
+class TestRunnerCLI:
+    def test_list(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "fig22" in out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig99"]) == 2
+
+    def test_run_one(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "backward" in out
+
+    def test_output_dir(self, tmp_path, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig2", "--scale", "tiny", "--output-dir", str(tmp_path)]) == 0
+        saved = tmp_path / "fig2.txt"
+        assert saved.exists()
+        assert "backward" in saved.read_text()
+
+
+class TestOutageExperiment:
+    def test_rows_and_burst_scaling(self):
+        from repro.experiments import outage_robustness
+
+        rows = outage_robustness.run(
+            scale="tiny", algorithms=("backward", "quick"), repeats=2, seed=7
+        )
+        assert len(rows) == 6  # 3 outage lengths x 2 algorithms
+        # Heavier outages cost more for the quicksort baseline.
+        quick = [r for r in rows if r.algorithm == "quick"]
+        assert quick[-1].comparisons > quick[0].comparisons
+
+
+class TestProp6Experiment:
+    def test_regimes_and_exponents(self):
+        from repro.experiments import complexity_check
+
+        rows = complexity_check.run(scale="tiny", seed=11)
+        assert len(rows) == 16  # 2 regimes x 2 algorithms x 4 rungs
+        # Mild disorder: Backward's op count grows ~linearly and stays far
+        # below Quicksort's.
+        mild_b = [r for r in rows if r.regime.startswith("mild") and r.algorithm == "backward"]
+        mild_q = [r for r in rows if r.regime.startswith("mild") and r.algorithm == "quick"]
+        assert mild_b[-1].operations < mild_q[-1].operations / 2
+        exps = [r.local_exponent for r in mild_b if r.local_exponent is not None]
+        assert all(0.8 <= e <= 1.25 for e in exps)
+        # Heavy disorder: degenerate regime - same order of magnitude as quick.
+        heavy_b = [r for r in rows if r.regime.startswith("heavy") and r.algorithm == "backward"][-1]
+        heavy_q = [r for r in rows if r.regime.startswith("heavy") and r.algorithm == "quick"][-1]
+        assert heavy_b.operations < heavy_q.operations * 1.5
+
+    def test_unknown_scale(self):
+        from repro.errors import InvalidParameterError
+        from repro.experiments import complexity_check
+
+        with pytest.raises(InvalidParameterError):
+            complexity_check.run(scale="galactic")

@@ -1,0 +1,106 @@
+"""Compaction: query equivalence, file consolidation, fast-path restoration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.iotdb import IoTDBConfig, Space, StorageEngine
+from tests.conftest import make_delayed_stream
+
+
+def _engine(threshold=200, data_dir=None):
+    return StorageEngine(
+        IoTDBConfig(memtable_flush_threshold=threshold, page_size=64, data_dir=data_dir)
+    )
+
+
+class TestCompaction:
+    def test_noop_when_nothing_sealed(self):
+        engine = _engine()
+        report = engine.compact()
+        assert report.files_before == 0
+        assert report.files_after == 0
+        assert report.points_written == 0
+
+    def test_consolidates_files(self):
+        engine = _engine(threshold=100)
+        for t in range(550):
+            engine.write("d", "s", t, float(t))
+        engine.flush_all()
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 6
+        report = engine.compact()
+        assert report.files_before == 6
+        assert report.files_after == 1
+        assert report.points_written == 550
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 1
+        result = engine.query("d", "s", 0, 550)
+        assert result.timestamps == list(range(550))
+
+    def test_unseq_overwrites_win_through_compaction(self):
+        engine = _engine(threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, 1.0)  # sealed seq; watermark 99
+        for t in range(30):
+            engine.write("d", "s", t, 2.0)  # unseq rewrites
+        engine.flush_all()
+        assert engine.sealed_file_count()[Space.UNSEQUENCE] == 1
+        report = engine.compact()
+        assert report.unseq_files_merged == 1
+        assert engine.sealed_file_count()[Space.UNSEQUENCE] == 0
+        result = engine.query("d", "s", 0, 100)
+        assert result.values[:30] == [2.0] * 30
+        assert result.values[30:] == [1.0] * 70
+
+    def test_restores_aggregation_fast_path(self):
+        engine = _engine(threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, 1.0)
+        for t in range(30):
+            engine.write("d", "s", t, 2.0)
+        engine.flush_all()
+        before = engine.aggregate("d", "s", 0, 100)
+        assert before.pages_skipped == 0  # unseq file blocks the fast path
+        engine.compact()
+        after = engine.aggregate("d", "s", 0, 100)
+        assert after.pages_skipped > 0
+        assert after.count == before.count
+        assert after.sum == pytest.approx(before.sum)
+
+    def test_multiple_devices_preserved(self):
+        engine = _engine(threshold=100)
+        for t in range(150):
+            engine.write("d1", "s", t, float(t))
+            engine.write("d2", "s", t, float(-t))
+        engine.flush_all()
+        engine.compact()
+        assert engine.query("d1", "s", 0, 150).values == [float(t) for t in range(150)]
+        assert engine.query("d2", "s", 0, 150).values == [float(-t) for t in range(150)]
+
+    def test_on_disk_files_replaced(self, tmp_path):
+        engine = _engine(threshold=100, data_dir=tmp_path / "data")
+        for t in range(350):
+            engine.write("d", "s", t, float(t))
+        engine.flush_all()
+        files_before = set((tmp_path / "data").glob("*.tsfile"))
+        assert len(files_before) == 4
+        engine.compact()
+        files_after = set((tmp_path / "data").glob("*.tsfile"))
+        assert len(files_after) == 1
+        assert files_after.isdisjoint(files_before)
+        assert engine.query("d", "s", 0, 350).timestamps == list(range(350))
+        engine.close()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50), threshold=st.sampled_from([75, 150, 400]))
+    def test_query_equivalence_property(self, seed, threshold):
+        stream = make_delayed_stream(600, lam=0.1, seed=seed)
+        engine = _engine(threshold=threshold)
+        for t, v in zip(stream.timestamps, stream.values):
+            engine.write("d", "s", t, v)
+        engine.flush_all()
+        before = engine.query("d", "s", 0, 600)
+        engine.compact()
+        after = engine.query("d", "s", 0, 600)
+        assert after.timestamps == before.timestamps
+        assert after.values == before.values

@@ -1,0 +1,99 @@
+"""Deferred (asynchronous-style) flushing: queued memtables stay queryable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iotdb import IoTDBConfig, MemTableState, Space, StorageEngine
+from tests.conftest import make_delayed_stream
+
+
+def _engine(**kw):
+    defaults = dict(memtable_flush_threshold=200, deferred_flush=True)
+    defaults.update(kw)
+    return StorageEngine(IoTDBConfig(**defaults))
+
+
+class TestDeferredFlush:
+    def test_memtables_queue_instead_of_flushing(self):
+        engine = _engine()
+        for t in range(650):
+            engine.write("d", "s", t, float(t))
+        assert engine.pending_flushes() == 3
+        assert engine.metrics.seq_flushes == 0
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 0
+
+    def test_flushing_memtables_are_queryable(self):
+        engine = _engine()
+        stream = make_delayed_stream(650, lam=0.3, seed=1)
+        for t, v in zip(stream.timestamps, stream.values):
+            engine.write("d", "s", t, v)
+        assert engine.pending_flushes() >= 2
+        result = engine.query("d", "s", 0, 650)
+        assert result.timestamps == list(range(650))
+
+    def test_drain_seals_files(self):
+        engine = _engine()
+        for t in range(650):
+            engine.write("d", "s", t, float(t))
+        reports = engine.drain_flushes()
+        assert len(reports) == 3
+        assert engine.pending_flushes() == 0
+        assert engine.metrics.seq_flushes == 3
+        assert engine.query("d", "s", 0, 650).timestamps == list(range(650))
+
+    def test_watermark_advances_at_retirement(self):
+        engine = _engine(memtable_flush_threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        # Not yet flushed to disk, but the memtable is immutable: late
+        # points must already route to unsequence space.
+        assert engine.pending_flushes() == 1
+        assert engine.separation.watermark("d") == 99
+        engine.write("d", "s", 5, 0.5)
+        assert engine.separation.routed_counts()[Space.UNSEQUENCE] == 1
+        engine.flush_all()
+        result = engine.query("d", "s", 0, 100)
+        assert result.values[5] == 0.5
+
+    def test_flush_all_covers_working_and_queued(self):
+        engine = _engine()
+        for t in range(450):
+            engine.write("d", "s", t, float(t))
+        assert engine.pending_flushes() == 2  # 2 retired, 50 pts working
+        reports = engine.flush_all()
+        assert len(reports) == 3
+        assert engine.pending_flushes() == 0
+
+    def test_inline_mode_never_queues(self):
+        engine = _engine(deferred_flush=False)
+        for t in range(650):
+            engine.write("d", "s", t, float(t))
+        assert engine.pending_flushes() == 0
+        assert engine.metrics.seq_flushes == 3
+
+    def test_queued_memtable_state(self):
+        engine = _engine()
+        for t in range(250):
+            engine.write("d", "s", t, float(t))
+        assert all(m.state is MemTableState.FLUSHING for _, m in engine._flushing)
+
+    def test_equivalence_inline_vs_deferred(self):
+        stream = make_delayed_stream(1_000, lam=0.2, seed=2)
+        results = []
+        for deferred in (False, True):
+            engine = _engine(deferred_flush=deferred, memtable_flush_threshold=150)
+            for t, v in zip(stream.timestamps, stream.values):
+                engine.write("d", "s", t, v)
+            result = engine.query("d", "s", 0, 1_000)
+            results.append((result.timestamps, result.values))
+        assert results[0] == results[1]
+
+    def test_latest_time_sees_queued_memtables(self):
+        engine = _engine(memtable_flush_threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        # All data sits in the FLUSHING queue: no sealed file, empty working.
+        assert engine.pending_flushes() == 1
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 0
+        assert engine.latest_time("d", "s") == 99

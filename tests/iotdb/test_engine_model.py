@@ -1,0 +1,61 @@
+"""Model-based integration test: the engine vs a last-write-wins dict.
+
+Hypothesis drives random interleavings of writes (including duplicate and
+far-past timestamps), flushes, and queries against the full StorageEngine;
+a plain dict per column is the reference model.  Whatever the operation
+order, every query must return exactly the model's points sorted by time.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.iotdb import IoTDBConfig, StorageEngine
+
+_DEVICES = ("d1", "d2")
+_SENSOR = "s"
+
+_write = st.tuples(
+    st.just("write"),
+    st.sampled_from(_DEVICES),
+    st.integers(0, 300),  # timestamp: small range to force duplicates/late points
+    st.floats(-100, 100, allow_nan=False),
+)
+_flush = st.tuples(st.just("flush"), st.none(), st.none(), st.none())
+_query = st.tuples(
+    st.just("query"),
+    st.sampled_from(_DEVICES),
+    st.integers(0, 250),
+    st.integers(1, 100),  # window width
+)
+
+_ops = st.lists(st.one_of(_write, _flush, _query), min_size=1, max_size=120)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops, sorter=st.sampled_from(("backward", "tim", "quick")))
+def test_engine_matches_reference_model(ops, sorter):
+    engine = StorageEngine(
+        IoTDBConfig(sorter=sorter, memtable_flush_threshold=25)
+    )
+    model: dict[str, dict[int, float]] = {d: {} for d in _DEVICES}
+    for kind, device, a, b in ops:
+        if kind == "write":
+            engine.write(device, _SENSOR, a, b)
+            model[device][a] = b
+        elif kind == "flush":
+            engine.flush_all()
+        else:
+            start, width = a, b
+            result = engine.query(device, _SENSOR, start, start + width)
+            expected = sorted(
+                (t, v) for t, v in model[device].items() if start <= t < start + width
+            )
+            assert result.timestamps == [t for t, _ in expected]
+            assert result.values == [v for _, v in expected]
+    # Final full-range check for both devices.
+    for device in _DEVICES:
+        result = engine.query(device, _SENSOR, 0, 301)
+        expected = sorted(model[device].items())
+        assert result.timestamps == [t for t, _ in expected]
+        assert result.values == [v for _, v in expected]

@@ -1,0 +1,152 @@
+"""Flush pipeline and query executor specifics."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.iotdb import (
+    IoTDBConfig,
+    MemTable,
+    TsFileReader,
+    TsFileWriter,
+    flush_memtable,
+)
+from repro.iotdb.query import TimeRangeQueryExecutor
+from repro.errors import QueryError
+from repro.sorting import get_sorter
+from tests.conftest import make_delayed_stream
+
+
+def _flushing_memtable(stream, config=None, device="d", sensor="s"):
+    memtable = MemTable(config or IoTDBConfig(memtable_flush_threshold=10**9))
+    memtable.write_batch(device, sensor, stream.timestamps, stream.values)
+    memtable.mark_flushing()
+    return memtable
+
+
+class TestFlushPipeline:
+    def test_flushed_file_is_sorted_and_complete(self):
+        stream = make_delayed_stream(2_000, lam=0.3, seed=1)
+        memtable = _flushing_memtable(stream)
+        buf = io.BytesIO()
+        flush_memtable(memtable, TsFileWriter(buf), get_sorter("backward"))
+        reader = TsFileReader(buf)
+        ts, vs = reader.read_chunk("d", "s")
+        assert ts == sorted(stream.timestamps)
+
+    def test_duplicates_deduped_keeping_last(self):
+        memtable = MemTable(IoTDBConfig())
+        memtable.write_batch("d", "s", [1, 2, 2, 3, 1], [1.0, 2.0, 20.0, 3.0, 10.0])
+        memtable.mark_flushing()
+        buf = io.BytesIO()
+        report = flush_memtable(memtable, TsFileWriter(buf), get_sorter("tim"))
+        reader = TsFileReader(buf)
+        ts, vs = reader.read_chunk("d", "s")
+        assert ts == [1, 2, 3]
+        assert vs == [10.0, 20.0, 3.0]  # last write wins (stable sort)
+        assert report.chunks[0].deduped_points == 3
+        assert report.chunks[0].points == 5
+
+    def test_report_sums_per_chunk(self):
+        stream = make_delayed_stream(1_000, seed=2)
+        memtable = MemTable(IoTDBConfig())
+        half = len(stream) // 2
+        memtable.write_batch("d1", "s", stream.timestamps[:half], stream.values[:half])
+        memtable.write_batch("d2", "s", stream.timestamps[half:], stream.values[half:])
+        memtable.mark_flushing()
+        report = flush_memtable(memtable, TsFileWriter(io.BytesIO()), get_sorter("quick"))
+        assert len(report.chunks) == 2
+        assert report.sort_seconds == pytest.approx(
+            sum(c.sort_seconds for c in report.chunks)
+        )
+        assert report.total_points == 1_000
+        assert report.file_bytes > 0
+
+    def test_flush_marks_memtable_flushed(self):
+        from repro.iotdb import MemTableState
+
+        memtable = _flushing_memtable(make_delayed_stream(100, seed=3))
+        flush_memtable(memtable, TsFileWriter(io.BytesIO()), get_sorter("merge"))
+        assert memtable.state is MemTableState.FLUSHED
+
+    def test_empty_memtable_flushes_cleanly(self):
+        memtable = MemTable(IoTDBConfig())
+        memtable.mark_flushing()
+        report = flush_memtable(memtable, TsFileWriter(io.BytesIO()), get_sorter("tim"))
+        assert report.total_points == 0
+        assert report.chunks == []
+
+
+class TestQueryExecutor:
+    def _reader_with(self, ts, vs, device="d", sensor="s"):
+        buf = io.BytesIO()
+        writer = TsFileWriter(buf)
+        from repro.iotdb.config import TSDataType
+
+        writer.write_chunk(device, sensor, TSDataType.DOUBLE, ts, vs)
+        writer.close()
+        return TsFileReader(buf)
+
+    def test_merges_files_and_memtable(self):
+        executor = TimeRangeQueryExecutor(get_sorter("backward"))
+        reader = self._reader_with([0, 1, 2], [0.0, 1.0, 2.0])
+        memtable = MemTable(IoTDBConfig())
+        memtable.write_batch("d", "s", [3, 5, 4], [3.0, 5.0, 4.0])
+        result = executor.execute(
+            "d", "s", 0, 10,
+            seq_readers=[reader], unseq_readers=[],
+            flushing_memtables=[], working_memtable=memtable,
+        )
+        assert result.timestamps == [0, 1, 2, 3, 4, 5]
+        assert result.values == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_freshness_order(self):
+        # Same timestamp everywhere: the working memtable must win.
+        executor = TimeRangeQueryExecutor(get_sorter("tim"))
+        seq = self._reader_with([5], [1.0])
+        unseq = self._reader_with([5], [2.0])
+        flushing = MemTable(IoTDBConfig())
+        flushing.write("d", "s", 5, 3.0)
+        working = MemTable(IoTDBConfig())
+        working.write("d", "s", 5, 4.0)
+        result = executor.execute(
+            "d", "s", 0, 10,
+            seq_readers=[seq], unseq_readers=[unseq],
+            flushing_memtables=[flushing], working_memtable=working,
+        )
+        assert result.values == [4.0]
+
+    def test_window_filters_memtable_points(self):
+        executor = TimeRangeQueryExecutor(get_sorter("backward"))
+        memtable = MemTable(IoTDBConfig())
+        memtable.write_batch("d", "s", [1, 50, 99], [1.0, 50.0, 99.0])
+        result = executor.execute(
+            "d", "s", 40, 60,
+            seq_readers=[], unseq_readers=[],
+            flushing_memtables=[], working_memtable=memtable,
+        )
+        assert result.timestamps == [50]
+
+    def test_rejects_empty_range(self):
+        executor = TimeRangeQueryExecutor(get_sorter("backward"))
+        with pytest.raises(QueryError):
+            executor.execute(
+                "d", "s", 5, 5,
+                seq_readers=[], unseq_readers=[],
+                flushing_memtables=[], working_memtable=None,
+            )
+
+    def test_stats_scanned_vs_returned(self):
+        executor = TimeRangeQueryExecutor(get_sorter("backward"))
+        memtable = MemTable(IoTDBConfig())
+        memtable.write_batch("d", "s", list(range(100)), [float(i) for i in range(100)])
+        result = executor.execute(
+            "d", "s", 10, 20,
+            seq_readers=[], unseq_readers=[],
+            flushing_memtables=[], working_memtable=memtable,
+        )
+        assert result.stats.points_scanned == 100
+        assert result.stats.points_returned == 10
+        assert result.stats.total_seconds > 0

@@ -1,0 +1,153 @@
+"""MemTable lifecycle, separation policy, and write-ahead log."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import InvalidParameterError, MemTableFlushedError, WalCorruptionError
+from repro.iotdb import (
+    IoTDBConfig,
+    MemTable,
+    MemTableState,
+    SeparationPolicy,
+    Space,
+    TSDataType,
+    WriteAheadLog,
+)
+
+
+class TestMemTable:
+    def test_write_and_chunk_layout(self):
+        mt = MemTable(IoTDBConfig(memtable_flush_threshold=100))
+        mt.write("d1", "s1", 10, 1.0)
+        mt.write("d1", "s2", 10, 5)
+        mt.write("d2", "s1", 11, 2.0)
+        assert mt.total_points == 3
+        assert mt.devices() == ["d1", "d2"]
+        assert [key[:2] for key in [(d, s) for d, s, _ in mt.iter_chunks()]] == [
+            ("d1", "s1"),
+            ("d1", "s2"),
+            ("d2", "s1"),
+        ]
+
+    def test_schema_inference_and_stickiness(self):
+        mt = MemTable()
+        mt.write("d", "s", 1, 1.5)
+        assert mt.chunk_dtype("d", "s") is TSDataType.DOUBLE
+        with pytest.raises(InvalidParameterError):
+            mt.write("d", "s", 2, "text")  # dtype pinned to DOUBLE
+
+    def test_timestamp_must_be_int(self):
+        mt = MemTable()
+        with pytest.raises(InvalidParameterError):
+            mt.write("d", "s", 1.5, 1.0)
+        with pytest.raises(InvalidParameterError):
+            mt.write("d", "s", True, 1.0)
+
+    def test_should_flush_threshold(self):
+        mt = MemTable(IoTDBConfig(memtable_flush_threshold=3))
+        for t in range(2):
+            mt.write("d", "s", t, 1.0)
+        assert not mt.should_flush()
+        mt.write("d", "s", 2, 1.0)
+        assert mt.should_flush()
+
+    def test_state_machine(self):
+        mt = MemTable()
+        mt.write("d", "s", 1, 1.0)
+        assert mt.state is MemTableState.WORKING
+        mt.mark_flushing()
+        assert mt.state is MemTableState.FLUSHING
+        with pytest.raises(MemTableFlushedError):
+            mt.write("d", "s", 2, 2.0)
+        with pytest.raises(MemTableFlushedError):
+            mt.mark_flushing()
+        mt.mark_flushed()
+        assert mt.state is MemTableState.FLUSHED
+        with pytest.raises(MemTableFlushedError):
+            mt.mark_flushed()
+
+    def test_write_batch(self):
+        mt = MemTable()
+        mt.write_batch("d", "s", [1, 2, 3], [1.0, 2.0, 3.0])
+        assert mt.total_points == 3
+        with pytest.raises(InvalidParameterError):
+            mt.write_batch("d", "s", [1], [1.0, 2.0])
+
+
+class TestSeparationPolicy:
+    def test_routes_seq_before_any_flush(self):
+        policy = SeparationPolicy()
+        assert policy.route("d", 100) is Space.SEQUENCE
+        assert policy.watermark("d") is None
+
+    def test_routes_unseq_at_or_below_watermark(self):
+        policy = SeparationPolicy()
+        policy.update_watermark("d", 100)
+        assert policy.route("d", 100) is Space.UNSEQUENCE
+        assert policy.route("d", 50) is Space.UNSEQUENCE
+        assert policy.route("d", 101) is Space.SEQUENCE
+
+    def test_watermark_monotone(self):
+        policy = SeparationPolicy()
+        policy.update_watermark("d", 100)
+        policy.update_watermark("d", 50)  # must not regress
+        assert policy.watermark("d") == 100
+
+    def test_per_device_isolation(self):
+        policy = SeparationPolicy()
+        policy.update_watermark("d1", 100)
+        assert policy.route("d2", 5) is Space.SEQUENCE
+
+    def test_disabled_policy_routes_everything_seq(self):
+        policy = SeparationPolicy(enabled=False)
+        policy.update_watermark("d", 100)
+        assert policy.route("d", 1) is Space.SEQUENCE
+
+    def test_routed_counts(self):
+        policy = SeparationPolicy()
+        policy.update_watermark("d", 10)
+        policy.route("d", 5)
+        policy.route("d", 20)
+        counts = policy.routed_counts()
+        assert counts[Space.UNSEQUENCE] == 1
+        assert counts[Space.SEQUENCE] == 1
+
+
+class TestWriteAheadLog:
+    def test_append_replay_roundtrip(self):
+        wal = WriteAheadLog()
+        records = [("d1", "s1", 5, 1.5), ("d1", "s2", 6, "x"), ("d2", "s1", 7, True)]
+        for r in records:
+            wal.append(*r)
+        assert list(wal.replay()) == records
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        wal.append("d", "s", 1, 1.0)
+        wal.truncate()
+        assert list(wal.replay()) == []
+        assert wal.size_bytes() == 0
+
+    def test_torn_tail_tolerated(self):
+        buf = io.BytesIO()
+        wal = WriteAheadLog(buf)
+        wal.append("d", "s", 1, 1.0)
+        wal.append("d", "s", 2, 2.0)
+        # Simulate a crash mid-append: chop the last few bytes.
+        data = buf.getvalue()[:-3]
+        recovered = WriteAheadLog(io.BytesIO(data))
+        assert list(recovered.replay()) == [("d", "s", 1, 1.0)]
+
+    def test_corruption_raises_in_strict_mode(self):
+        buf = io.BytesIO()
+        wal = WriteAheadLog(buf)
+        wal.append("d", "s", 1, 1.0)
+        data = bytearray(buf.getvalue())
+        data[6] ^= 0xFF  # corrupt the payload
+        bad = WriteAheadLog(io.BytesIO(bytes(data)))
+        with pytest.raises(WalCorruptionError):
+            list(bad.replay(strict=True))
+        assert list(bad.replay()) == []  # lenient mode stops silently

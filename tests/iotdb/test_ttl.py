@@ -1,0 +1,84 @@
+"""TTL: event-time expiry at query, aggregation, and flush."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.iotdb import IoTDBConfig, StorageEngine
+
+
+def _engine(ttl, threshold=10_000, **kw):
+    return StorageEngine(
+        IoTDBConfig(ttl=ttl, memtable_flush_threshold=threshold, **kw)
+    )
+
+
+class TestTTLQueries:
+    def test_expired_points_invisible(self):
+        engine = _engine(ttl=10)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        result = engine.query("d", "s", 0, 100)
+        # latest=99, ttl=10 -> live window [90, 99].
+        assert result.timestamps == list(range(90, 100))
+
+    def test_window_fully_expired(self):
+        engine = _engine(ttl=10)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        result = engine.query("d", "s", 0, 50)
+        assert len(result) == 0
+
+    def test_ttl_moves_with_latest_event(self):
+        engine = _engine(ttl=10)
+        engine.write("d", "s", 0, 0.0)
+        assert len(engine.query("d", "s", 0, 100)) == 1
+        engine.write("d", "s", 50, 1.0)  # pushes the live window forward
+        result = engine.query("d", "s", 0, 100)
+        assert result.timestamps == [50]
+
+    def test_no_ttl_keeps_everything(self):
+        engine = _engine(ttl=None)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        assert len(engine.query("d", "s", 0, 100)) == 100
+
+    def test_aggregate_respects_ttl(self):
+        engine = _engine(ttl=10)
+        for t in range(100):
+            engine.write("d", "s", t, 1.0)
+        agg = engine.aggregate("d", "s", 0, 100)
+        assert agg.count == 10
+        agg = engine.aggregate("d", "s", 0, 50)
+        assert agg.count == 0
+
+    def test_aggregate_fast_path_respects_ttl(self):
+        engine = _engine(ttl=50, threshold=100, page_size=10)
+        for t in range(100):
+            engine.write("d", "s", t, 1.0)  # fully flushed
+        agg = engine.aggregate("d", "s", 0, 100)
+        assert agg.count == 50  # live window [50, 99]
+
+    def test_ttl_validation(self):
+        with pytest.raises(InvalidParameterError):
+            IoTDBConfig(ttl=0)
+
+
+class TestTTLFlush:
+    def test_expired_points_dropped_at_flush(self):
+        engine = _engine(ttl=20, threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        report = engine.metrics.flush_reports[0]
+        chunk = report.chunks[0]
+        assert chunk.expired_points == 80
+        assert chunk.deduped_points == 20
+        result = engine.query("d", "s", 0, 100)
+        assert result.timestamps == list(range(80, 100))
+
+    def test_flush_without_ttl_drops_nothing(self):
+        engine = _engine(ttl=None, threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        assert engine.metrics.flush_reports[0].chunks[0].expired_points == 0

@@ -1,0 +1,98 @@
+"""Delay-difference and overlap estimators against theory (Props 2 and 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics import (
+    check_delay_only,
+    delay_difference_samples,
+    empirical_delay_difference_tail,
+    expected_nonnegative_delay_difference,
+    max_overhang,
+    mean_overhang,
+)
+from repro.theory import DiscreteUniformDelay, ExponentialDelay, expected_overlap
+
+
+class TestDelayDifferenceSamples:
+    def test_shape_and_symmetry(self):
+        rng = np.random.default_rng(0)
+        delays = ExponentialDelay(1.0).sample(10_000, rng)
+        diffs = delay_difference_samples(delays, pairs=50_000, seed=1)
+        assert diffs.shape == (50_000,)
+        # Proposition 1: Δτ symmetric around zero.
+        assert abs(float(np.mean(diffs))) < 0.05
+
+    def test_needs_two_delays(self):
+        with pytest.raises(InvalidParameterError):
+            delay_difference_samples([1.0])
+
+
+class TestEmpiricalTail:
+    def test_matches_closed_form_exponential(self):
+        rng = np.random.default_rng(2)
+        dist = ExponentialDelay(2.0)
+        delays = dist.sample(100_000, rng)
+        for length in (0.5, 1.0, 2.0):
+            emp = empirical_delay_difference_tail(delays, length)
+            assert emp == pytest.approx(dist.delay_difference_tail(length), rel=0.05)
+
+    def test_tail_at_zero_below_half(self):
+        rng = np.random.default_rng(3)
+        delays = ExponentialDelay(1.0).sample(50_000, rng)
+        # P(Δτ > 0) = 1/2 minus the (zero-measure) tie mass.
+        assert empirical_delay_difference_tail(delays, 0.0) == pytest.approx(0.5, abs=0.01)
+
+
+class TestExpectedNonnegativeDelayDifference:
+    def test_example7_discrete_uniform(self):
+        # Exact: all 16 delay pairs from {0,1,2,3}² — E(Δτ⁺) = 10/16.
+        delays = np.array([0.0, 1.0, 2.0, 3.0])
+        assert expected_nonnegative_delay_difference(delays) == pytest.approx(10 / 16)
+
+    def test_matches_theory_bound(self):
+        rng = np.random.default_rng(4)
+        dist = ExponentialDelay(2.0)
+        delays = dist.sample(50_000, rng)
+        emp = expected_nonnegative_delay_difference(delays)
+        assert emp == pytest.approx(expected_overlap(dist), rel=0.05)
+
+
+class TestOverhang:
+    def test_sorted_zero(self):
+        assert mean_overhang(list(range(50))) == 0.0
+        assert max_overhang(list(range(50))) == 0
+
+    def test_single_delayed_point(self):
+        # Point 5 delayed past 3 successors: each of the 3 sees one overhang.
+        ts = [1, 2, 6, 3, 4, 5, 7]
+        assert max_overhang(ts) == 1
+        assert mean_overhang(ts) == pytest.approx(3 / 7)
+
+    def test_mean_overhang_bounded_by_expected_overlap(self):
+        # Proposition 4: E(Q) <= E(Δτ⁺).
+        from repro.workloads import TimeSeriesGenerator
+
+        dist = DiscreteUniformDelay(4)
+        stream = TimeSeriesGenerator(dist).generate(50_000, seed=5)
+        measured = mean_overhang(stream.timestamps)
+        assert measured <= expected_overlap(dist) * 1.05
+
+    def test_empty(self):
+        assert mean_overhang([]) == 0.0
+        assert max_overhang([]) == 0
+
+
+class TestCheckDelayOnly:
+    def test_accepts_nonnegative(self):
+        assert check_delay_only([0, 1, 2], [0.0, 3.5, 0.1])
+
+    def test_rejects_negative(self):
+        assert not check_delay_only([0, 1, 2], [0.0, -0.1, 0.2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            check_delay_only([0, 1], [0.0])

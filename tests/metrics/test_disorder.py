@@ -1,0 +1,102 @@
+"""Classic presortedness measures: Runs, Dis, Exc, Rem."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import dis, disorder_summary, exc, rem, runs
+
+
+class TestRuns:
+    @pytest.mark.parametrize(
+        "ts,expected",
+        [
+            ([], 0),
+            ([5], 1),
+            ([1, 2, 3], 1),
+            ([3, 2, 1], 3),
+            ([1, 3, 2, 4], 2),
+            ([1, 1, 1], 1),  # non-decreasing counts as one run
+        ],
+    )
+    def test_known_values(self, ts, expected):
+        assert runs(ts) == expected
+
+
+class TestDis:
+    @pytest.mark.parametrize(
+        "ts,expected",
+        [
+            ([], 0),
+            ([1], 0),
+            ([1, 2, 3], 0),
+            ([2, 1], 1),
+            ([3, 1, 2], 2),
+            ([2, 2, 2], 0),  # stable order: no displacement for ties
+        ],
+    )
+    def test_known_values(self, ts, expected):
+        assert dis(ts) == expected
+
+
+class TestExc:
+    @pytest.mark.parametrize(
+        "ts,expected",
+        [
+            ([1, 2, 3], 0),
+            ([2, 1], 1),
+            ([3, 1, 2], 2),  # one 3-cycle: two exchanges
+            ([2, 1, 4, 3], 2),  # two transpositions
+        ],
+    )
+    def test_known_values(self, ts, expected):
+        assert exc(ts) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(ts=st.lists(st.integers(0, 30), max_size=50))
+    def test_bounded_by_n_minus_1(self, ts):
+        assert 0 <= exc(ts) <= max(0, len(ts) - 1)
+
+
+class TestRem:
+    @pytest.mark.parametrize(
+        "ts,expected",
+        [
+            ([1, 2, 3], 0),
+            ([3, 2, 1], 2),
+            ([1, 5, 2, 3], 1),
+            ([1, 1, 1], 0),  # non-decreasing LIS covers ties
+        ],
+    )
+    def test_known_values(self, ts, expected):
+        assert rem(ts) == expected
+
+    def test_delay_only_rem_counts_delayed_points(self):
+        # One point delayed past three successors: removing it sorts the rest.
+        assert rem([2, 3, 4, 1, 5, 6]) == 1
+
+
+class TestSummary:
+    def test_summary_keys_and_consistency(self):
+        ts = [4, 1, 3, 2]
+        summary = disorder_summary(ts)
+        assert summary["n"] == 4
+        assert summary["inversions"] == 4
+        assert summary["runs"] == runs(ts)
+        assert summary["dis"] == dis(ts)
+        assert summary["exc"] == exc(ts)
+        assert summary["rem"] == rem(ts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ts=st.lists(st.integers(0, 50), max_size=60))
+    def test_sorted_iff_all_zero(self, ts):
+        summary = disorder_summary(ts)
+        is_sorted = all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1))
+        zeroed = (
+            summary["inversions"] == 0
+            and summary["dis"] == 0
+            and summary["exc"] == 0
+            and summary["rem"] == 0
+        )
+        assert is_sorted == zeroed

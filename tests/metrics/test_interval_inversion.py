@@ -1,0 +1,93 @@
+"""Interval inversion ratio: Definition 3/4 semantics and the IIR profile."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InvalidParameterError
+from repro.metrics import (
+    count_interval_inversions,
+    iir_profile,
+    iir_truncation_point,
+    interval_inversion_ratio,
+)
+
+
+# A 15-point array in the spirit of Figure 3 / Example 4, with hand-counted
+# interval inversions at L = 1, 3, 5.
+EXAMPLE_ARRAY = [4, 3, 9, 8, 5, 6, 11, 1, 12, 7, 10, 13, 2, 14, 15]
+
+
+class TestCountIntervalInversions:
+    def test_example_distance_1(self):
+        # Adjacent inversions: (4,3), (9,8), (8,5), (11,1), (12,7), (13,2).
+        assert count_interval_inversions(EXAMPLE_ARRAY, 1) == 6
+        assert interval_inversion_ratio(EXAMPLE_ARRAY, 1) == pytest.approx(6 / 14)
+
+    def test_example_distance_3(self):
+        # Pairs (i, i+3): (4,8)no (3,5)no (9,6)YES (8,11)no (5,1)YES (6,12)no
+        # (11,7)YES (1,10)no (12,13)no (7,2)YES (10,14)no (13,15)no -> 4.
+        assert count_interval_inversions(EXAMPLE_ARRAY, 3) == 4
+        assert interval_inversion_ratio(EXAMPLE_ARRAY, 3) == pytest.approx(4 / 12)
+
+    def test_example_distance_5(self):
+        # Pairs (i, i+5): (4,6)(3,11)(9,1)YES(8,12)(5,7)(6,10)(11,13)(1,2)
+        # (12,14)(7,15) -> 1.
+        assert count_interval_inversions(EXAMPLE_ARRAY, 5) == 1
+        assert interval_inversion_ratio(EXAMPLE_ARRAY, 5) == pytest.approx(1 / 10)
+
+    def test_denominator_is_n_minus_l(self):
+        # Definition 4: α = C / (N - L).
+        ts = [2, 1] * 10
+        n = len(ts)
+        for interval in (1, 3, 7):
+            c = count_interval_inversions(ts, interval)
+            assert interval_inversion_ratio(ts, interval) == c / (n - interval)
+
+    def test_interval_at_least_length(self):
+        assert count_interval_inversions([3, 1], 2) == 0
+        assert interval_inversion_ratio([3, 1], 2) == 0.0
+
+    def test_rejects_zero_interval(self):
+        with pytest.raises(InvalidParameterError):
+            count_interval_inversions([1, 2], 0)
+
+    def test_object_dtype_fallback(self):
+        # Non-numeric comparable keys exercise the pure-Python path.
+        ts = ["b", "a", "d", "c"]
+        assert count_interval_inversions(ts, 1) == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(ts=st.lists(st.integers(0, 50), min_size=2, max_size=80), interval=st.integers(1, 20))
+    def test_matches_bruteforce(self, ts, interval):
+        brute = sum(
+            1 for i in range(len(ts) - interval) if ts[i] > ts[i + interval]
+        )
+        assert count_interval_inversions(ts, interval) == brute
+
+
+class TestIIRProfile:
+    def test_default_powers_of_two(self):
+        profile = iir_profile(list(range(100)))
+        assert [interval for interval, _ in profile] == [1, 2, 4, 8, 16, 32, 64]
+        assert all(alpha == 0.0 for _, alpha in profile)
+
+    def test_profile_decreases_for_delay_only_stream(self):
+        from tests.conftest import make_delayed_stream
+
+        ts = make_delayed_stream(20_000, lam=0.2, seed=5).timestamps
+        profile = dict(iir_profile(ts, intervals=[1, 8, 64, 512]))
+        assert profile[1] > profile[64] >= profile[512]
+
+    def test_truncation_point(self):
+        from tests.conftest import make_delayed_stream
+
+        ts = make_delayed_stream(20_000, lam=0.5, seed=5).timestamps
+        trunc = iir_truncation_point(ts, threshold=1e-3)
+        assert 1 <= trunc < len(ts)
+        assert interval_inversion_ratio(ts, trunc) < 1e-3
+
+    def test_truncation_never_reached(self):
+        ts = list(range(64, 0, -1))
+        assert iir_truncation_point(ts, threshold=1e-6) == 64

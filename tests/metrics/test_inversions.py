@@ -1,0 +1,96 @@
+"""Inversion counting: exact values, cross-check, Fenwick tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import count_inversions, count_inversions_merge, inversion_ratio
+from repro.metrics.inversions import FenwickTree
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        tree = FenwickTree(10)
+        for i in (3, 3, 7, 0):
+            tree.add(i)
+        assert tree.prefix_sum(-1) == 0
+        assert tree.prefix_sum(0) == 1
+        assert tree.prefix_sum(2) == 1
+        assert tree.prefix_sum(3) == 3
+        assert tree.prefix_sum(9) == 4
+        assert tree.total() == 4
+
+    def test_weighted_updates(self):
+        tree = FenwickTree(4)
+        tree.add(1, 5)
+        tree.add(2, -2)
+        assert tree.prefix_sum(3) == 3
+
+
+class TestCountInversions:
+    @pytest.mark.parametrize(
+        "ts,expected",
+        [
+            ([], 0),
+            ([1], 0),
+            ([1, 2, 3], 0),
+            ([3, 2, 1], 3),
+            ([2, 1, 3], 1),
+            ([1, 3, 2, 4], 1),
+            ([5, 5, 5], 0),  # ties are not inversions (strict >)
+            ([2, 1, 1], 2),
+        ],
+    )
+    def test_known_values(self, ts, expected):
+        assert count_inversions(ts) == expected
+        assert count_inversions_merge(ts) == expected
+
+    def test_reverse_is_maximal(self):
+        n = 100
+        assert count_inversions(list(range(n, 0, -1))) == n * (n - 1) // 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(ts=st.lists(st.integers(-50, 50), max_size=150))
+    def test_implementations_agree(self, ts):
+        assert count_inversions(ts) == count_inversions_merge(ts)
+
+    @settings(max_examples=30, deadline=None)
+    @given(ts=st.lists(st.integers(0, 20), max_size=60))
+    def test_matches_bruteforce(self, ts):
+        brute = sum(
+            1
+            for i in range(len(ts))
+            for j in range(i + 1, len(ts))
+            if ts[i] > ts[j]
+        )
+        assert count_inversions(ts) == brute
+
+    def test_insertion_sort_moves_track_inversions(self):
+        # Inv is exactly insertion sort's shift count — the adaptivity the
+        # paper leans on for the L=1 degenerate case.
+        from repro.core.sorter import insertion_sort_range
+        from repro.core.instrumentation import SortStats
+
+        rng = random.Random(8)
+        ts = rng.sample(range(300), 300)
+        inv = count_inversions(ts)
+        stats = SortStats()
+        insertion_sort_range(ts, list(range(300)), 0, 300, stats)
+        # shifts == Inv; placements add at most n.
+        assert inv <= stats.moves <= inv + 300
+
+
+class TestInversionRatio:
+    def test_bounds(self):
+        assert inversion_ratio(list(range(10))) == 0.0
+        assert inversion_ratio(list(range(10, 0, -1))) == 1.0
+        assert inversion_ratio([]) == 0.0
+        assert inversion_ratio([1]) == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(ts=st.lists(st.integers(0, 100), max_size=100))
+    def test_in_unit_interval(self, ts):
+        assert 0.0 <= inversion_ratio(ts) <= 1.0

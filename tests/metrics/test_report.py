@@ -1,0 +1,79 @@
+"""Disorder profiling report: fitting, predictions, recommendations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.metrics.report import DisorderReport, fit_delay_model, profile_stream
+from repro.theory import ExponentialDelay, LogNormalDelay
+from repro.workloads import TimeSeriesGenerator
+
+
+class TestFitDelayModel:
+    def test_exponential_recovered(self):
+        rng = np.random.default_rng(0)
+        delays = ExponentialDelay(0.5).sample(50_000, rng)
+        model = fit_delay_model(delays)
+        assert isinstance(model, ExponentialDelay)
+        assert model.lam == pytest.approx(0.5, rel=0.05)
+
+    def test_lognormal_recovered(self):
+        rng = np.random.default_rng(1)
+        delays = LogNormalDelay(1.0, 1.5).sample(50_000, rng)
+        model = fit_delay_model(delays)
+        assert isinstance(model, LogNormalDelay)
+        assert model.mu == pytest.approx(1.0, abs=0.1)
+        assert model.sigma == pytest.approx(1.5, abs=0.1)
+
+    def test_zero_delays(self):
+        model = fit_delay_model(np.zeros(100))
+        assert model.mean() < 1e-6
+
+    def test_needs_samples(self):
+        with pytest.raises(InvalidParameterError):
+            fit_delay_model([1.0])
+
+
+class TestProfileStream:
+    def test_full_report_with_delays(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(0.1)).generate(30_000, seed=2)
+        report = profile_stream(stream.timestamps, stream.delays)
+        assert report.n == 30_000
+        assert report.fitted_model == "Exponential"
+        # Prediction vs search: same order of magnitude.
+        assert report.predicted_block_size is not None
+        assert report.searched_block_size >= 2
+        assert report.measured_overlap > 0
+        assert "Backward-Sort" in report.recommendation
+
+    def test_report_without_delays(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(1.0)).generate(5_000, seed=3)
+        report = profile_stream(stream.timestamps)
+        assert report.fitted_model is None
+        assert report.predicted_overlap is None
+
+    def test_sorted_stream_recommendation(self):
+        report = profile_stream(list(range(1_000)))
+        assert "already sorted" in report.recommendation
+
+    def test_heavy_disorder_degenerate_recommendation(self):
+        import random
+
+        rng = random.Random(4)
+        ts = rng.sample(range(5_000), 5_000)
+        report = profile_stream(ts)
+        assert "Quicksort" in report.recommendation
+
+    def test_render_is_textual(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(0.5)).generate(2_000, seed=5)
+        report = profile_stream(stream.timestamps, stream.delays)
+        text = report.render()
+        assert "disorder report" in text
+        assert "recommendation" in text
+        assert isinstance(report, DisorderReport)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            profile_stream([1])

@@ -1,0 +1,148 @@
+"""Algorithm-specific behaviour: the properties each baseline is chosen for."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.instrumentation import SortStats
+from repro.errors import InvalidParameterError
+from repro.sorting import (
+    CKSorter,
+    InsertionSorter,
+    PatienceSorter,
+    QuickSorter,
+    TimSorter,
+    YSorter,
+    compute_minrun,
+    get_sorter,
+    register_sorter,
+)
+from tests.conftest import make_delayed_stream
+
+
+class TestInsertion:
+    def test_sorted_input_linear_comparisons(self):
+        ts = list(range(1000))
+        stats = InsertionSorter().sort(ts, list(ts))
+        assert stats.comparisons == 999
+        assert stats.moves == 0
+
+    def test_moves_equal_inversions(self):
+        from repro.metrics import count_inversions
+
+        rng = random.Random(3)
+        ts = rng.sample(range(200), 200)
+        inv = count_inversions(ts)
+        stats = InsertionSorter().sort(ts, list(range(200)))
+        # Straight insertion performs Inv shifts plus one placement per
+        # element that actually moved.
+        assert stats.moves >= inv
+        assert stats.moves <= inv + 200
+
+
+class TestQuicksort:
+    def test_middle_pivot_handles_sorted_input(self):
+        # First-element-pivot quicksort would go quadratic here; middle
+        # pivot must stay shallow.  We just assert comparison count is
+        # O(n log n)-ish, far below the ~n²/2 of the pathological case.
+        n = 4096
+        ts = list(range(n))
+        stats = QuickSorter().sort(ts, list(ts))
+        assert stats.comparisons < 40 * n
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            QuickSorter(insertion_cutoff=0)
+
+
+class TestTimsort:
+    def test_minrun_range(self):
+        for n in (1, 31, 63, 64, 65, 640, 2**20, 2**20 + 1):
+            mr = compute_minrun(n)
+            if n < 64:
+                assert mr == n
+            else:
+                assert 32 <= mr <= 64
+
+    def test_sorted_input_linear(self):
+        n = 4096
+        ts = list(range(n))
+        stats = TimSorter().sort(ts, list(ts))
+        assert stats.comparisons <= 2 * n
+        assert stats.runs == 1
+
+    def test_reverse_input_single_reversed_run(self):
+        n = 4096
+        ts = list(range(n, 0, -1))
+        stats = TimSorter().sort(ts, list(range(n)))
+        assert ts == sorted(range(1, n + 1))
+        assert stats.runs == 1  # one strictly descending run, reversed
+
+    def test_galloping_exploits_block_structure(self):
+        # Two long pre-sorted halves: galloping should keep comparisons far
+        # below one-per-element-pair merging.
+        n = 8192
+        ts = list(range(0, n, 2)) + list(range(1, n, 2))
+        stats = TimSorter().sort(ts, list(range(n)))
+        assert ts == list(range(n))
+        assert stats.comparisons < 3 * n
+
+
+class TestPatience:
+    def test_sorted_input_single_pile(self):
+        ts = list(range(500))
+        stats = PatienceSorter().sort(ts, list(ts))
+        assert stats.runs == 1
+
+    def test_pile_count_tracks_disorder(self):
+        mild = make_delayed_stream(2000, lam=2.0, seed=1)
+        wild_ts = random.Random(1).sample(range(2000), 2000)
+        mild_ts, mild_vs = mild.sort_input()
+        s1 = PatienceSorter().sort(mild_ts, mild_vs)
+        s2 = PatienceSorter().sort(wild_ts, list(range(2000)))
+        assert s1.runs < s2.runs
+
+
+class TestCKSort:
+    def test_sorted_input_no_overflow(self):
+        ts = list(range(300))
+        stats = CKSorter().sort(ts, list(ts))
+        # One merge of kept + empty overflow; no quicksort work.
+        assert stats.merges == 1
+
+    def test_uses_linear_extra_space(self):
+        stream = make_delayed_stream(1000, lam=0.2, seed=2)
+        ts, vs = stream.sort_input()
+        stats = CKSorter().sort(ts, vs)
+        assert stats.extra_space >= len(ts)
+
+
+class TestYSort:
+    def test_sorted_input_detected_in_one_scan(self):
+        n = 2000
+        ts = list(range(n))
+        stats = YSorter().sort(ts, list(ts))
+        # One sortedness scan: ~3 comparisons per element, no moves.
+        assert stats.moves == 0
+        assert stats.comparisons <= 4 * n
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            YSorter(insertion_cutoff=0)
+
+
+class TestRegistry:
+    def test_unknown_sorter_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            get_sorter("definitely-not-a-sorter")
+
+    def test_kwargs_forwarded(self):
+        sorter = get_sorter("backward", theta=0.1, l0=8)
+        assert sorter.theta == 0.1
+        assert sorter.l0 == 8
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            register_sorter(QuickSorter, "quick")

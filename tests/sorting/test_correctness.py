@@ -1,0 +1,93 @@
+"""Correctness of every registered sorter across input shapes.
+
+Each sorter must produce a non-decreasing timestamp array that is a
+permutation of its input, with values tracking their timestamps, for sorted,
+reverse-sorted, random, all-equal, sawtooth, and delay-only inputs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sorting import available_sorters, get_sorter
+from tests.conftest import assert_sorted_permutation, make_delayed_stream
+
+ALL_SORTERS = available_sorters()
+SIZES = (0, 1, 2, 3, 4, 7, 16, 17, 64, 100, 257, 1000)
+
+
+def _shapes(n: int, rng: random.Random):
+    yield "sorted", list(range(n))
+    yield "reversed", list(range(n - 1, -1, -1))
+    yield "random", rng.sample(range(n * 2), n) if n else []
+    yield "all_equal", [42] * n
+    yield "sawtooth", [i % 10 for i in range(n)]
+    yield "two_runs", list(range(n // 2)) + list(range(n - n // 2))
+    yield "negatives", [((-1) ** i) * i for i in range(n)]
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+@pytest.mark.parametrize("n", SIZES)
+def test_sorts_all_shapes(name, n):
+    rng = random.Random(1000 + n)
+    for shape, ts in _shapes(n, rng):
+        vs = [f"v{i}" for i in range(len(ts))]
+        original = list(zip(ts, vs))
+        sorter = get_sorter(name)
+        sorter.sort(ts, vs)
+        assert_sorted_permutation(ts, vs, original)
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_sorts_delay_only_stream(name):
+    stream = make_delayed_stream(2_000, lam=0.4, seed=5)
+    ts, vs = stream.sort_input()
+    original = list(zip(ts, vs))
+    get_sorter(name).sort(ts, vs)
+    assert_sorted_permutation(ts, vs, original)
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_values_optional(name):
+    ts = [5, 3, 8, 1, 9, 2]
+    get_sorter(name).sort(ts)
+    assert ts == [1, 2, 3, 5, 8, 9]
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_length_mismatch_rejected(name):
+    from repro.errors import LengthMismatchError
+
+    with pytest.raises(LengthMismatchError):
+        get_sorter(name).sort([1, 2, 3], ["a", "b"])
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_duplicate_heavy_input(name):
+    rng = random.Random(99)
+    ts = [rng.randrange(4) for _ in range(500)]
+    vs = list(range(500))
+    original = list(zip(ts, vs))
+    get_sorter(name).sort(ts, vs)
+    assert all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1))
+    assert sorted(zip(ts, vs)) == sorted(original)
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_timed_sort_reports_duration(name):
+    stream = make_delayed_stream(1_000, seed=3)
+    ts, vs = stream.sort_input()
+    result = get_sorter(name).timed_sort(ts, vs)
+    assert result.seconds >= 0.0
+    assert all(ts[i] <= ts[i + 1] for i in range(len(ts) - 1))
+
+
+@pytest.mark.parametrize("name", ALL_SORTERS)
+def test_stats_counters_populated(name):
+    stream = make_delayed_stream(1_000, seed=4)
+    ts, vs = stream.sort_input()
+    stats = get_sorter(name).sort(ts, vs)
+    # Any real sort of a 1000-point disordered array must compare something.
+    assert stats.comparisons > 0

@@ -1,0 +1,78 @@
+"""Hypothesis property tests for every sorter and the merge primitives."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instrumentation import SortStats
+from repro.sorting import available_sorters, get_sorter, merge_into
+from repro.sorting.mergesort import straight_block_merge
+
+timestamps = st.lists(st.integers(min_value=-(2**40), max_value=2**40), max_size=300)
+float_timestamps = st.lists(
+    st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=200
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ts=timestamps, name=st.sampled_from(available_sorters()))
+def test_sort_matches_builtin(ts, name):
+    vs = list(range(len(ts)))
+    expected = sorted(ts)
+    get_sorter(name).sort(ts, vs)
+    assert ts == expected
+    assert sorted(vs) == list(range(len(vs)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(ts=float_timestamps, name=st.sampled_from(available_sorters()))
+def test_sort_handles_floats(ts, name):
+    expected = sorted(ts)
+    get_sorter(name).sort(ts)
+    assert ts == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ts=st.lists(st.integers(0, 50), max_size=200),
+    name=st.sampled_from([n for n in available_sorters() if get_sorter(n).stable]),
+)
+def test_stable_sorters_property(ts, name):
+    vs = list(range(len(ts)))
+    expected = sorted(zip(ts, vs), key=lambda p: (p[0], p[1]))
+    get_sorter(name).sort(ts, vs)
+    assert list(zip(ts, vs)) == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left=st.lists(st.integers(0, 100), max_size=50),
+    right=st.lists(st.integers(0, 100), max_size=50),
+)
+def test_merge_into_merges_sorted_runs(left, right):
+    left.sort()
+    right.sort()
+    src_t = left + right
+    src_v = list(range(len(src_t)))
+    dst_t = [None] * len(src_t)
+    dst_v = [None] * len(src_t)
+    merge_into(src_t, src_v, 0, len(left), len(src_t), dst_t, dst_v, 0, SortStats())
+    assert dst_t == sorted(src_t)
+    assert sorted(dst_v) == list(range(len(src_t)))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    blocks=st.lists(st.lists(st.integers(0, 100), min_size=1, max_size=30), min_size=1, max_size=6)
+)
+def test_straight_block_merge_sorts_presorted_blocks(blocks):
+    for b in blocks:
+        b.sort()
+    ts = [t for b in blocks for t in b]
+    vs = list(range(len(ts)))
+    bounds = [0]
+    for b in blocks:
+        bounds.append(bounds[-1] + len(b))
+    straight_block_merge(ts, vs, bounds, SortStats())
+    assert ts == sorted(ts)
+    assert sorted(vs) == list(range(len(vs)))

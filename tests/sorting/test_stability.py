@@ -1,0 +1,52 @@
+"""Stability guarantees: sorters that claim stability must keep tie order."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.backward_sort import BackwardSorter
+from repro.sorting import available_sorters, get_sorter
+
+STABLE = [n for n in available_sorters() if get_sorter(n).stable]
+UNSTABLE = [n for n in available_sorters() if not get_sorter(n).stable]
+
+
+def _tie_heavy_input(n: int, seed: int):
+    rng = random.Random(seed)
+    ts = [rng.randrange(8) for _ in range(n)]
+    vs = list(range(n))  # arrival index as payload
+    return ts, vs
+
+
+@pytest.mark.parametrize("name", STABLE)
+@pytest.mark.parametrize("n", (10, 100, 1000))
+def test_stable_sorters_preserve_tie_order(name, n):
+    ts, vs = _tie_heavy_input(n, seed=n)
+    expected = sorted(zip(ts, vs), key=lambda p: (p[0], p[1]))
+    get_sorter(name).sort(ts, vs)
+    assert list(zip(ts, vs)) == expected
+
+
+def test_backward_sort_stable_with_stable_block_sort():
+    for block_sort in ("insertion", "tim"):
+        sorter = BackwardSorter(block_sort=block_sort)
+        assert sorter.stable
+        ts, vs = _tie_heavy_input(800, seed=17)
+        expected = sorted(zip(ts, vs), key=lambda p: (p[0], p[1]))
+        sorter.sort(ts, vs)
+        assert list(zip(ts, vs)) == expected
+
+
+def test_backward_sort_default_declared_unstable():
+    assert not BackwardSorter().stable
+
+
+def test_stability_flags_declared():
+    # The registry must expose at least Timsort and merge sort as stable —
+    # IoTDB's incumbent is Timsort precisely for its stability (§VII-B).
+    assert "tim" in STABLE
+    assert "merge" in STABLE
+    assert "insertion" in STABLE
+    assert "quick" in UNSTABLE

@@ -1,0 +1,67 @@
+"""Exception hierarchy and top-level public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_storage_family(self):
+        for cls in (
+            errors.MemTableFlushedError,
+            errors.TsFileCorruptionError,
+            errors.EncodingError,
+            errors.WalCorruptionError,
+            errors.QueryError,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_invalid_parameter_is_value_error(self):
+        assert issubclass(errors.InvalidParameterError, ValueError)
+
+    def test_length_mismatch_carries_context(self):
+        err = errors.LengthMismatchError(3, 2)
+        assert err.n_times == 3
+        assert err.n_values == 2
+        assert "3" in str(err) and "2" in str(err)
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_headline_flow(self):
+        # The README's three-line pitch must actually work.
+        ts = [3, 1, 4, 1, 5]
+        stats = repro.BackwardSorter().sort(ts)
+        assert repro.is_sorted(ts)
+        assert stats.comparisons > 0
+
+    def test_paper_algorithms_all_registered(self):
+        available = repro.available_sorters()
+        for name in repro.PAPER_ALGORITHMS:
+            assert name in available
+
+    def test_subpackages_importable(self):
+        import repro.bench
+        import repro.core
+        import repro.downstream
+        import repro.experiments
+        import repro.iotdb
+        import repro.metrics
+        import repro.sorting
+        import repro.theory
+        import repro.workloads

@@ -1,0 +1,87 @@
+"""Numeric Δτ analysis: Proposition 1 (evenness) and Example 6 agreement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory import (
+    AbsNormalDelay,
+    DiscreteUniformDelay,
+    ExponentialDelay,
+    LogNormalDelay,
+    UniformDelay,
+    delay_difference_pdf_curve,
+    delay_difference_pdf_numeric,
+    delay_difference_tail_numeric,
+    verify_even_pdf,
+)
+
+
+class TestNumericPdf:
+    def test_matches_laplace_closed_form(self):
+        dist = ExponentialDelay(2.0)
+        for t in (-2.0, -0.5, 0.0, 0.5, 2.0):
+            numeric = delay_difference_pdf_numeric(dist, t)
+            assert numeric == pytest.approx(dist.delay_difference_pdf(t), rel=1e-3)
+
+    def test_curve_vectorises(self):
+        dist = ExponentialDelay(1.0)
+        ts = np.array([-1.0, 0.0, 1.0])
+        curve = delay_difference_pdf_curve(dist, ts)
+        assert curve.shape == (3,)
+        assert curve[0] == pytest.approx(curve[2], rel=1e-3)
+
+    def test_discrete_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            delay_difference_pdf_numeric(DiscreteUniformDelay(4), 0.0)
+
+    def test_figure5_lambda_ordering(self):
+        # Figure 5: larger λ concentrates Δτ at 0 (taller peak).
+        peak1 = delay_difference_pdf_numeric(ExponentialDelay(1.0), 0.0)
+        peak2 = delay_difference_pdf_numeric(ExponentialDelay(2.0), 0.0)
+        peak3 = delay_difference_pdf_numeric(ExponentialDelay(3.0), 0.0)
+        assert peak1 < peak2 < peak3
+        assert peak2 == pytest.approx(1.0, rel=1e-3)  # λ/2
+
+
+@pytest.mark.parametrize(
+    "dist",
+    [
+        ExponentialDelay(1.0),
+        ExponentialDelay(3.0),
+        AbsNormalDelay(1.0, 1.0),
+        LogNormalDelay(0.0, 0.7),
+        UniformDelay(0.0, 2.0),
+    ],
+    ids=lambda d: type(d).__name__,
+)
+def test_proposition1_even_pdf(dist):
+    assert verify_even_pdf(dist)
+
+
+class TestNumericTail:
+    def test_matches_exponential_closed_form(self):
+        dist = ExponentialDelay(2.0)
+        for length in (0.0, 0.5, 1.0, 3.0):
+            numeric = delay_difference_tail_numeric(dist, length)
+            assert numeric == pytest.approx(dist.delay_difference_tail(length), rel=1e-3)
+
+    def test_matches_uniform_closed_form(self):
+        dist = UniformDelay(0.0, 2.0)
+        for length in (0.0, 0.5, 1.5):
+            numeric = delay_difference_tail_numeric(dist, length)
+            assert numeric == pytest.approx(dist.delay_difference_tail(length), rel=1e-3)
+
+    def test_discrete_exact_summation(self):
+        dist = DiscreteUniformDelay(4)
+        for length in (0.0, 1.0, 2.0):
+            assert delay_difference_tail_numeric(dist, length) == pytest.approx(
+                dist.delay_difference_tail(length)
+            )
+
+    def test_monotone_decreasing_in_length(self):
+        dist = LogNormalDelay(0.0, 1.0)
+        tails = [delay_difference_tail_numeric(dist, float(x)) for x in (0, 1, 2, 4, 8)]
+        assert all(a >= b for a, b in zip(tails, tails[1:]))

@@ -1,0 +1,147 @@
+"""Delay distributions: sampling, pdf/cdf consistency, closed forms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.theory import (
+    AbsNormalDelay,
+    ConstantDelay,
+    DiscreteUniformDelay,
+    ExponentialDelay,
+    LogNormalDelay,
+    MixtureDelay,
+    ParetoDelay,
+    UniformDelay,
+)
+
+ALL_DISTS = [
+    ConstantDelay(2.0),
+    ExponentialDelay(0.5),
+    ExponentialDelay(3.0),
+    AbsNormalDelay(0.0, 1.0),
+    AbsNormalDelay(4.0, 2.0),
+    LogNormalDelay(0.0, 1.0),
+    LogNormalDelay(1.0, 0.5),
+    UniformDelay(0.0, 3.0),
+    DiscreteUniformDelay(4),
+    ParetoDelay(3.0, 1.0),
+    MixtureDelay([(0.7, ConstantDelay(0.0)), (0.3, ExponentialDelay(1.0))]),
+]
+
+
+@pytest.mark.parametrize("dist", ALL_DISTS, ids=lambda d: repr(d.__class__.__name__))
+class TestCommonContract:
+    def test_samples_nonnegative(self, dist):
+        rng = np.random.default_rng(0)
+        samples = dist.sample(5_000, rng)
+        assert samples.shape == (5_000,)
+        assert np.all(samples >= 0)
+
+    def test_sample_mean_matches(self, dist):
+        rng = np.random.default_rng(1)
+        samples = dist.sample(100_000, rng)
+        mean = dist.mean()
+        assert float(np.mean(samples)) == pytest.approx(mean, rel=0.05, abs=0.02)
+
+    def test_cdf_monotone_and_normalised(self, dist):
+        xs = np.linspace(0.0, 50.0, 101)
+        cdfs = [dist.cdf(float(x)) for x in xs]
+        assert all(0.0 <= c <= 1.0 for c in cdfs)
+        assert all(a <= b + 1e-12 for a, b in zip(cdfs, cdfs[1:]))
+        assert dist.cdf(-1.0) == 0.0
+
+    def test_tail_complements_cdf(self, dist):
+        for x in (0.0, 0.5, 2.0, 10.0):
+            assert dist.tail(x) == pytest.approx(1.0 - dist.cdf(x))
+
+    def test_sample_cdf_agreement(self, dist):
+        rng = np.random.default_rng(2)
+        samples = dist.sample(50_000, rng)
+        for q in (0.5, 2.0, 5.0):
+            emp = float(np.mean(samples <= q))
+            # Discrete distributions have mass exactly at integer q.
+            assert emp == pytest.approx(dist.cdf(q), abs=0.02)
+
+
+class TestExponentialClosedForms:
+    def test_example6_alpha(self):
+        # E(α_L) = 1/(2 e^{λL}): paper quotes λ=2, α_1 ≈ 0.067668.
+        dist = ExponentialDelay(2.0)
+        assert dist.delay_difference_tail(1.0) == pytest.approx(0.067668, abs=1e-5)
+        assert dist.delay_difference_tail(5.0) == pytest.approx(2.270e-5, rel=1e-3)
+
+    def test_laplace_pdf(self):
+        dist = ExponentialDelay(1.0)
+        assert dist.delay_difference_pdf(0.0) == pytest.approx(0.5)
+        assert dist.delay_difference_pdf(1.0) == dist.delay_difference_pdf(-1.0)
+
+    def test_tail_negative_side(self):
+        dist = ExponentialDelay(1.0)
+        assert dist.delay_difference_tail(-2.0) == pytest.approx(
+            1.0 - 0.5 * math.exp(-2.0)
+        )
+
+
+class TestDiscreteUniform:
+    def test_pmf_triangular(self):
+        dist = DiscreteUniformDelay(4)
+        assert dist.delay_difference_pmf(0) == pytest.approx(4 / 16)
+        assert dist.delay_difference_pmf(3) == pytest.approx(1 / 16)
+        assert dist.delay_difference_pmf(-3) == pytest.approx(1 / 16)
+        assert dist.delay_difference_pmf(4) == 0.0
+        total = sum(dist.delay_difference_pmf(d) for d in range(-4, 5))
+        assert total == pytest.approx(1.0)
+
+    def test_example7_tails(self):
+        dist = DiscreteUniformDelay(4)
+        assert dist.delay_difference_tail(0.0) == pytest.approx(6 / 16)
+        assert dist.delay_difference_tail(1.0) == pytest.approx(3 / 16)
+        assert dist.delay_difference_tail(2.0) == pytest.approx(1 / 16)
+        assert dist.delay_difference_tail(3.0) == 0.0
+
+
+class TestUniformTriangularTail:
+    def test_symmetry_and_bounds(self):
+        dist = UniformDelay(0.0, 2.0)
+        assert dist.delay_difference_tail(0.0) == pytest.approx(0.5)
+        assert dist.delay_difference_tail(2.0) == 0.0
+        assert dist.delay_difference_tail(-2.0) == 1.0
+        # F̄(t) + F̄(-t) == 1 by evenness of the (continuous) pdf.
+        for t in (0.3, 1.0, 1.7):
+            assert dist.delay_difference_tail(t) + dist.delay_difference_tail(-t) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ExponentialDelay(0.0)
+        with pytest.raises(InvalidParameterError):
+            AbsNormalDelay(0.0, -1.0)
+        with pytest.raises(InvalidParameterError):
+            LogNormalDelay(0.0, -0.5)
+        with pytest.raises(InvalidParameterError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(InvalidParameterError):
+            DiscreteUniformDelay(0)
+        with pytest.raises(InvalidParameterError):
+            ConstantDelay(-1.0)
+        with pytest.raises(InvalidParameterError):
+            ParetoDelay(0.0)
+        with pytest.raises(InvalidParameterError):
+            MixtureDelay([])
+        with pytest.raises(InvalidParameterError):
+            MixtureDelay([(-1.0, ConstantDelay(0.0))])
+
+    def test_lognormal_sigma_zero_is_constant(self):
+        dist = LogNormalDelay(1.0, 0.0)
+        rng = np.random.default_rng(0)
+        samples = dist.sample(10, rng)
+        assert np.all(samples == math.e)
+
+    def test_pareto_infinite_mean(self):
+        assert ParetoDelay(0.5).mean() == math.inf

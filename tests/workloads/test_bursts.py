@@ -1,0 +1,62 @@
+"""Outage workloads: correlated delay-only disorder and sorter robustness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics import check_delay_only, rem, runs
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.workloads import outage_stream
+
+
+class TestOutageStream:
+    def test_delay_only_preserved(self):
+        stream = outage_stream(5_000, outage_every=500, outage_length=50, seed=1)
+        assert check_delay_only(stream.generation_times, stream.delays)
+
+    def test_disorder_concentrated_in_bursts(self):
+        calm = outage_stream(5_000, outage_every=500, outage_length=2, seed=1)
+        stormy = outage_stream(5_000, outage_every=500, outage_length=200, seed=1)
+        assert (
+            stormy.disorder_summary()["inversions"]
+            > 5 * calm.disorder_summary()["inversions"]
+        )
+
+    def test_backlog_points_form_runs(self):
+        # The burst arrives as one sorted backlog: Rem counts roughly the
+        # buffered points, while Runs stays far below Rem (few long runs,
+        # not scattered singletons).
+        stream = outage_stream(10_000, outage_every=1_000, outage_length=100, seed=2)
+        assert rem(stream.timestamps) >= 500  # ~10 outages x 100 buffered
+        assert runs(stream.timestamps) < rem(stream.timestamps)
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            outage_stream(-1)
+        with pytest.raises(WorkloadError):
+            outage_stream(100, outage_every=0)
+        with pytest.raises(WorkloadError):
+            outage_stream(100, outage_every=10, outage_length=0)
+        with pytest.raises(WorkloadError):
+            outage_stream(100, outage_every=10, outage_length=10)
+
+    def test_deterministic(self):
+        a = outage_stream(1_000, seed=5)
+        b = outage_stream(1_000, seed=5)
+        assert a.timestamps == b.timestamps
+
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_all_paper_sorters_handle_bursts(self, name):
+        stream = outage_stream(5_000, outage_every=500, outage_length=100, seed=3)
+        ts, vs = stream.sort_input()
+        get_sorter(name).sort(ts, vs)
+        assert ts == sorted(ts)
+
+    def test_backward_sort_block_size_adapts_to_outage_span(self):
+        # The search must pick L at least on the order of the backlog size,
+        # since inversions reach across the whole outage window.
+        stream = outage_stream(20_000, outage_every=1_000, outage_length=100, seed=4)
+        stats = get_sorter("backward").sort(*stream.sort_input())
+        assert stats.block_size >= 32
+        assert stats.mean_overlap < stats.block_size * 2

@@ -1,0 +1,83 @@
+"""CSV ingestion: file order is arrival order; errors are located."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import load_csv, stream_from_rows
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text(
+        "timestamp,value\n"
+        "3,1.5\n"
+        "1,2.5\n"
+        "2,3.5\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_file_order_preserved(self, csv_file):
+        stream = load_csv(csv_file)
+        assert stream.timestamps == [3, 1, 2]
+        assert stream.values == [1.5, 2.5, 3.5]
+        assert stream.name == "trace"
+
+    def test_custom_columns_and_name(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("ts,temp,other\n5,1.0,x\n4,2.0,y\n")
+        stream = load_csv(path, time_column="ts", value_column="temp", name="sensor")
+        assert stream.timestamps == [5, 4]
+        assert stream.name == "sensor"
+
+    def test_metrics_apply(self, csv_file):
+        stream = load_csv(csv_file)
+        assert stream.disorder_summary()["inversions"] == 2
+
+    def test_sortable(self, csv_file):
+        from repro import get_sorter
+
+        stream = load_csv(csv_file)
+        ts, vs = stream.sort_input()
+        get_sorter("backward").sort(ts, vs)
+        assert ts == [1, 2, 3]
+        assert vs == [2.5, 3.5, 1.5]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_csv(tmp_path / "ghost.csv")
+
+    def test_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(WorkloadError, match="timestamp"):
+            load_csv(path)
+        with pytest.raises(WorkloadError, match="value"):
+            load_csv(path, time_column="a")
+
+    def test_malformed_row_located(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,value\n1,2.0\nnope,3.0\n")
+        with pytest.raises(WorkloadError, match="bad.csv:3"):
+            load_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("timestamp,value\n")
+        with pytest.raises(WorkloadError, match="no rows"):
+            load_csv(path)
+
+
+class TestStreamFromRows:
+    def test_builds_stream(self):
+        stream = stream_from_rows([(2, 1.0), (1, 2.0)], name="mem")
+        assert stream.timestamps == [2, 1]
+        assert list(stream.generation_times) == [1, 2]
+
+    def test_rejects_non_int_timestamp(self):
+        with pytest.raises(WorkloadError):
+            stream_from_rows([(1.5, 1.0)])

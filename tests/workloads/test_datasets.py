@@ -1,0 +1,97 @@
+"""Dataset simulators: the IIR shapes of Figure 8(a) must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics import iir_truncation_point, interval_inversion_ratio
+from repro.workloads import (
+    REAL_WORLD_DATASETS,
+    abs_normal,
+    citibike_like,
+    exponential,
+    load_dataset,
+    log_normal,
+    samsung_like,
+)
+
+N = 30_000
+
+
+class TestSyntheticFamilies:
+    def test_absnormal_sigma_controls_disorder(self):
+        calm = abs_normal(N, mu=1.0, sigma=0.25, seed=1)
+        rough = abs_normal(N, mu=1.0, sigma=4.0, seed=1)
+        assert calm.disorder_summary()["inversions"] < rough.disorder_summary()["inversions"]
+
+    def test_lognormal_sigma_controls_disorder(self):
+        calm = log_normal(N, mu=1.0, sigma=0.25, seed=1)
+        rough = log_normal(N, mu=1.0, sigma=2.0, seed=1)
+        assert calm.disorder_summary()["inversions"] < rough.disorder_summary()["inversions"]
+
+    def test_exponential_matches_example6(self):
+        stream = exponential(200_000, lam=2.0, seed=2)
+        a1 = interval_inversion_ratio(stream.timestamps, 1)
+        assert a1 == pytest.approx(0.067668, rel=0.05)
+
+    def test_names_embedded(self):
+        assert abs_normal(100, 1, 2).name == "absnormal(1,2)"
+        assert log_normal(100, 0, 1).name == "lognormal(0,1)"
+
+
+class TestRealWorldSimulators:
+    def test_samsung_truncates_early(self):
+        # Figure 8(a): α_L = 0 for L >= 2^5 on Samsung.
+        for device in ("d5", "s10"):
+            stream = samsung_like(N, device=device, seed=3)
+            assert iir_truncation_point(stream.timestamps, threshold=1e-4) <= 32
+
+    def test_citibike_reaches_far(self):
+        # Figure 8(a): CitiBike disorder persists to intervals ~n/16 and beyond.
+        for month in ("201808", "201902"):
+            stream = citibike_like(N, month=month, seed=3)
+            assert iir_truncation_point(stream.timestamps, threshold=1e-3) >= N / 64
+
+    def test_201808_more_disordered_than_201902(self):
+        a = citibike_like(N, month="201808", seed=4)
+        b = citibike_like(N, month="201902", seed=4)
+        assert a.disorder_summary()["inversions"] > b.disorder_summary()["inversions"]
+
+    def test_citibike_heavier_than_samsung(self):
+        cb = citibike_like(N, seed=5)
+        sam = samsung_like(N, seed=5)
+        assert cb.disorder_summary()["inversions"] > 10 * sam.disorder_summary()["inversions"]
+
+    def test_unknown_variants_rejected(self):
+        with pytest.raises(WorkloadError):
+            citibike_like(100, month="202501")
+        with pytest.raises(WorkloadError):
+            samsung_like(100, device="s99")
+
+
+class TestLoadDataset:
+    @pytest.mark.parametrize("name", REAL_WORLD_DATASETS)
+    def test_real_world_labels(self, name):
+        stream = load_dataset(name, 1_000, seed=6)
+        assert stream.name == name
+        assert len(stream) == 1_000
+
+    def test_synthetic_with_params(self):
+        stream = load_dataset("absnormal", 500, seed=7, mu=4.0, sigma=2.0)
+        assert stream.name == "absnormal(4,2)"
+        stream = load_dataset("lognormal", 500, seed=7, sigma=0.5)
+        assert "lognormal" in stream.name
+        stream = load_dataset("exponential", 500, seed=7, lam=3.0)
+        assert "exponential" in stream.name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(WorkloadError):
+            load_dataset("mystery", 100)
+
+    def test_delay_only_everywhere(self):
+        from repro.metrics import check_delay_only
+
+        for name in REAL_WORLD_DATASETS:
+            stream = load_dataset(name, 2_000, seed=8)
+            assert check_delay_only(stream.generation_times, stream.delays)

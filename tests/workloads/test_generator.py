@@ -1,0 +1,113 @@
+"""Arrival-stream generation: delay-only, determinism, stream anatomy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.metrics import check_delay_only
+from repro.theory import ConstantDelay, DelayDistribution, ExponentialDelay
+from repro.workloads import ArrivalStream, TimeSeriesGenerator, stream_from_delays
+
+
+class TestTimeSeriesGenerator:
+    def test_stream_anatomy(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(0.5)).generate(1_000, seed=0)
+        assert len(stream) == 1_000
+        assert len(stream.timestamps) == len(stream.values) == 1_000
+        assert sorted(stream.timestamps) == list(range(1_000))
+        assert check_delay_only(stream.generation_times, stream.delays)
+
+    def test_deterministic_by_seed(self):
+        gen = TimeSeriesGenerator(ExponentialDelay(0.5))
+        a = gen.generate(500, seed=42)
+        b = gen.generate(500, seed=42)
+        c = gen.generate(500, seed=43)
+        assert a.timestamps == b.timestamps
+        assert a.values == b.values
+        assert a.timestamps != c.timestamps
+
+    def test_zero_delay_yields_sorted_stream(self):
+        stream = TimeSeriesGenerator(ConstantDelay(0.0)).generate(200, seed=1)
+        assert stream.timestamps == list(range(200))
+
+    def test_interval_scales_timestamps(self):
+        stream = TimeSeriesGenerator(ConstantDelay(0.0), interval=10).generate(5)
+        assert stream.timestamps == [0, 10, 20, 30, 40]
+
+    def test_arrival_ties_broken_by_generation_order(self):
+        stream = TimeSeriesGenerator(ConstantDelay(3.0)).generate(100, seed=2)
+        # Identical delays: arrival order == generation order.
+        assert stream.timestamps == list(range(100))
+
+    def test_disorder_grows_with_delay_scale(self):
+        mild = TimeSeriesGenerator(ExponentialDelay(2.0)).generate(20_000, seed=3)
+        wild = TimeSeriesGenerator(ExponentialDelay(0.05)).generate(20_000, seed=3)
+        assert mild.disorder_summary()["inversions"] < wild.disorder_summary()["inversions"]
+
+    def test_disorder_summary_cached(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(1.0)).generate(1_000, seed=4)
+        assert stream.disorder_summary() is stream.disorder_summary()
+
+    def test_sort_input_returns_copies(self):
+        stream = TimeSeriesGenerator(ExponentialDelay(1.0)).generate(100, seed=5)
+        ts, vs = stream.sort_input()
+        ts.sort()
+        assert stream.timestamps != ts or ts == sorted(stream.timestamps)
+        ts2, _ = stream.sort_input()
+        assert ts2 == stream.timestamps
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(WorkloadError):
+            TimeSeriesGenerator(ExponentialDelay(1.0)).generate(-1)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(WorkloadError):
+            TimeSeriesGenerator(ExponentialDelay(1.0), interval=0)
+
+    def test_negative_delay_model_rejected(self):
+        class BrokenDelay(DelayDistribution):
+            def sample(self, n, rng):
+                return np.full(n, -1.0)
+
+            def pdf(self, t):
+                return 0.0
+
+            def cdf(self, t):
+                return 0.0
+
+            def mean(self):
+                return -1.0
+
+        with pytest.raises(WorkloadError):
+            TimeSeriesGenerator(BrokenDelay()).generate(10)
+
+    def test_custom_value_fn(self):
+        def constant_values(times, rng):
+            return np.full(times.size, 7.0)
+
+        stream = TimeSeriesGenerator(
+            ExponentialDelay(1.0), value_fn=constant_values
+        ).generate(50, seed=6)
+        assert stream.values == [7.0] * 50
+
+
+class TestStreamFromDelays:
+    def test_explicit_delays(self):
+        # Delays engineered so point 0 arrives after points 1 and 2.
+        stream = stream_from_delays(np.array([2.5, 0.0, 0.0, 0.0]))
+        assert stream.timestamps == [1, 2, 0, 3]
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(WorkloadError):
+            stream_from_delays(np.array([0.0, -1.0]))
+
+    def test_values_length_checked(self):
+        with pytest.raises(WorkloadError):
+            stream_from_delays(np.zeros(3), values=np.zeros(2))
+
+    def test_empty(self):
+        stream = stream_from_delays(np.array([]))
+        assert len(stream) == 0
+        assert isinstance(stream, ArrivalStream)
