@@ -1,0 +1,44 @@
+"""Machine-checked guardrails for the Backward-Sort reproduction.
+
+The correctness of this codebase rests on invariants the type system cannot
+see: every sorter permutes two parallel arrays in lockstep, every move and
+comparison is accounted in :class:`~repro.core.instrumentation.SortStats`,
+and the hot paths stay free of wall-clock reads and accidentally quadratic
+list operations.  This package enforces them on two layers:
+
+* **Static** — :mod:`repro.analysis.linter` runs AST-based project rules
+  (see :mod:`repro.analysis.rules`) over the source tree; the
+  ``repro-analyze`` console script (:mod:`repro.analysis.cli`) wires it
+  into CI.
+* **Dynamic** — :mod:`repro.analysis.sanitizer` wraps any sorter and
+  asserts post-conditions (sorted output, pair permutation, stats
+  consistent with the observed mutation count).  Setting ``REPRO_SANITIZE=1``
+  turns it on for every :meth:`repro.core.sorter.Sorter.sort` call, so the
+  whole test suite can run sanitized.
+
+Findings are suppressed line-by-line with ``# repro: allow(<rule-id>)``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.linter import Finding, LintModule, Rule, load_modules, run_linter
+from repro.analysis.sanitizer import (
+    SanitizerViolation,
+    SanitizingSorter,
+    TracingList,
+    run_sanitized,
+    sanitize_enabled,
+)
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "Rule",
+    "SanitizerViolation",
+    "SanitizingSorter",
+    "TracingList",
+    "load_modules",
+    "run_linter",
+    "run_sanitized",
+    "sanitize_enabled",
+]

@@ -1,0 +1,110 @@
+"""``repro-analyze`` — run the project lint rules from the command line.
+
+Examples::
+
+    repro-analyze src/repro                      # all rules, text output
+    repro-analyze --rules wall-clock src/repro   # one rule
+    repro-analyze --format json src/repro        # machine-readable (CI)
+    repro-analyze --list-rules                   # what can run
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage
+errors (unknown rule, missing path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.linter import run_linter
+from repro.analysis.rules import all_rules, available_rules, get_rules
+from repro.errors import InvalidParameterError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="AST invariant linter for the Backward-Sort reproduction.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rules",
+        action="append",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule IDs to run (default: all); repeatable",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list available rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+
+    if args.rules is None:
+        rules = all_rules()
+    else:
+        requested = [
+            rule_id.strip()
+            for chunk in args.rules
+            for rule_id in chunk.split(",")
+            if rule_id.strip()
+        ]
+        try:
+            rules = get_rules(requested)
+        except InvalidParameterError as exc:
+            print(f"repro-analyze: {exc}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or ["src/repro"]
+    try:
+        findings = run_linter(paths, rules)
+    except InvalidParameterError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "paths": [str(path) for path in paths],
+                    "rules": [rule.rule_id for rule in rules],
+                    "findings": [finding.as_dict() for finding in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        summary = f"{len(findings)} finding(s)" if findings else "clean"
+        print(f"repro-analyze: {summary} ({len(rules)} rule(s))")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""AST lint framework: module loading, rule protocol, pragma suppression.
+
+The linter is deliberately small: a :class:`LintModule` is one parsed source
+file, a :class:`Rule` inspects modules (or the whole project at once, for
+cross-module rules such as import-cycle detection) and yields
+:class:`Finding` objects.  :func:`run_linter` glues the two together and
+drops findings suppressed by an inline ``# repro: allow(<rule-id>)`` pragma
+on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import InvalidParameterError
+
+#: Inline suppression pragma: ``# repro: allow(rule-a, rule-b)``.
+_ALLOW_PRAGMA = re.compile(r"#\s*repro:\s*allow\(\s*([-\w\s,]+?)\s*\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}"
+
+    def as_dict(self) -> dict[str, str | int]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus the metadata rules need.
+
+    Attributes:
+        path: filesystem path of the file.
+        name: best-effort dotted module name (walking up while ``__init__.py``
+            parents exist), e.g. ``"repro.core.sorter"``.
+        source: raw text.
+        tree: the parsed :class:`ast.Module`.
+        allowed: per-line rule suppressions from ``# repro: allow(...)``.
+    """
+
+    path: Path
+    name: str
+    source: str
+    tree: ast.Module
+    allowed: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.allowed.get(finding.line)
+        return bool(rules) and (finding.rule_id in rules or "*" in rules)
+
+    def path_parts(self) -> tuple[str, ...]:
+        return self.path.parts
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` / ``description`` and override one (or both)
+    of :meth:`check_module` and :meth:`check_project`.
+    """
+
+    rule_id: str = "abstract"
+    description: str = ""
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(self, module: LintModule, line: int, message: str) -> Finding:
+        return Finding(
+            rule_id=self.rule_id, path=str(module.path), line=line, message=message
+        )
+
+
+def dotted_module_name(path: Path) -> str:
+    """Dotted name of ``path`` relative to its topmost package directory."""
+    path = path.resolve()
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+def _parse_allow_pragmas(source: str) -> dict[int, set[str]]:
+    allowed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_PRAGMA.search(line)
+        if match:
+            rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            if rules:
+                allowed[lineno] = rules
+    return allowed
+
+
+def load_module(path: Path) -> LintModule:
+    """Parse one source file into a :class:`LintModule`.
+
+    Raises:
+        SyntaxError: when the file does not parse; callers that want a
+            finding instead use :func:`run_linter`.
+    """
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return LintModule(
+        path=path,
+        name=dotted_module_name(path),
+        source=source,
+        tree=tree,
+        allowed=_parse_allow_pragmas(source),
+    )
+
+
+def iter_source_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``*.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise InvalidParameterError(f"no such file or directory: {path}")
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def load_modules(paths: Iterable[Path | str]) -> tuple[list[LintModule], list[Finding]]:
+    """Load every source file; unparseable files become ``syntax-error`` findings."""
+    modules: list[LintModule] = []
+    errors: list[Finding] = []
+    for path in iter_source_files(paths):
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule_id="syntax-error",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return modules, errors
+
+
+def run_linter(
+    paths: Iterable[Path | str],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Run ``rules`` (default: all registered) over ``paths``.
+
+    Returns findings sorted by (path, line, rule), with pragma-suppressed
+    findings removed.  Syntax errors are reported as findings rather than
+    raised, so CI sees broken files instead of a traceback.
+    """
+    if rules is None:
+        from repro.analysis.rules import all_rules
+
+        rules = all_rules()
+    modules, findings = load_modules(paths)
+    by_path = {str(module.path): module for module in modules}
+    for rule in rules:
+        for module in modules:
+            findings.extend(rule.check_module(module))
+        findings.extend(rule.check_project(modules))
+    kept = [
+        finding
+        for finding in findings
+        if finding.path not in by_path or not by_path[finding.path].is_suppressed(finding)
+    ]
+    kept.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return kept

@@ -1,0 +1,53 @@
+"""Registry of the project lint rules.
+
+Rules are instantiated fresh per :func:`all_rules` call so they carry no
+state between linter runs.  ``repro-analyze --rules`` selects a subset by
+ID via :func:`get_rules`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.analysis.linter import Rule
+from repro.analysis.rules.lazy_imports import LazyImportCycleRule
+from repro.analysis.rules.parallel_arrays import ParallelArrayRule
+from repro.analysis.rules.quadratic_ops import QuadraticListOpRule
+from repro.analysis.rules.stats_accounting import StatsAccountingRule
+from repro.analysis.rules.wall_clock import WallClockRule
+from repro.errors import InvalidParameterError
+
+_RULE_FACTORIES: dict[str, Callable[[], Rule]] = {
+    ParallelArrayRule.rule_id: ParallelArrayRule,
+    StatsAccountingRule.rule_id: StatsAccountingRule,
+    LazyImportCycleRule.rule_id: LazyImportCycleRule,
+    WallClockRule.rule_id: WallClockRule,
+    QuadraticListOpRule.rule_id: QuadraticListOpRule,
+}
+
+
+def available_rules() -> tuple[str, ...]:
+    """IDs of every registered rule, sorted alphabetically."""
+    return tuple(sorted(_RULE_FACTORIES))
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule."""
+    return [_RULE_FACTORIES[rule_id]() for rule_id in available_rules()]
+
+
+def get_rules(rule_ids: Sequence[str]) -> list[Rule]:
+    """Fresh instances of the named rules.
+
+    Raises:
+        InvalidParameterError: for an unknown rule ID.
+    """
+    rules: list[Rule] = []
+    for rule_id in rule_ids:
+        try:
+            rules.append(_RULE_FACTORIES[rule_id]())
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown rule {rule_id!r}; available: {', '.join(available_rules())}"
+            ) from None
+    return rules

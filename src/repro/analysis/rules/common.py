@@ -1,0 +1,191 @@
+"""Shared AST helpers for the project lint rules.
+
+The rules lean on two conventions of this codebase:
+
+* **Parallel arrays** travel under paired names: ``ts``/``vs`` (and the
+  short merge-run aliases ``at``/``av``, ``bt``/``bv``), or a shared prefix
+  with ``_t``/``_v`` (``buf_t``/``buf_v``) or ``_ts``/``_vs``
+  (``pile_ts``/``pile_vs``) suffixes.
+* **Hot paths** live under ``repro/sorting/`` and ``repro/core/`` — the
+  directories every sort call site executes.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.linter import LintModule
+
+#: Directories whose modules count as hot paths.
+HOT_PATH_DIRS = frozenset({"sorting", "core"})
+
+#: Irregular timestamp-array → value-array name pairs.
+_EXPLICIT_PAIRS = {"ts": "vs", "at": "av", "bt": "bv"}
+
+#: list methods that mutate the receiver.
+MUTATING_METHODS = frozenset(
+    {"append", "extend", "insert", "pop", "remove", "clear", "sort", "reverse"}
+)
+
+
+def is_hot_path(module: LintModule) -> bool:
+    """True when the module lives in a hot-path directory."""
+    return any(part in HOT_PATH_DIRS for part in module.path.parts)
+
+
+def paired_value_name(name: str) -> str | None:
+    """The value-array name paired with timestamp-array ``name``, if any."""
+    if name in _EXPLICIT_PAIRS:
+        return _EXPLICIT_PAIRS[name]
+    if name.endswith("_ts"):
+        return name[:-3] + "_vs"
+    if name.endswith("_t"):
+        return name[:-2] + "_v"
+    return None
+
+
+def timestamp_name_for(name: str) -> str | None:
+    """Inverse of :func:`paired_value_name`."""
+    for t_name, v_name in _EXPLICIT_PAIRS.items():
+        if name == v_name:
+            return t_name
+    if name.endswith("_vs"):
+        return name[:-3] + "_ts"
+    if name.endswith("_v"):
+        return name[:-2] + "_t"
+    return None
+
+
+def is_paired_array_name(name: str) -> bool:
+    """True when ``name`` belongs to either side of a parallel-array pair."""
+    return paired_value_name(name) is not None or timestamp_name_for(name) is not None
+
+
+@dataclass
+class Scope:
+    """One function (or the module body), excluding nested function bodies."""
+
+    name: str
+    node: ast.AST
+    statements: list[ast.stmt]
+
+    def walk(self) -> Iterator[ast.AST]:
+        """Walk every node in this scope, skipping nested function scopes."""
+        stack: list[ast.AST] = list(self.statements)
+        while stack:
+            node = stack.pop()
+            yield node
+            # A function definition is a statement of this scope, but its
+            # body is a different scope — don't descend into it.
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[Scope]:
+    """Yield the module scope and every (possibly nested) function scope."""
+    yield Scope(name="<module>", node=tree, statements=list(tree.body))
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield Scope(name=node.name, node=node, statements=list(node.body))
+
+
+def subscript_root_name(node: ast.AST) -> str | None:
+    """The root ``Name`` under a (possibly chained) subscript, else None."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ArrayMutations:
+    """Per-name record of how a scope mutates its lists."""
+
+    #: name -> multiset of unparsed index expressions stored through.
+    store_indexes: dict[str, Counter] = field(default_factory=dict)
+    #: name -> multiset of mutating method names called on it.
+    method_calls: dict[str, Counter] = field(default_factory=dict)
+    #: name -> first line a mutation was seen on.
+    first_line: dict[str, int] = field(default_factory=dict)
+
+    def _note_line(self, name: str, line: int) -> None:
+        if name not in self.first_line or line < self.first_line[name]:
+            self.first_line[name] = line
+
+    def record_store(self, name: str, index_src: str, line: int) -> None:
+        self.store_indexes.setdefault(name, Counter())[index_src] += 1
+        self._note_line(name, line)
+
+    def record_call(self, name: str, method: str, line: int) -> None:
+        self.method_calls.setdefault(name, Counter())[method] += 1
+        self._note_line(name, line)
+
+    def mutated_names(self) -> set[str]:
+        return set(self.store_indexes) | set(self.method_calls)
+
+
+def _record_target(target: ast.AST, mutations: ArrayMutations) -> None:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _record_target(element, mutations)
+    elif isinstance(target, ast.Subscript) and isinstance(target.value, ast.Name):
+        mutations.record_store(
+            target.value.id, ast.unparse(target.slice), target.lineno
+        )
+
+
+def collect_array_mutations(scope: Scope) -> ArrayMutations:
+    """Record subscript stores and mutating method calls in ``scope``."""
+    mutations = ArrayMutations()
+    for node in scope.walk():
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                _record_target(target, mutations)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            _record_target(node.target, mutations)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                _record_target(target, mutations)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS:
+                root = subscript_root_name(node.func.value)
+                if root is not None:
+                    mutations.record_call(root, node.func.attr, node.lineno)
+    return mutations
+
+
+def scope_has_counter_update(scope: Scope, counter: str) -> bool:
+    """True when the scope updates a stats counter named ``counter``.
+
+    Accepts the two accounting idioms used throughout the codebase: a direct
+    augmented assignment on an attribute (``stats.moves += n``,
+    ``self.stats.moves += 1``) and a local tally later folded in
+    (``moves += 1`` … ``stats.moves += moves``) — the local counter's name
+    must contain the counter word (``moves``, ``comparisons``).
+    """
+    stem = counter.rstrip("s")
+    for node in scope.walk():
+        if not isinstance(node, ast.AugAssign):
+            continue
+        target = node.target
+        if isinstance(target, ast.Attribute) and target.attr == counter:
+            return True
+        if isinstance(target, ast.Name) and stem in target.id:
+            return True
+    return False
+
+
+def compares_paired_subscript(node: ast.Compare) -> bool:
+    """True when any comparison operand subscripts a parallel-array name."""
+    for operand in [node.left, *node.comparators]:
+        for sub in ast.walk(operand):
+            if isinstance(sub, ast.Subscript):
+                root = subscript_root_name(sub)
+                if root is not None and is_paired_array_name(root):
+                    return True
+    return False

@@ -1,0 +1,133 @@
+"""Rule ``lazy-import-cycle``: import cycles are only legal when lazy.
+
+``repro.core.backward_sort`` needs the block sorters that live in
+``repro.sorting``, while ``repro.sorting``'s registry imports the core
+sorter interface back — a genuine dependency cycle.  The documented pattern
+keeps it harmless: the *core → sorting* direction is imported lazily inside
+the function that needs it, so no cycle exists at module import time.
+
+This rule rebuilds the module-level import graph over the scanned project
+(only imports that are direct statements of the module body count — imports
+inside functions are the sanctioned lazy pattern and contribute no edge) and
+reports every import statement that participates in a cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.linter import Finding, LintModule, Rule
+
+
+class LazyImportCycleRule(Rule):
+    rule_id = "lazy-import-cycle"
+    description = (
+        "module-level import cycles are forbidden; close a cycle only via a "
+        "function-local (lazy) import"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        known = {module.name: module for module in modules}
+        # name -> list of (imported module name, lineno)
+        edges: dict[str, list[tuple[str, int]]] = {
+            module.name: list(_top_level_imports(module, known)) for module in modules
+        }
+        graph = {
+            name: {target for target, _ in targets} for name, targets in edges.items()
+        }
+        for name, targets in sorted(edges.items()):
+            for target, lineno in targets:
+                cycle = _find_path(graph, target, name)
+                if cycle is not None:
+                    chain = " -> ".join([name, *cycle])
+                    yield self.finding(
+                        known[name],
+                        lineno,
+                        f"module-level import of {target!r} closes the cycle "
+                        f"{chain}; move it inside the function that needs it "
+                        "(the documented lazy-import pattern)",
+                    )
+
+
+def _top_level_imports(
+    module: LintModule, known: dict[str, LintModule]
+) -> Iterator[tuple[str, int]]:
+    """Project-internal imports that execute at module import time.
+
+    Edges onto the module itself or one of its ancestor packages are
+    dropped: ancestors are implicitly (partially) imported before the module
+    body runs, so they cannot introduce a *new* cycle.
+    """
+    ancestors = set()
+    parts = module.name.split(".")
+    for end in range(1, len(parts) + 1):
+        ancestors.add(".".join(parts[:end]))
+
+    def emit(target: str | None, lineno: int) -> Iterator[tuple[str, int]]:
+        if target is not None and target not in ancestors:
+            yield target, lineno
+
+    for node in module.tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield from emit(_resolve(alias.name, known), node.lineno)
+        elif isinstance(node, ast.ImportFrom):
+            base = _absolute_base(node, module)
+            if base is None:
+                continue
+            # ``from pkg import submodule`` — prefer the submodule target;
+            # fall back to the base module for ``from pkg import name``.
+            for alias in node.names:
+                target = _resolve(f"{base}.{alias.name}", known)
+                if target is not None:
+                    yield from emit(target, node.lineno)
+                else:
+                    yield from emit(_resolve(base, known), node.lineno)
+
+
+def _absolute_base(node: ast.ImportFrom, module: LintModule) -> str | None:
+    """Absolute dotted base of a ``from … import`` statement."""
+    if node.level == 0:
+        return node.module
+    package_parts = module.name.split(".")[: -node.level]
+    if not package_parts and not node.module:
+        return None
+    if node.module:
+        package_parts.append(node.module)
+    return ".".join(package_parts) if package_parts else None
+
+
+def _resolve(name: str, known: dict[str, LintModule]) -> str | None:
+    """Map an imported dotted name onto a scanned module, if it is one."""
+    if name in known:
+        return name
+    # ``import repro.core.sorter`` resolves even when only the package
+    # __init__ is scanned; prefer the deepest scanned prefix.
+    parts = name.split(".")
+    for end in range(len(parts) - 1, 0, -1):
+        prefix = ".".join(parts[:end])
+        if prefix in known:
+            return prefix
+    return None
+
+
+def _find_path(
+    graph: dict[str, set[str]], start: str, goal: str
+) -> list[str] | None:
+    """Shortest path ``[start, …, goal]`` over the import graph, if any."""
+    if start == goal:
+        return [start]
+    frontier = [[start]]
+    visited = {start}
+    while frontier:
+        next_frontier: list[list[str]] = []
+        for path in frontier:
+            for neighbor in sorted(graph.get(path[-1], ())):
+                if neighbor == goal:
+                    return path + [goal]
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.append(path + [neighbor])
+        frontier = next_frontier
+    return None

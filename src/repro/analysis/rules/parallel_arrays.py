@@ -1,0 +1,82 @@
+"""Rule ``parallel-arrays``: timestamps and values must move in lockstep.
+
+Every sorter rearranges two parallel arrays — the timestamps (sort key) and
+the values (payload).  A refactor that shifts ``ts[i]`` without shifting
+``vs[i]`` under the same index silently desynchronises the pair while still
+producing sorted timestamps, so no ordinary sortedness test catches it.
+
+The rule checks, per function scope in hot-path modules, that for every
+recognised name pair (``ts``/``vs``, ``buf_t``/``buf_v``, …):
+
+* the multiset of subscript-store index expressions on the timestamp array
+  equals the one on the value array (``ts[j + 1] = …`` requires a matching
+  ``vs[j + 1] = …``), and
+* the multiset of mutating method calls (``append``, ``insert``, ``pop``, …)
+  on both arrays is the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import (
+    collect_array_mutations,
+    is_hot_path,
+    iter_scopes,
+    paired_value_name,
+    timestamp_name_for,
+)
+
+
+class ParallelArrayRule(Rule):
+    rule_id = "parallel-arrays"
+    description = (
+        "a function mutating ts[i] must mutate vs[i] under the same index "
+        "expression (and mirror append/insert/pop calls)"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if not is_hot_path(module):
+            return
+        for scope in iter_scopes(module.tree):
+            mutations = collect_array_mutations(scope)
+            pairs: set[tuple[str, str]] = set()
+            for name in mutations.mutated_names():
+                value_name = paired_value_name(name)
+                if value_name is not None:
+                    pairs.add((name, value_name))
+                    continue
+                t_name = timestamp_name_for(name)
+                if t_name is not None:
+                    pairs.add((t_name, name))
+            for t_name, v_name in sorted(pairs):
+                line = mutations.first_line.get(
+                    t_name, mutations.first_line.get(v_name, 1)
+                )
+                t_stores = mutations.store_indexes.get(t_name, {})
+                v_stores = mutations.store_indexes.get(v_name, {})
+                if t_stores != v_stores:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"in {scope.name!r}: subscript stores on {t_name!r} "
+                        f"({_fmt(t_stores)}) are not mirrored on {v_name!r} "
+                        f"({_fmt(v_stores)})",
+                    )
+                t_calls = mutations.method_calls.get(t_name, {})
+                v_calls = mutations.method_calls.get(v_name, {})
+                if t_calls != v_calls:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"in {scope.name!r}: mutating calls on {t_name!r} "
+                        f"({_fmt(t_calls)}) are not mirrored on {v_name!r} "
+                        f"({_fmt(v_calls)})",
+                    )
+
+
+def _fmt(counter) -> str:
+    if not counter:
+        return "none"
+    return ", ".join(f"{key} x{count}" for key, count in sorted(counter.items()))

@@ -1,0 +1,104 @@
+"""Rule ``quadratic-list-op``: no accidentally quadratic list idioms in loops.
+
+``list.insert(0, …)`` and ``list.pop(0)`` shift every element on each call;
+membership tests against a plain list scan it linearly.  Any of these inside
+a loop in a hot-path module turns an intended O(n) or O(n log n) pass into
+O(n²) on adversarial input — exactly the kind of regression a perf-focused
+reproduction must not merge silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import is_hot_path, iter_scopes, subscript_root_name
+
+
+class QuadraticListOpRule(Rule):
+    rule_id = "quadratic-list-op"
+    description = (
+        "list.insert(0, …), list.pop(0), and membership tests against plain "
+        "lists are O(n) per call and forbidden inside hot-path loops"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if not is_hot_path(module):
+            return
+        for scope in iter_scopes(module.tree):
+            list_names = _locally_bound_lists(scope)
+            for loop in scope.walk():
+                if not isinstance(loop, (ast.For, ast.While)):
+                    continue
+                for node in ast.walk(loop):
+                    if node is loop:
+                        continue
+                    yield from self._check_node(module, scope, node, list_names)
+
+    def _check_node(
+        self, module: LintModule, scope, node: ast.AST, list_names: set[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            method = node.func.attr
+            receiver = subscript_root_name(node.func.value)
+            if (
+                method in {"insert", "pop"}
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and node.args[0].value == 0
+                and receiver is not None
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"in {scope.name!r}: {receiver}.{method}(0, …) inside a "
+                    "loop shifts the whole list per call (O(n^2) total); "
+                    "restructure to append/pop at the end",
+                )
+        elif isinstance(node, ast.Compare):
+            for op, comparator in zip(node.ops, node.comparators):
+                if (
+                    isinstance(op, (ast.In, ast.NotIn))
+                    and isinstance(comparator, ast.Name)
+                    and comparator.id in list_names
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"in {scope.name!r}: membership test against list "
+                        f"{comparator.id!r} inside a loop scans it linearly; "
+                        "use a set",
+                    )
+
+
+def _locally_bound_lists(scope) -> set[str]:
+    """Names assigned a list literal / ``list()`` call / list comp in scope."""
+    names: set[str] = set()
+    for node in scope.walk():
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not _is_list_value(value):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _is_list_value(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "list"
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+        # ``[None] * n`` and friends.
+        return _is_list_value(node.left) or _is_list_value(node.right)
+    return False

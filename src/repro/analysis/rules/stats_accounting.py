@@ -1,0 +1,79 @@
+"""Rule ``stats-accounting``: every move and comparison must be counted.
+
+The paper's move-count figures (Example 3, Propositions 5-6) are reproduced
+from the ``SortStats`` counters, so a sorter that moves elements without
+bumping ``stats.moves`` — or compares timestamps without bumping
+``stats.comparisons`` — quietly corrupts every downstream figure while all
+correctness tests keep passing.
+
+Per function scope in hot-path modules:
+
+* a scope that mutates a parallel array (subscript store or mutating method
+  call on a paired name) must update a ``moves`` counter, and
+* a scope that compares subscripted parallel-array elements must update a
+  ``comparisons`` counter.
+
+Both accounting idioms used in the codebase are accepted: direct
+(``stats.moves += n``) and local-tally (``moves += 1`` folded into
+``stats.moves`` at the end).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import (
+    collect_array_mutations,
+    compares_paired_subscript,
+    is_hot_path,
+    is_paired_array_name,
+    iter_scopes,
+    scope_has_counter_update,
+)
+
+
+class StatsAccountingRule(Rule):
+    rule_id = "stats-accounting"
+    description = (
+        "every swap/shift of a parallel array pair must be paired with a "
+        "stats.moves update, and every key comparison with stats.comparisons"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if not is_hot_path(module):
+            return
+        for scope in iter_scopes(module.tree):
+            if scope.name == "<module>":
+                continue
+            mutations = collect_array_mutations(scope)
+            mutated = [
+                name for name in mutations.mutated_names() if is_paired_array_name(name)
+            ]
+            if mutated and not scope_has_counter_update(scope, "moves"):
+                line = min(mutations.first_line[name] for name in mutated)
+                yield self.finding(
+                    module,
+                    line,
+                    f"in {scope.name!r}: parallel arrays "
+                    f"({', '.join(sorted(mutated))}) are mutated but no "
+                    "moves counter is updated in this function",
+                )
+            compare_line = self._first_uncounted_compare(scope)
+            if compare_line is not None and not scope_has_counter_update(
+                scope, "comparisons"
+            ):
+                yield self.finding(
+                    module,
+                    compare_line,
+                    f"in {scope.name!r}: parallel-array elements are compared "
+                    "but no comparisons counter is updated in this function",
+                )
+
+    @staticmethod
+    def _first_uncounted_compare(scope) -> int | None:
+        for node in scope.walk():
+            if isinstance(node, ast.Compare) and compares_paired_subscript(node):
+                return node.lineno
+        return None

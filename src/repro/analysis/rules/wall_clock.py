@@ -1,0 +1,71 @@
+"""Rule ``wall-clock``: no clock reads inside hot-path modules.
+
+Reliable timings come from one place — :mod:`repro.bench.timing` — which
+owns warmup, repetition, and dispersion statistics.  A stray
+``time.perf_counter()`` inside a sorter both biases measurements (the clock
+read sits inside the measured region) and fragments the timing discipline
+the benchmark harness depends on.  Hot-path modules therefore may not read
+any wall clock; they delegate to ``repro.bench.timing`` instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import is_hot_path
+
+#: Names in the ``time`` module that read a clock.
+_CLOCK_FUNCTIONS = frozenset(
+    {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns", "time",
+     "time_ns", "process_time", "process_time_ns"}
+)
+
+#: The one module allowed to read clocks.
+_TIMING_MODULE = "repro.bench.timing"
+
+
+class WallClockRule(Rule):
+    rule_id = "wall-clock"
+    description = (
+        "hot-path modules must not read wall clocks; only repro.bench.timing "
+        "may call time.perf_counter and friends"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if not is_hot_path(module) or module.name == _TIMING_MODULE:
+            return
+        direct_imports = _directly_imported_clocks(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOCK_FUNCTIONS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                clock = f"time.{func.attr}"
+            elif isinstance(func, ast.Name) and func.id in direct_imports:
+                clock = func.id
+            else:
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"{clock}() read in hot-path module; route timing through "
+                f"{_TIMING_MODULE} instead",
+            )
+
+
+def _directly_imported_clocks(tree: ast.Module) -> set[str]:
+    """Local names bound by ``from time import perf_counter``-style imports."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _CLOCK_FUNCTIONS:
+                    names.add(alias.asname or alias.name)
+    return names

@@ -1,0 +1,262 @@
+"""Runtime sort-sanitizer: post-condition checks around any sorter.
+
+Wraps a :class:`~repro.core.sorter.Sorter` invocation and asserts, after the
+algorithm body ran:
+
+1. both arrays keep their length,
+2. the timestamps come out non-decreasing,
+3. the ``(timestamp, value)`` pairs are exactly a permutation of the input
+   (checked by object identity, so a merge bug that duplicates an element is
+   caught even when the duplicate compares equal),
+4. every :class:`~repro.core.instrumentation.SortStats` counter is monotone
+   across the call, and
+5. the reported ``moves`` are consistent with the mutations actually
+   observed: the arrays are wrapped in a :class:`TracingList` proxy that
+   counts element writes, and a sorter may never report fewer moves than
+   writes it performed (an undercount would corrupt the paper's move-count
+   figures silently).
+
+Activation: set ``REPRO_SANITIZE=1`` (the whole test suite then runs
+sanitized through the hook in :meth:`repro.core.sorter.Sorter.sort`), wrap a
+single sorter in :class:`SanitizingSorter`, or call :func:`run_sanitized`
+directly.  Violations raise :class:`SanitizerViolation`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from dataclasses import fields
+
+from repro.errors import SortError
+
+#: Environment variable that turns global sanitization on.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Non-zero while a sanitized sort is running, so sorters that internally
+#: call other sorters (Backward-Sort's tim block sort, for example) are not
+#: re-wrapped: one sanitizer layer per top-level sort call.
+_depth = 0
+
+
+class SanitizerViolation(SortError):
+    """A sorter broke a post-condition the sanitizer checks."""
+
+
+class TracingList(list):
+    """A list that counts element writes.
+
+    ``writes`` sums element stores: one per ``lst[i] = x``, the assigned
+    length per slice store, one per ``append``/``insert``/``pop``/…, and the
+    list length per ``sort``/``reverse``/``clear`` (bulk rearrangement).
+    Reads are free, and slicing returns plain lists, so sorters behave
+    identically under tracing.
+    """
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self.writes = 0
+
+    def __setitem__(self, index, value):
+        if isinstance(index, slice):
+            value = list(value)
+            self.writes += len(value)
+        else:
+            self.writes += 1
+        super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self.writes += 1
+        super().__delitem__(index)
+
+    def append(self, value):
+        self.writes += 1
+        super().append(value)
+
+    def extend(self, iterable):
+        items = list(iterable)
+        self.writes += len(items)
+        super().extend(items)
+
+    def insert(self, index, value):
+        self.writes += 1
+        super().insert(index, value)
+
+    def pop(self, index=-1):
+        self.writes += 1
+        return super().pop(index)
+
+    def remove(self, value):
+        self.writes += 1
+        super().remove(value)
+
+    def clear(self):
+        self.writes += len(self)
+        super().clear()
+
+    def sort(self, **kwargs):
+        self.writes += len(self)
+        super().sort(**kwargs)
+
+    def reverse(self):
+        self.writes += len(self)
+        super().reverse()
+
+
+def sanitize_enabled() -> bool:
+    """True when ``REPRO_SANITIZE`` requests global sanitization."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in _TRUTHY
+
+
+def _pair_multiset(ts, vs) -> Counter:
+    return Counter((t, id(v)) for t, v in zip(ts, vs))
+
+
+def _stat_snapshot(stats) -> dict[str, int]:
+    snapshot: dict[str, int] = {}
+    for spec in fields(stats):
+        value = getattr(stats, spec.name)
+        if isinstance(value, int):
+            snapshot[spec.name] = value
+    return snapshot
+
+
+def run_sanitized(sorter, ts: list, vs: list, stats) -> None:
+    """Run ``sorter._sort`` on ``(ts, vs)`` with post-condition checks.
+
+    Drop-in replacement for the ``self._sort(timestamps, values, stats)``
+    call inside :meth:`repro.core.sorter.Sorter.sort`: the caller's lists are
+    mutated in place exactly as an unsanitized sort would.  Nested sort calls
+    issued by the algorithm itself run unsanitized (one layer of checks per
+    top-level call).
+
+    Raises:
+        SanitizerViolation: on any broken post-condition.
+    """
+    global _depth
+    if _depth > 0:
+        sorter._sort(ts, vs, stats)
+        return
+
+    n = len(ts)
+    name = getattr(sorter, "name", type(sorter).__name__)
+    before_pairs = _pair_multiset(ts, vs)
+    before_stats = _stat_snapshot(stats)
+    proxy_t = TracingList(ts)
+    proxy_v = TracingList(vs)
+
+    _depth += 1
+    try:
+        sorter._sort(proxy_t, proxy_v, stats)
+    finally:
+        _depth -= 1
+    ts[:] = proxy_t
+    vs[:] = proxy_v
+
+    if len(ts) != n or len(vs) != n:
+        raise SanitizerViolation(
+            f"sorter {name!r} changed array lengths: "
+            f"{n} -> ts={len(ts)}, vs={len(vs)}"
+        )
+    for i in range(n - 1):
+        if ts[i] > ts[i + 1]:
+            raise SanitizerViolation(
+                f"sorter {name!r} output is not sorted: "
+                f"ts[{i}]={ts[i]!r} > ts[{i + 1}]={ts[i + 1]!r}"
+            )
+    after_pairs = _pair_multiset(ts, vs)
+    if after_pairs != before_pairs:
+        missing = before_pairs - after_pairs
+        extra = after_pairs - before_pairs
+        raise SanitizerViolation(
+            f"sorter {name!r} did not permute the (ts, vs) pairs: "
+            f"{sum(missing.values())} pair(s) lost, "
+            f"{sum(extra.values())} pair(s) fabricated "
+            "(timestamps and values moved out of lockstep?)"
+        )
+
+    after_stats = _stat_snapshot(stats)
+    for counter, before in before_stats.items():
+        if after_stats.get(counter, before) < before:
+            raise SanitizerViolation(
+                f"sorter {name!r} decreased stats.{counter}: "
+                f"{before} -> {after_stats[counter]}"
+            )
+    delta_moves = after_stats.get("moves", 0) - before_stats.get("moves", 0)
+    observed = max(proxy_t.writes, proxy_v.writes)
+    if delta_moves < observed:
+        raise SanitizerViolation(
+            f"sorter {name!r} under-counted moves: stats.moves grew by "
+            f"{delta_moves} but {observed} element writes were observed"
+        )
+    delta_comparisons = after_stats.get("comparisons", 0) - before_stats.get(
+        "comparisons", 0
+    )
+    if n > 1 and delta_comparisons < 1:
+        raise SanitizerViolation(
+            f"sorter {name!r} reported no comparisons while sorting "
+            f"{n} elements"
+        )
+
+
+def install() -> None:
+    """Route every :meth:`Sorter.sort` call through the sanitizer."""
+    from repro.core import sorter
+
+    sorter.install_sanitize_hook(run_sanitized)
+
+
+def uninstall() -> None:
+    """Remove the global sanitizer hook (regardless of ``REPRO_SANITIZE``)."""
+    from repro.core import sorter
+
+    sorter.uninstall_sanitize_hook()
+
+
+class SanitizingSorter:
+    """A sorter wrapper that sanitizes every top-level sort call.
+
+    Duck-types the :class:`~repro.core.sorter.Sorter` interface (``sort``,
+    ``timed_sort``, ``name``, ``stable``) around any inner sorter, so it can
+    be dropped into the registry, the benchmark harness, or the storage
+    engine unchanged.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.name = getattr(inner, "name", type(inner).__name__)
+        self.stable = getattr(inner, "stable", False)
+
+    def sort(self, timestamps, values=None, stats=None):
+        from repro.core.instrumentation import SortStats
+        from repro.errors import LengthMismatchError
+
+        if stats is None:
+            stats = SortStats()
+        n = len(timestamps)
+        if values is None:
+            values = [None] * n
+        elif len(values) != n:
+            raise LengthMismatchError(n, len(values))
+        if n > 1:
+            run_sanitized(self.inner, timestamps, values, stats)
+        return stats
+
+    def timed_sort(self, timestamps, values=None):
+        from repro.bench.timing import Timer
+        from repro.core.instrumentation import SortStats, TimedResult
+
+        stats = SortStats()
+        with Timer() as timer:
+            self.sort(timestamps, values, stats)
+        return TimedResult(seconds=timer.seconds, stats=stats)
+
+    def __getattr__(self, attr):
+        # Forward sorter-specific attributes (e.g. BackwardSorter's
+        # ``last_block_size``) so the wrapper is a drop-in replacement.
+        return getattr(self.inner, attr)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<SanitizingSorter around {self.inner!r}>"

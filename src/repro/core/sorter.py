@@ -14,12 +14,54 @@ moves (TV pairs) is higher in IoTDB than that in general arrays".
 
 from __future__ import annotations
 
+import os
 import time
 from abc import ABC, abstractmethod
-from typing import Any, ClassVar, Sequence
+from typing import Any, Callable, ClassVar, Sequence
 
 from repro.core.instrumentation import SortStats, TimedResult
 from repro.errors import LengthMismatchError
+
+# Sanitizer hook (repro.analysis.sanitizer): when set, every Sorter.sort call
+# is routed through runtime post-condition checks.  Resolved lazily on the
+# first sort so importing this module never drags the analysis package in.
+_SANITIZE_HOOK: Callable[["Sorter", list, list, SortStats], None] | None = None
+_SANITIZE_RESOLVED = False
+
+
+def install_sanitize_hook(
+    hook: Callable[["Sorter", list, list, SortStats], None],
+) -> None:
+    """Route every :meth:`Sorter.sort` call through ``hook`` (sanitizer)."""
+    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
+    _SANITIZE_HOOK = hook
+    _SANITIZE_RESOLVED = True
+
+
+def uninstall_sanitize_hook() -> None:
+    """Remove the sanitize hook installed by :func:`install_sanitize_hook`."""
+    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
+    _SANITIZE_HOOK = None
+    _SANITIZE_RESOLVED = True
+
+
+def _active_sanitize_hook() -> (
+    Callable[["Sorter", list, list, SortStats], None] | None
+):
+    """The installed hook, honouring ``REPRO_SANITIZE`` on first use."""
+    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
+    if not _SANITIZE_RESOLVED:
+        _SANITIZE_RESOLVED = True
+        if os.environ.get("REPRO_SANITIZE", "").strip().lower() in {
+            "1",
+            "true",
+            "yes",
+            "on",
+        }:
+            from repro.analysis.sanitizer import run_sanitized
+
+            _SANITIZE_HOOK = run_sanitized
+    return _SANITIZE_HOOK
 
 
 class Sorter(ABC):
@@ -65,7 +107,11 @@ class Sorter(ABC):
         elif len(values) != n:
             raise LengthMismatchError(n, len(values))
         if n > 1:
-            self._sort(timestamps, values, stats)
+            hook = _active_sanitize_hook()
+            if hook is not None:
+                hook(self, timestamps, values, stats)
+            else:
+                self._sort(timestamps, values, stats)
         return stats
 
     def timed_sort(

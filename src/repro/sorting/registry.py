@@ -48,11 +48,16 @@ def available_sorters() -> tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def get_sorter(name: str, **kwargs) -> Sorter:
+def get_sorter(name: str, sanitize: bool | None = None, **kwargs) -> Sorter:
     """Instantiate a sorter by registry name.
 
     Args:
         name: a key from :func:`available_sorters`.
+        sanitize: wrap the sorter in the runtime sanitizer
+            (:class:`repro.analysis.sanitizer.SanitizingSorter`), which
+            asserts sortedness, pair permutation, and stats consistency after
+            every sort.  ``None`` (the default) defers to the
+            ``REPRO_SANITIZE`` environment variable.
         **kwargs: forwarded to the sorter constructor (e.g. ``theta`` or
             ``fixed_block_size`` for ``"backward"``).
 
@@ -65,7 +70,17 @@ def get_sorter(name: str, **kwargs) -> Sorter:
         raise InvalidParameterError(
             f"unknown sorter {name!r}; available: {', '.join(available_sorters())}"
         ) from None
-    return factory(**kwargs)
+    sorter = factory(**kwargs)
+    if sanitize is None:
+        # Lazy import: the analysis package is only needed when sanitizing.
+        from repro.analysis.sanitizer import sanitize_enabled
+
+        sanitize = sanitize_enabled()
+    if sanitize:
+        from repro.analysis.sanitizer import SanitizingSorter
+
+        return SanitizingSorter(sorter)
+    return sorter
 
 
 def register_sorter(factory: Callable[[], Sorter], name: str) -> None:

@@ -1,0 +1,75 @@
+"""``repro-analyze`` CLI tests: exit codes, formats, rule selection."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+from repro.analysis.rules import available_rules
+
+_VIOLATION = (
+    "import time\n"
+    "\n"
+    "def timed(ts):\n"
+    "    return time.perf_counter()\n"
+)
+
+
+def write_fixture(tmp_path: Path) -> Path:
+    path = tmp_path / "core" / "bad.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(_VIOLATION, encoding="utf-8")
+    return path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    path = tmp_path / "sorting" / "ok.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("x = 1\n", encoding="utf-8")
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_findings_exit_nonzero_and_render_locations(tmp_path, capsys):
+    path = write_fixture(tmp_path)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:4" in out
+    assert "[wall-clock]" in out
+
+
+def test_json_format_is_machine_readable(tmp_path, capsys):
+    write_fixture(tmp_path)
+    assert main(["--format", "json", str(tmp_path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "wall-clock"
+    assert payload["findings"][0]["line"] == 4
+    assert set(payload["rules"]) == set(available_rules())
+
+
+def test_rules_flag_limits_the_run(tmp_path, capsys):
+    write_fixture(tmp_path)
+    # The violation is a wall-clock one; running only the quadratic rule
+    # must come back clean.
+    assert main(["--rules", "quadratic-list-op", str(tmp_path)]) == 0
+    assert main(["--rules", "quadratic-list-op,wall-clock", str(tmp_path)]) == 1
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    assert main(["--rules", "bogus", str(tmp_path)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in available_rules():
+        assert rule_id in out

@@ -1,0 +1,345 @@
+"""Linter framework + rule tests: seeded violations must be detected.
+
+Each rule gets a fixture tree with a deliberate violation (written under a
+``sorting/`` or ``core/`` directory so hot-path scoping applies) and a
+compliant twin that must stay clean.  The final test runs the full rule set
+over the real source tree — the guarantee CI enforces.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.linter import dotted_module_name, run_linter
+from repro.analysis.rules import all_rules, available_rules, get_rules
+from repro.errors import InvalidParameterError
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rule_ids(findings) -> set[str]:
+    return {finding.rule_id for finding in findings}
+
+
+# ---------------------------------------------------------------- framework
+
+
+def test_available_rules_cover_the_documented_set():
+    assert set(available_rules()) == {
+        "parallel-arrays",
+        "stats-accounting",
+        "lazy-import-cycle",
+        "wall-clock",
+        "quadratic-list-op",
+    }
+
+
+def test_get_rules_rejects_unknown_ids():
+    with pytest.raises(InvalidParameterError):
+        get_rules(["no-such-rule"])
+
+
+def test_run_linter_rejects_missing_paths(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        run_linter([tmp_path / "missing"])
+
+
+def test_syntax_errors_become_findings(tmp_path):
+    path = write(tmp_path, "sorting/broken.py", "def f(:\n")
+    findings = run_linter([path])
+    assert rule_ids(findings) == {"syntax-error"}
+
+
+def test_dotted_module_name_walks_packages(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "")
+    write(tmp_path, "pkg/sub/__init__.py", "")
+    path = write(tmp_path, "pkg/sub/mod.py", "x = 1\n")
+    assert dotted_module_name(path) == "pkg.sub.mod"
+
+
+# --------------------------------------------------------- parallel-arrays
+
+
+_DESYNC = """
+def shift_left(ts, vs, stats):
+    moves = 0
+    for i in range(1, len(ts)):
+        ts[i - 1] = ts[i]
+        moves += 1
+    stats.moves += moves
+"""
+
+_DESYNC_CALLS = """
+def spill(buf_t, buf_v, ts, vs, stats):
+    moves = 0
+    for i in range(len(ts)):
+        buf_t.append(ts[i])
+        moves += 1
+    stats.moves += moves
+"""
+
+_LOCKSTEP = """
+def shift_left(ts, vs, stats):
+    moves = 0
+    for i in range(1, len(ts)):
+        ts[i - 1] = ts[i]
+        vs[i - 1] = vs[i]
+        moves += 2
+    stats.moves += moves
+"""
+
+
+def test_parallel_arrays_detects_subscript_desync(tmp_path):
+    path = write(tmp_path, "sorting/bad.py", _DESYNC)
+    findings = run_linter([path], get_rules(["parallel-arrays"]))
+    assert len(findings) == 1
+    assert findings[0].rule_id == "parallel-arrays"
+    assert "'ts'" in findings[0].message and "'vs'" in findings[0].message
+
+
+def test_parallel_arrays_detects_unmirrored_method_calls(tmp_path):
+    path = write(tmp_path, "sorting/bad_calls.py", _DESYNC_CALLS)
+    findings = run_linter([path], get_rules(["parallel-arrays"]))
+    assert len(findings) == 1
+    assert "buf_t" in findings[0].message
+
+
+def test_parallel_arrays_accepts_lockstep_mutation(tmp_path):
+    path = write(tmp_path, "sorting/good.py", _LOCKSTEP)
+    assert run_linter([path], get_rules(["parallel-arrays"])) == []
+
+
+def test_parallel_arrays_ignores_cold_paths(tmp_path):
+    path = write(tmp_path, "workloads/bad.py", _DESYNC)
+    assert run_linter([path], get_rules(["parallel-arrays"])) == []
+
+
+# -------------------------------------------------------- stats-accounting
+
+
+_UNCOUNTED_MOVES = """
+def reverse_pairs(ts, vs):
+    for i in range(len(ts) // 2):
+        j = len(ts) - 1 - i
+        ts[i], ts[j] = ts[j], ts[i]
+        vs[i], vs[j] = vs[j], vs[i]
+"""
+
+_UNCOUNTED_COMPARISONS = """
+def count_descents(ts, stats):
+    descents = 0
+    for i in range(1, len(ts)):
+        if ts[i - 1] > ts[i]:
+            descents += 1
+    return descents
+"""
+
+_COUNTED = """
+def reverse_pairs(ts, vs, stats):
+    for i in range(len(ts) // 2):
+        j = len(ts) - 1 - i
+        stats.comparisons += 1
+        if ts[i] > ts[j]:
+            ts[i], ts[j] = ts[j], ts[i]
+            vs[i], vs[j] = vs[j], vs[i]
+            stats.moves += 3
+"""
+
+
+def test_stats_accounting_detects_uncounted_moves(tmp_path):
+    path = write(tmp_path, "core/bad_moves.py", _UNCOUNTED_MOVES)
+    findings = run_linter([path], get_rules(["stats-accounting"]))
+    assert len(findings) == 1
+    assert "moves" in findings[0].message
+
+
+def test_stats_accounting_detects_uncounted_comparisons(tmp_path):
+    path = write(tmp_path, "core/bad_cmp.py", _UNCOUNTED_COMPARISONS)
+    findings = run_linter([path], get_rules(["stats-accounting"]))
+    assert len(findings) == 1
+    assert "comparisons" in findings[0].message
+
+
+def test_stats_accounting_accepts_counted_code(tmp_path):
+    path = write(tmp_path, "core/good.py", _COUNTED)
+    assert run_linter([path], get_rules(["stats-accounting"])) == []
+
+
+def test_stats_accounting_accepts_local_tally_idiom(tmp_path):
+    path = write(tmp_path, "sorting/good_tally.py", _LOCKSTEP)
+    assert run_linter([path], get_rules(["stats-accounting"])) == []
+
+
+# ------------------------------------------------------- lazy-import-cycle
+
+
+def _write_cycle(tmp_path, lazy: bool) -> list[Path]:
+    write(tmp_path, "pkg/__init__.py", "")
+    write(tmp_path, "pkg/core/__init__.py", "")
+    write(tmp_path, "pkg/sorting/__init__.py", "")
+    a = write(
+        tmp_path,
+        "pkg/core/alg.py",
+        (
+            "def run():\n    from pkg.sorting.reg import REG\n    return REG\n"
+            if lazy
+            else "from pkg.sorting.reg import REG\n\ndef run():\n    return REG\n"
+        ),
+    )
+    b = write(
+        tmp_path,
+        "pkg/sorting/reg.py",
+        "from pkg.core.alg import run\n\nREG = {'run': run}\n",
+    )
+    return [tmp_path / "pkg"]
+
+
+def test_lazy_import_cycle_detects_module_level_cycle(tmp_path):
+    paths = _write_cycle(tmp_path, lazy=False)
+    findings = run_linter(paths, get_rules(["lazy-import-cycle"]))
+    assert findings, "top-level import cycle not detected"
+    assert rule_ids(findings) == {"lazy-import-cycle"}
+    assert any("pkg.core.alg" in f.message for f in findings)
+
+
+def test_lazy_import_cycle_accepts_lazy_pattern(tmp_path):
+    paths = _write_cycle(tmp_path, lazy=True)
+    assert run_linter(paths, get_rules(["lazy-import-cycle"])) == []
+
+
+def test_package_self_imports_are_not_cycles(tmp_path):
+    write(tmp_path, "pkg/__init__.py", "from pkg import mod\n")
+    write(tmp_path, "pkg/mod.py", "x = 1\n")
+    assert run_linter([tmp_path / "pkg"], get_rules(["lazy-import-cycle"])) == []
+
+
+# -------------------------------------------------------------- wall-clock
+
+
+_CLOCKED = """
+import time
+
+
+def timed_pass(ts):
+    start = time.perf_counter()
+    total = sum(ts)
+    return total, time.perf_counter() - start
+"""
+
+_CLOCKED_DIRECT = """
+from time import perf_counter
+
+
+def timed_pass(ts):
+    start = perf_counter()
+    return sum(ts), perf_counter() - start
+"""
+
+
+def test_wall_clock_detects_time_module_calls(tmp_path):
+    path = write(tmp_path, "core/bad_clock.py", _CLOCKED)
+    findings = run_linter([path], get_rules(["wall-clock"]))
+    assert len(findings) == 2
+    assert rule_ids(findings) == {"wall-clock"}
+
+
+def test_wall_clock_detects_directly_imported_clocks(tmp_path):
+    path = write(tmp_path, "sorting/bad_clock.py", _CLOCKED_DIRECT)
+    findings = run_linter([path], get_rules(["wall-clock"]))
+    assert len(findings) == 2
+
+
+def test_wall_clock_ignores_cold_paths(tmp_path):
+    path = write(tmp_path, "bench/client.py", _CLOCKED)
+    assert run_linter([path], get_rules(["wall-clock"])) == []
+
+
+# ------------------------------------------------------- quadratic-list-op
+
+
+_QUADRATIC = """
+def build(ts, stats):
+    piles = []
+    seen = []
+    for t in ts:
+        piles.insert(0, t)
+        if t in seen:
+            continue
+        seen.append(t)
+    while piles:
+        piles.pop(0)
+    return piles
+"""
+
+
+def test_quadratic_list_op_detects_all_three_idioms(tmp_path):
+    path = write(tmp_path, "sorting/bad_quad.py", _QUADRATIC)
+    findings = run_linter([path], get_rules(["quadratic-list-op"]))
+    messages = " | ".join(f.message for f in findings)
+    assert "insert" in messages
+    assert "pop" in messages
+    assert "membership" in messages
+    assert len(findings) == 3
+
+
+def test_quadratic_list_op_allows_append_and_set_membership(tmp_path):
+    source = (
+        "def build(ts):\n"
+        "    piles = []\n"
+        "    seen = set()\n"
+        "    for t in ts:\n"
+        "        piles.append(t)\n"
+        "        if t in seen:\n"
+        "            continue\n"
+        "        seen.add(t)\n"
+        "    return piles\n"
+    )
+    path = write(tmp_path, "sorting/good_quad.py", source)
+    assert run_linter([path], get_rules(["quadratic-list-op"])) == []
+
+
+def test_quadratic_list_op_ignores_ops_outside_loops(tmp_path):
+    source = "def once(piles):\n    piles.insert(0, 42)\n    return piles.pop(0)\n"
+    path = write(tmp_path, "sorting/no_loop.py", source)
+    assert run_linter([path], get_rules(["quadratic-list-op"])) == []
+
+
+# ------------------------------------------------------------------ pragma
+
+
+def test_allow_pragma_suppresses_findings_on_the_line(tmp_path):
+    source = _CLOCKED.replace(
+        "start = time.perf_counter()",
+        "start = time.perf_counter()  # repro: allow(wall-clock)",
+    )
+    path = write(tmp_path, "core/allowed_clock.py", source)
+    findings = run_linter([path], get_rules(["wall-clock"]))
+    # Only the un-pragma'd second call remains.
+    assert len(findings) == 1
+
+
+def test_allow_pragma_is_rule_specific(tmp_path):
+    source = _CLOCKED.replace(
+        "start = time.perf_counter()",
+        "start = time.perf_counter()  # repro: allow(quadratic-list-op)",
+    )
+    path = write(tmp_path, "core/wrong_pragma.py", source)
+    findings = run_linter([path], get_rules(["wall-clock"]))
+    assert len(findings) == 2
+
+
+# ------------------------------------------------------------- whole tree
+
+
+def test_real_source_tree_is_clean():
+    source_root = Path(repro.__file__).parent
+    findings = run_linter([source_root], all_rules())
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,256 @@
+"""Runtime sort-sanitizer tests: injected bugs must be caught.
+
+The two headline cases from the acceptance criteria — an injected stats
+undercount and an injected ts/vs desync — plus the remaining post-conditions
+(sortedness, length preservation, monotone stats) and the activation
+surfaces (``REPRO_SANITIZE``, the ``Sorter.sort`` hook, the registry's
+``sanitize=`` knob).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    SanitizerViolation,
+    SanitizingSorter,
+    TracingList,
+    install,
+    run_sanitized,
+    sanitize_enabled,
+    uninstall,
+)
+from repro.core import sorter as sorter_module
+from repro.core.instrumentation import SortStats
+from repro.core.sorter import Sorter, insertion_sort_range
+from repro.sorting.registry import get_sorter
+
+
+@pytest.fixture
+def hook_state():
+    """Snapshot and restore the global sanitize-hook state around a test."""
+    saved = (sorter_module._SANITIZE_HOOK, sorter_module._SANITIZE_RESOLVED)
+    yield
+    sorter_module._SANITIZE_HOOK, sorter_module._SANITIZE_RESOLVED = saved
+
+
+class HonestSorter(Sorter):
+    """Correct insertion sort with full stats accounting."""
+
+    name = "honest"
+    stable = True
+
+    def _sort(self, ts, vs, stats):
+        insertion_sort_range(ts, vs, 0, len(ts), stats)
+
+
+class DesyncSorter(Sorter):
+    """Sorts timestamps but leaves the values behind (pair desync)."""
+
+    name = "desync"
+
+    def _sort(self, ts, vs, stats):
+        ts.sort()
+        stats.comparisons += len(ts)
+        stats.moves += len(ts)
+
+
+class UndercountSorter(Sorter):
+    """Moves pairs correctly but forgets to count the moves."""
+
+    name = "undercount"
+
+    def _sort(self, ts, vs, stats):
+        for i in range(1, len(ts)):
+            j = i
+            while j > 0 and ts[j - 1] > ts[j]:
+                stats.comparisons += 1
+                ts[j - 1], ts[j] = ts[j], ts[j - 1]
+                vs[j - 1], vs[j] = vs[j], vs[j - 1]
+                j -= 1
+            stats.comparisons += 1
+
+
+class LazySorter(Sorter):
+    """Does nothing at all (output stays unsorted)."""
+
+    name = "lazy"
+
+    def _sort(self, ts, vs, stats):
+        stats.comparisons += 1
+
+
+class ShrinkingSorter(Sorter):
+    """Drops an element (length change)."""
+
+    name = "shrinking"
+
+    def _sort(self, ts, vs, stats):
+        ts.sort()
+        ts.pop()
+        vs.pop()
+        stats.comparisons += len(ts)
+        stats.moves += 3 * len(ts)
+
+
+class RewindingSorter(Sorter):
+    """Sorts correctly but rewinds a counter (non-monotone stats)."""
+
+    name = "rewinding"
+
+    def _sort(self, ts, vs, stats):
+        insertion_sort_range(ts, vs, 0, len(ts), stats)
+        stats.comparisons = -1
+
+
+def unsorted_input():
+    ts = [5, 1, 4, 2, 3]
+    vs = ["a", "b", "c", "d", "e"]
+    return ts, vs
+
+
+def test_honest_sorter_passes():
+    ts, vs = unsorted_input()
+    stats = HonestSorter().sort(ts, vs)
+    run_sanitized(HonestSorter(), *unsorted_input(), SortStats())
+    assert ts == sorted(ts)
+    assert stats.moves > 0
+
+
+def test_sanitizer_catches_pair_desync():
+    ts, vs = unsorted_input()
+    with pytest.raises(SanitizerViolation, match="did not permute"):
+        run_sanitized(DesyncSorter(), ts, vs, SortStats())
+
+
+def test_sanitizer_catches_stats_undercount():
+    ts, vs = unsorted_input()
+    with pytest.raises(SanitizerViolation, match="under-counted moves"):
+        run_sanitized(UndercountSorter(), ts, vs, SortStats())
+
+
+def test_sanitizer_catches_unsorted_output():
+    ts, vs = unsorted_input()
+    with pytest.raises(SanitizerViolation, match="not sorted"):
+        run_sanitized(LazySorter(), ts, vs, SortStats())
+
+
+def test_sanitizer_catches_length_change():
+    ts, vs = unsorted_input()
+    with pytest.raises(SanitizerViolation, match="changed array lengths"):
+        run_sanitized(ShrinkingSorter(), ts, vs, SortStats())
+
+
+def test_sanitizer_catches_non_monotone_stats():
+    ts, vs = unsorted_input()
+    with pytest.raises(SanitizerViolation, match="decreased stats.comparisons"):
+        run_sanitized(RewindingSorter(), ts, vs, SortStats())
+
+
+def test_sanitized_sort_still_mutates_caller_lists():
+    ts, vs = unsorted_input()
+    pairs = sorted(zip(ts, vs))
+    run_sanitized(HonestSorter(), ts, vs, SortStats())
+    assert list(zip(ts, vs)) == pairs
+
+
+# ------------------------------------------------------------- activation
+
+
+def test_sanitize_enabled_reads_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert not sanitize_enabled()
+    for value in ("1", "true", "YES", " on "):
+        monkeypatch.setenv("REPRO_SANITIZE", value)
+        assert sanitize_enabled(), value
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert not sanitize_enabled()
+
+
+def test_install_routes_sorter_sort_through_sanitizer(hook_state):
+    install()
+    try:
+        with pytest.raises(SanitizerViolation):
+            DesyncSorter().sort(*unsorted_input())
+        # Honest sorters keep working through the hook.
+        ts, vs = unsorted_input()
+        HonestSorter().sort(ts, vs)
+        assert ts == sorted(ts)
+    finally:
+        uninstall()
+    # After uninstall the broken sorter passes silently again: timestamps
+    # sorted, values left behind in arrival order (the desync undetected).
+    ts, vs = unsorted_input()
+    DesyncSorter().sort(ts, vs)
+    assert ts == sorted(ts)
+    assert vs == ["a", "b", "c", "d", "e"]
+
+
+def test_env_var_activates_hook_on_first_sort(hook_state, monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    sorter_module._SANITIZE_HOOK = None
+    sorter_module._SANITIZE_RESOLVED = False
+    with pytest.raises(SanitizerViolation):
+        DesyncSorter().sort(*unsorted_input())
+
+
+def test_registry_sanitize_flag_wraps_sorter():
+    wrapped = get_sorter("backward", sanitize=True)
+    assert isinstance(wrapped, SanitizingSorter)
+    ts, vs = unsorted_input()
+    stats = wrapped.sort(ts, vs)
+    assert ts == sorted(ts)
+    assert stats.moves > 0
+    # Inner-sorter attributes stay reachable through the wrapper.
+    assert wrapped.last_block_size is not None
+    assert get_sorter("backward", sanitize=False).name == "backward"
+
+
+def test_sanitizing_sorter_timed_sort():
+    wrapped = SanitizingSorter(HonestSorter())
+    ts, vs = unsorted_input()
+    result = wrapped.timed_sort(ts, vs)
+    assert ts == sorted(ts)
+    assert result.seconds >= 0.0
+    assert result.stats.moves > 0
+
+
+def test_nested_sorts_are_not_double_sanitized():
+    class OuterSorter(Sorter):
+        name = "outer"
+
+        def _sort(self, ts, vs, stats):
+            # The inner sort sees the depth guard and runs unsanitized —
+            # an inner desync surfaces as the OUTER sorter's violation.
+            DesyncSorter().sort(ts, vs, stats)
+
+    with pytest.raises(SanitizerViolation, match="'outer'"):
+        run_sanitized(OuterSorter(), *unsorted_input(), SortStats())
+
+
+# ------------------------------------------------------------ tracing list
+
+
+def test_tracing_list_counts_writes():
+    traced = TracingList([3, 1, 2])
+    traced[0] = 9
+    assert traced.writes == 1
+    traced[0:2] = [7, 8]
+    assert traced.writes == 3
+    traced.append(1)
+    traced.extend([2, 3])
+    traced.insert(0, 0)
+    assert traced.writes == 7
+    traced.pop()
+    traced.remove(0)
+    assert traced.writes == 9
+    length = len(traced)
+    traced.sort()
+    assert traced.writes == 9 + length
+    traced.reverse()
+    assert traced.writes == 9 + 2 * length
+
+
+def test_tracing_list_slices_are_plain_lists():
+    traced = TracingList([3, 1, 2])
+    assert type(traced[0:2]) is list
