@@ -15,7 +15,6 @@ moves (TV pairs) is higher in IoTDB than that in general arrays".
 from __future__ import annotations
 
 import os
-import time
 from abc import ABC, abstractmethod
 from typing import Any, Callable, ClassVar, Sequence
 
@@ -120,11 +119,15 @@ class Sorter(ABC):
         values: list | None = None,
     ) -> TimedResult:
         """Run :meth:`sort` and report wall-clock seconds with the stats."""
+        # Imported lazily: timing is owned by repro.bench.timing (wall-clock
+        # reads are banned in hot-path modules) and most sort calls never
+        # need it, so core stays import-light.
+        from repro.bench.timing import Timer
+
         stats = SortStats()
-        start = time.perf_counter()
-        self.sort(timestamps, values, stats)
-        elapsed = time.perf_counter() - start
-        return TimedResult(seconds=elapsed, stats=stats)
+        with Timer() as timer:
+            self.sort(timestamps, values, stats)
+        return TimedResult(seconds=timer.seconds, stats=stats)
 
     @abstractmethod
     def _sort(self, ts: list, vs: list, stats: SortStats) -> None:
