@@ -40,7 +40,13 @@ class PatienceSorter(Sorter):
 def _deal_into_piles(
     ts: list, vs: list, stats: SortStats
 ) -> list[tuple[list, list]]:
-    """Deal the input into ascending piles; returns (times, values) per pile."""
+    """Deal the input into ascending piles; returns (times, values) per pile.
+
+    Piles are held with their tails in *descending* order (largest tail
+    first), so an element below every tail opens its new pile with an O(1)
+    append at the end.  The ascending layout would need a front insertion
+    there — O(piles) per element, quadratic on reversed input.
+    """
     pile_ts: list[list] = []
     pile_vs: list[list] = []
     last_used = -1
@@ -49,35 +55,32 @@ def _deal_into_piles(
     for idx in range(len(ts)):
         t = ts[idx]
         v = vs[idx]
-        # Fast path: nearly sorted data almost always extends the same pile.
-        if last_used >= 0:
+        # Fast path: nearly sorted data almost always extends the
+        # largest-tail pile, which the descending layout keeps at index 0.
+        if last_used == 0:
             comparisons += 1
-            if pile_ts[last_used][-1] <= t:
-                # Only valid if no pile to the right also fits better; the
-                # rightmost fitting pile keeps tails ordered, so check it.
-                if last_used == len(pile_ts) - 1:
-                    pile_ts[last_used].append(t)
-                    pile_vs[last_used].append(v)
-                    moves += 1
-                    continue
-        # Binary search the rightmost pile with tail <= t (tails ascending).
+            if pile_ts[0][-1] <= t:
+                pile_ts[0].append(t)
+                pile_vs[0].append(v)
+                moves += 1
+                continue
+        # Binary search the leftmost pile with tail <= t (tails descending):
+        # that is the pile with the largest tail not exceeding t.
         lo, hi = 0, len(pile_ts)
         while lo < hi:
             mid = (lo + hi) >> 1
             comparisons += 1
             if pile_ts[mid][-1] <= t:
-                lo = mid + 1
-            else:
                 hi = mid
-        target = lo - 1
-        if target < 0:
-            pile_ts.insert(0, [t])
-            pile_vs.insert(0, [v])
-            last_used = 0
+            else:
+                lo = mid + 1
+        if lo == len(pile_ts):
+            pile_ts.append([t])
+            pile_vs.append([v])
         else:
-            pile_ts[target].append(t)
-            pile_vs[target].append(v)
-            last_used = target
+            pile_ts[lo].append(t)
+            pile_vs[lo].append(v)
+        last_used = lo
         moves += 1
     stats.comparisons += comparisons
     stats.moves += moves
