@@ -8,9 +8,14 @@ at the flush and query call sites, TsFile sealing — and prints the
 server-side metrics the paper's system experiments measure.
 
 Run:  python examples/iot_ingestion.py
+      python examples/iot_ingestion.py --obs                 # + span tree & registry dump
+      python examples/iot_ingestion.py --obs --obs-export jsonl   # machine-readable
 """
 
+import argparse
+
 from repro.iotdb import IoTDBConfig, StorageEngine
+from repro.obs import Observability
 from repro.theory import AbsNormalDelay, LogNormalDelay, MixtureDelay, ConstantDelay
 from repro.workloads import TimeSeriesGenerator
 
@@ -26,25 +31,49 @@ FLEET = {
 POINTS_PER_DEVICE = 20_000
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable full observability (metrics + tracing) and dump it at the end",
+    )
+    parser.add_argument(
+        "--obs-export",
+        choices=("text", "jsonl", "prom"),
+        default="text",
+        help="export format for the --obs dump (default: text)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    args = parse_args()
     config = IoTDBConfig(
         sorter="backward",
         memtable_flush_threshold=15_000,
         wal_enabled=True,
     )
-    engine = StorageEngine(config)
+    obs = Observability() if args.obs else None
+    engine = StorageEngine(config, obs=obs)
 
     print("ingesting out-of-order streams from 3 devices...")
     for device, delay in FLEET.items():
         stream = TimeSeriesGenerator(delay).generate(POINTS_PER_DEVICE, seed=11)
         engine.write_batch(device, "temperature", stream.timestamps, stream.values)
 
-    print(f"points written : {engine.metrics.points_written}")
+    snapshot = engine.describe()
+    reports = engine.flush_reports
+    mean_flush = snapshot["flushes"]["mean_seconds"]
+    mean_sort = (
+        sum(r.sort_seconds for r in reports) / len(reports) if reports else 0.0
+    )
+    print(f"points written : {snapshot['points_written']}")
     routed = engine.separation.routed_counts()
     print(f"separation     : {routed}")
-    print(f"flushes so far : seq={engine.metrics.seq_flushes} unseq={engine.metrics.unseq_flushes}")
-    print(f"mean flush time: {engine.metrics.mean_flush_seconds * 1e3:.1f} ms "
-          f"(sorting: {engine.metrics.mean_flush_sort_seconds * 1e3:.1f} ms)\n")
+    print(f"flushes so far : seq={snapshot['flushes']['seq']} unseq={snapshot['flushes']['unseq']}")
+    print(f"mean flush time: {mean_flush * 1e3:.1f} ms "
+          f"(sorting: {mean_sort * 1e3:.1f} ms)\n")
 
     # A dashboard-style query: the last 2000 ticks of the flaky truck.
     device = "root.fleet.truck7"
@@ -82,6 +111,15 @@ def main() -> None:
 
     engine.close()
     print("\nengine closed; all memtables flushed to sealed TsFiles")
+
+    if obs is not None:
+        print("\n--- observability export ---")
+        if args.obs_export == "jsonl":
+            print(obs.export_jsonlines())
+        elif args.obs_export == "prom":
+            print(obs.export_prometheus())
+        else:
+            print(obs.export_text())
 
 
 if __name__ == "__main__":

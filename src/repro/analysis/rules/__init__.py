@@ -11,6 +11,7 @@ from typing import Callable, Sequence
 
 from repro.analysis.linter import Rule
 from repro.analysis.rules.lazy_imports import LazyImportCycleRule
+from repro.analysis.rules.metrics_mutation import MetricsMutationRule
 from repro.analysis.rules.parallel_arrays import ParallelArrayRule
 from repro.analysis.rules.quadratic_ops import QuadraticListOpRule
 from repro.analysis.rules.stats_accounting import StatsAccountingRule
@@ -23,6 +24,7 @@ _RULE_FACTORIES: dict[str, Callable[[], Rule]] = {
     LazyImportCycleRule.rule_id: LazyImportCycleRule,
     WallClockRule.rule_id: WallClockRule,
     QuadraticListOpRule.rule_id: QuadraticListOpRule,
+    MetricsMutationRule.rule_id: MetricsMutationRule,
 }
 
 

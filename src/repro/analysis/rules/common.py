@@ -6,8 +6,9 @@ The rules lean on two conventions of this codebase:
   short merge-run aliases ``at``/``av``, ``bt``/``bv``), or a shared prefix
   with ``_t``/``_v`` (``buf_t``/``buf_v``) or ``_ts``/``_vs``
   (``pile_ts``/``pile_vs``) suffixes.
-* **Hot paths** live under ``repro/sorting/`` and ``repro/core/`` — the
-  directories every sort call site executes.
+* **Hot paths** live under ``repro/sorting/``, ``repro/core/``, and
+  ``repro/iotdb/`` — the directories the write/flush/query pipeline and
+  every sort call site execute.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from typing import Iterator
 from repro.analysis.linter import LintModule
 
 #: Directories whose modules count as hot paths.
-HOT_PATH_DIRS = frozenset({"sorting", "core"})
+HOT_PATH_DIRS = frozenset({"sorting", "core", "iotdb"})
 
 #: Irregular timestamp-array → value-array name pairs.
 _EXPLICIT_PAIRS = {"ts": "vs", "at": "av", "bt": "bv"}

@@ -1,0 +1,79 @@
+"""Rule ``no-direct-metrics-mutation``: engine metrics mutate via the registry.
+
+``EngineMetrics`` is a deprecated façade over the metrics registry
+(:mod:`repro.iotdb.engine_metrics`); code that writes
+``engine.metrics.points_written += 1`` (or appends to
+``engine.metrics.flush_reports``) bypasses the instruments, so the numbers
+silently diverge from what the exporters publish.  All mutation goes
+through registry instruments (``registry.counter(...).inc()``) or the
+engine's own pre-resolved children; the façade exists only so old *reads*
+keep working during the deprecation window.
+
+The rule flags, in any linted module except the façade itself:
+
+* assignments / augmented assignments whose target is
+  ``<expr>.metrics.<field>``;
+* mutating list-method calls on such a field
+  (``engine.metrics.flush_reports.append(...)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import MUTATING_METHODS
+
+#: The façade module itself is the one place allowed to touch the fields.
+_FACADE_MODULE = "repro.iotdb.engine_metrics"
+
+
+def _metrics_field(node: ast.AST) -> str | None:
+    """``"<field>"`` when ``node`` is an ``<expr>.metrics.<field>`` access."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Attribute)
+        and node.value.attr == "metrics"
+    ):
+        return node.attr
+    return None
+
+
+class MetricsMutationRule(Rule):
+    rule_id = "no-direct-metrics-mutation"
+    description = (
+        "engine.metrics.<field> must not be mutated directly; update the "
+        "instruments in the metrics registry instead"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if module.name == _FACADE_MODULE:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    field = _metrics_field(target)
+                    if field is not None:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"direct write to .metrics.{field}; increment the "
+                            "registry instrument instead (EngineMetrics is a "
+                            "deprecated read-only façade)",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr not in MUTATING_METHODS:
+                    continue
+                field = _metrics_field(node.func.value)
+                if field is not None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f".metrics.{field}.{node.func.attr}(...) mutates the "
+                        "deprecated façade; record through the registry (or "
+                        "StorageEngine.flush_reports) instead",
+                    )

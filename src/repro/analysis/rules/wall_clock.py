@@ -1,11 +1,13 @@
 """Rule ``wall-clock``: no clock reads inside hot-path modules.
 
-Reliable timings come from one place — :mod:`repro.bench.timing` — which
-owns warmup, repetition, and dispersion statistics.  A stray
+Reliable timings come from two sanctioned places — :mod:`repro.bench.timing`,
+which owns warmup, repetition, and dispersion statistics, and
+:mod:`repro.obs.clock`, which owns the injectable clock itself.  A stray
 ``time.perf_counter()`` inside a sorter both biases measurements (the clock
 read sits inside the measured region) and fragments the timing discipline
 the benchmark harness depends on.  Hot-path modules therefore may not read
-any wall clock; they delegate to ``repro.bench.timing`` instead.
+any wall clock; they time through :class:`repro.bench.timing.Timer` over an
+injected :class:`repro.obs.clock.Clock` instead.
 """
 
 from __future__ import annotations
@@ -22,7 +24,11 @@ _CLOCK_FUNCTIONS = frozenset(
      "time_ns", "process_time", "process_time_ns"}
 )
 
-#: The one module allowed to read clocks.
+#: The modules allowed to read clocks: the timing harness and the clock
+#: abstraction every span/timer reads through.
+_TIMING_MODULES = frozenset({"repro.bench.timing", "repro.obs.clock"})
+
+#: Kept for backwards compatibility with earlier imports of this module.
 _TIMING_MODULE = "repro.bench.timing"
 
 
@@ -30,11 +36,11 @@ class WallClockRule(Rule):
     rule_id = "wall-clock"
     description = (
         "hot-path modules must not read wall clocks; only repro.bench.timing "
-        "may call time.perf_counter and friends"
+        "and repro.obs.clock may call time.perf_counter and friends"
     )
 
     def check_module(self, module: LintModule) -> Iterator[Finding]:
-        if not is_hot_path(module) or module.name == _TIMING_MODULE:
+        if not is_hot_path(module) or module.name in _TIMING_MODULES:
             return
         direct_imports = _directly_imported_clocks(module.tree)
         for node in ast.walk(module.tree):

@@ -244,13 +244,27 @@ class SanitizingSorter:
             run_sanitized(self.inner, timestamps, values, stats)
         return stats
 
-    def timed_sort(self, timestamps, values=None):
+    def timed_sort(self, timestamps, values=None, *, obs=None, site="direct"):
         from repro.bench.timing import Timer
         from repro.core.instrumentation import SortStats, TimedResult
 
+        if obs is None:
+            obs = getattr(self, "obs", None)
         stats = SortStats()
-        with Timer() as timer:
-            self.sort(timestamps, values, stats)
+        if obs is None or not obs.enabled:
+            with Timer() as timer:
+                self.sort(timestamps, values, stats)
+            return TimedResult(seconds=timer.seconds, stats=stats)
+        from repro.obs.bridge import record_sort_stats
+
+        points = len(timestamps)
+        with obs.span("sort", sorter=self.name, site=site, points=points):
+            with Timer(obs.clock) as timer:
+                self.sort(timestamps, values, stats)
+        record_sort_stats(
+            obs, stats, sorter=self.name, site=site,
+            seconds=timer.seconds, points=points,
+        )
         return TimedResult(seconds=timer.seconds, stats=stats)
 
     def __getattr__(self, attr):

@@ -13,11 +13,11 @@ Three metrics, matching §VI-A1:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.bench.workload import SystemWorkloadConfig, WriteOp, build_operations
 from repro.iotdb import IoTDBConfig, StorageEngine
+from repro.obs import Observability
 
 
 @dataclass
@@ -73,13 +73,22 @@ def run_system_benchmark(
     config: SystemWorkloadConfig,
     sorter: str = "backward",
     engine_config: IoTDBConfig | None = None,
+    *,
+    obs: Observability | None = None,
 ) -> SystemBenchResult:
-    """Execute one full workload against a fresh engine and report metrics."""
+    """Execute one full workload against a fresh engine and report metrics.
+
+    ``obs`` is handed to the engine: inject a fully-enabled
+    :class:`~repro.obs.Observability` to get the span tree and registry
+    exports of the whole benchmark run; the default keeps the engine's
+    metrics-only behaviour.
+    """
     if engine_config is None:
         engine_config = IoTDBConfig(sorter=sorter)
     else:
         engine_config.sorter = sorter
-    engine = StorageEngine(engine_config)
+    engine = StorageEngine(engine_config, obs=obs)
+    clock = engine.obs.clock
     ops = build_operations(config)
 
     result = SystemBenchResult(
@@ -88,28 +97,32 @@ def run_system_benchmark(
         write_percentage=config.write_percentage,
         total_points=config.total_points,
     )
-    run_start = time.perf_counter()
+    run_start = clock.now()
     for op in ops:
         if isinstance(op, WriteOp):
-            start = time.perf_counter()
+            start = clock.now()
             engine.write_batch(op.device, config.sensor, op.timestamps, op.values)
-            result.write_seconds += time.perf_counter() - start
+            result.write_seconds += clock.now() - start
         else:
             latest = engine.latest_time(op.device, config.sensor)
             if latest is None:
                 continue
             start_t = max(0, latest - op.window)
-            began = time.perf_counter()
+            began = clock.now()
             query_result = engine.query(op.device, config.sensor, start_t, latest + 1)
-            result.query_seconds += time.perf_counter() - began
+            result.query_seconds += clock.now() - began
             result.queries_executed += 1
             result.points_returned += len(query_result)
             result.query_sort_seconds += query_result.stats.sort_seconds
     engine.flush_all()
-    result.total_seconds = time.perf_counter() - run_start
-    result.flush_count = len(engine.metrics.flush_reports)
-    result.mean_flush_seconds = engine.metrics.mean_flush_seconds
-    result.mean_flush_sort_seconds = engine.metrics.mean_flush_sort_seconds
+    result.total_seconds = clock.now() - run_start
+    reports = engine.flush_reports
+    result.flush_count = len(reports)
+    if reports:
+        result.mean_flush_seconds = sum(r.total_seconds for r in reports) / len(reports)
+        result.mean_flush_sort_seconds = sum(r.sort_seconds for r in reports) / len(
+            reports
+        )
     result.extra["routed"] = {
         space.value: count for space, count in engine.separation.routed_counts().items()
     }

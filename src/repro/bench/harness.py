@@ -15,6 +15,7 @@ from typing import Sequence
 from repro.bench.client import SystemBenchResult, run_system_benchmark
 from repro.bench.workload import PAPER_WRITE_PERCENTAGES, SystemWorkloadConfig
 from repro.iotdb import IoTDBConfig
+from repro.obs import Observability
 from repro.sorting import PAPER_ALGORITHMS
 
 
@@ -29,8 +30,15 @@ class SweepConfig:
     memtable_flush_threshold: int = 5_000
 
 
-def run_sweep(config: SweepConfig) -> list[SystemBenchResult]:
-    """Run every (sorter, write-percentage) cell; returns flat results."""
+def run_sweep(
+    config: SweepConfig, *, obs: Observability | None = None
+) -> list[SystemBenchResult]:
+    """Run every (sorter, write-percentage) cell; returns flat results.
+
+    An injected ``obs`` is shared by every cell's engine, so one registry
+    aggregates the whole sweep (per-sorter series distinguishable through
+    the ``sorter``-labelled sort metrics).
+    """
     percentages = list(config.write_percentages)
     if config.include_write_only and 1.0 not in percentages:
         percentages.append(1.0)
@@ -43,7 +51,9 @@ def run_sweep(config: SweepConfig) -> list[SystemBenchResult]:
                 memtable_flush_threshold=config.memtable_flush_threshold,
             )
             results.append(
-                run_system_benchmark(workload, sorter=sorter, engine_config=engine_config)
+                run_system_benchmark(
+                    workload, sorter=sorter, engine_config=engine_config, obs=obs
+                )
             )
     return results
 

@@ -4,16 +4,22 @@ Pure-Python timings are noisy, so every reported number is the aggregate of
 repeated runs with fresh inputs per run.  :func:`measure` is the single
 entry point: it owns warmup, repetition, and dispersion statistics, so all
 experiments report comparable numbers.
+
+All clock reads go through :mod:`repro.obs.clock` — the one injectable time
+source in the project.  :class:`Timer` takes a :class:`~repro.obs.clock.Clock`
+so a test (or a traced pipeline) can substitute a deterministic
+:class:`~repro.obs.clock.FakeClock`; the default is the shared monotonic
+clock, which preserves the previous ``time.perf_counter`` behaviour exactly.
 """
 
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import BenchmarkError
+from repro.obs.clock import MONOTONIC, Clock
 
 
 @dataclass
@@ -50,6 +56,7 @@ def measure(
     repeats: int = 3,
     warmup: int = 0,
     setup: Callable[[], object] | None = None,
+    clock: Clock | None = None,
 ) -> TimingResult:
     """Time ``fn`` over ``repeats`` runs (after ``warmup`` unrecorded ones).
 
@@ -60,18 +67,22 @@ def measure(
         warmup: unrecorded runs executed first.
         setup: per-run input factory, excluded from the timed region — use
             it to hand each run a fresh unsorted copy.
+        clock: time source; the shared monotonic clock when omitted.
     """
     if repeats < 1:
         raise BenchmarkError(f"repeats must be >= 1, got {repeats}")
+    if clock is None:
+        clock = MONOTONIC
+
     def _run_once() -> float:
         if setup is not None:
             arg = setup()
-            start = time.perf_counter()
+            start = clock.now()
             fn(arg)
         else:
-            start = time.perf_counter()
+            start = clock.now()
             fn()
-        return time.perf_counter() - start
+        return clock.now() - start
 
     for _ in range(warmup):
         _run_once()
@@ -79,15 +90,16 @@ def measure(
 
 
 class Timer:
-    """Context manager measuring one wall-clock span."""
+    """Context manager measuring one span of the injected clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock | None = None) -> None:
+        self._clock = clock if clock is not None else MONOTONIC
         self.seconds = 0.0
         self._start = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = self._clock.now()
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.seconds = time.perf_counter() - self._start
+        self.seconds = self._clock.now() - self._start

@@ -75,6 +75,11 @@ class Sorter(ABC):
     name: ClassVar[str] = "abstract"
     stable: ClassVar[bool] = False
 
+    #: Default observability sink for :meth:`timed_sort`.  ``None`` means the
+    #: shared no-op; :func:`repro.sorting.registry.get_sorter` sets it when an
+    #: ``obs`` is injected at construction.
+    obs = None
+
     def sort(
         self,
         timestamps: list,
@@ -117,16 +122,44 @@ class Sorter(ABC):
         self,
         timestamps: list,
         values: list | None = None,
+        *,
+        obs=None,
+        site: str = "direct",
     ) -> TimedResult:
-        """Run :meth:`sort` and report wall-clock seconds with the stats."""
+        """Run :meth:`sort` and report wall-clock seconds with the stats.
+
+        Args:
+            timestamps / values: as for :meth:`sort`.
+            obs: an :class:`repro.obs.Observability`; when enabled, the call
+                is wrapped in a ``sort`` span and the resulting
+                :class:`SortStats` are folded into the metrics registry
+                (labels ``sorter`` and ``site``).  ``None`` falls back to
+                :attr:`obs` set at construction, else to no observability.
+            site: the call-site label — ``"flush"``, ``"query"`` or
+                ``"direct"``.
+        """
         # Imported lazily: timing is owned by repro.bench.timing (wall-clock
         # reads are banned in hot-path modules) and most sort calls never
         # need it, so core stays import-light.
         from repro.bench.timing import Timer
 
+        if obs is None:
+            obs = self.obs
         stats = SortStats()
-        with Timer() as timer:
-            self.sort(timestamps, values, stats)
+        if obs is None or not obs.enabled:
+            with Timer() as timer:
+                self.sort(timestamps, values, stats)
+            return TimedResult(seconds=timer.seconds, stats=stats)
+        from repro.obs.bridge import record_sort_stats
+
+        points = len(timestamps)
+        with obs.span("sort", sorter=self.name, site=site, points=points):
+            with Timer(obs.clock) as timer:
+                self.sort(timestamps, values, stats)
+        record_sort_stats(
+            obs, stats, sorter=self.name, site=site,
+            seconds=timer.seconds, points=points,
+        )
         return TimedResult(seconds=timer.seconds, stats=stats)
 
     @abstractmethod

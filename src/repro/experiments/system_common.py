@@ -64,12 +64,23 @@ def run_family(
     write_percentages: tuple[float, ...] = PAPER_WRITE_PERCENTAGES,
     include_write_only: bool = False,
     seed: int = 0,
+    obs=None,
 ) -> list[SystemExperimentRow]:
-    """Run the full sweep for one dataset family; one row per cell."""
+    """Run the full sweep for one dataset family; one row per cell.
+
+    When ``obs`` is omitted it is resolved from the ``REPRO_OBS``
+    environment variable (:func:`repro.obs.from_env`): set ``REPRO_OBS=1``
+    to aggregate every run of the family into one registry and print the
+    metrics dump after the sweep (the experiment runner does the printing).
+    """
     if family not in SYSTEM_PANELS:
         raise InvalidParameterError(
             f"unknown family {family!r}; choose one of {sorted(SYSTEM_PANELS)}"
         )
+    if obs is None:
+        from repro.obs import from_env
+
+        obs = from_env()
     total_points = scale_points(scale, SYSTEM_SCALE_POINTS)
     rows: list[SystemExperimentRow] = []
     for dataset, params in SYSTEM_PANELS[family]:
@@ -87,8 +98,10 @@ def run_family(
             memtable_flush_threshold=max(total_points // 8, 500),
         )
         panel = _panel_label(dataset, params)
-        for result in run_sweep(sweep):
+        for result in run_sweep(sweep, obs=obs):
             rows.append(_to_row(panel, result))
+    if obs.enabled:
+        print(obs.export_text())
     return rows
 
 

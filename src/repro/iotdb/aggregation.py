@@ -181,8 +181,8 @@ def aggregate_windows(
         bucket_t: list[int] = []
         bucket_v: list = []
         while idx < n and ts[idx] < hi:
-            if ts[idx] >= lo:
-                bucket_t.append(ts[idx])
+            if ts[idx] >= lo:  # repro: allow(stats-accounting): window bucketing, not a sort
+                bucket_t.append(ts[idx])  # repro: allow(stats-accounting): window bucketing, not a sort
                 bucket_v.append(vs[idx])
             idx += 1
         buckets.append(

@@ -17,7 +17,6 @@ the aggregation statistics fast path.
 from __future__ import annotations
 
 import io
-import time
 from dataclasses import dataclass
 
 from repro.iotdb.separation import Space
@@ -40,65 +39,69 @@ def compact(engine) -> CompactionReport:
     Live memtables are untouched (IoTDB compacts sealed files only).  A
     no-op when there is at most one sealed file and nothing unsequence.
     """
+    from repro.bench.timing import Timer
+
+    obs = engine.obs
     sealed = engine._sealed
     unseq_count = sum(1 for f in sealed if f.space is Space.UNSEQUENCE)
-    start = time.perf_counter()
     if len(sealed) <= 1 and unseq_count == 0:
         return CompactionReport(
             files_before=len(sealed),
             files_after=len(sealed),
             unseq_files_merged=0,
             points_written=0,
-            seconds=time.perf_counter() - start,
+            seconds=0.0,
         )
 
-    # Freshness order matches the query executor: seq files then unseq
-    # files, each in write order; later sources overwrite earlier ones.
-    ordered = [f for f in sealed if f.space is Space.SEQUENCE] + [
-        f for f in sealed if f.space is Space.UNSEQUENCE
-    ]
-    columns: dict[tuple[str, str], dict[int, object]] = {}
-    dtypes: dict[tuple[str, str], object] = {}
-    for f in ordered:
-        reader = f.reader
-        for device in reader.devices():
-            for sensor in reader.sensors(device):
-                ts, vs = reader.read_chunk(device, sensor)
-                merged = columns.setdefault((device, sensor), {})
-                for t, v in zip(ts, vs):
-                    merged[t] = v
-                dtypes[(device, sensor)] = reader.chunk_metadata(device, sensor).dtype
+    with Timer(obs.clock) as timer:
+        # Freshness order matches the query executor: seq files then unseq
+        # files, each in write order; later sources overwrite earlier ones.
+        ordered = [f for f in sealed if f.space is Space.SEQUENCE] + [
+            f for f in sealed if f.space is Space.UNSEQUENCE
+        ]
+        columns: dict[tuple[str, str], dict[int, object]] = {}
+        dtypes: dict[tuple[str, str], object] = {}
+        for f in ordered:
+            reader = f.reader
+            for device in reader.devices():
+                for sensor in reader.sensors(device):
+                    ts, vs = reader.read_chunk(device, sensor)
+                    merged = columns.setdefault((device, sensor), {})
+                    for t, v in zip(ts, vs):
+                        merged[t] = v
+                    dtypes[(device, sensor)] = reader.chunk_metadata(device, sensor).dtype
 
-    writer, new_sealed = engine._new_sink(Space.SEQUENCE)
-    points = 0
-    for (device, sensor) in sorted(columns):
-        merged = columns[(device, sensor)]
-        ts = sorted(merged)
-        vs = [merged[t] for t in ts]
-        if not ts:
-            continue
-        writer.write_chunk(
-            device,
-            sensor,
-            dtypes[(device, sensor)],
-            ts,
-            vs,
-            time_encoding=engine.config.time_encoding,
-            value_encoding=engine.config.value_encoding_for(dtypes[(device, sensor)]),
-            page_size=engine.config.page_size,
-            compression=engine.config.compression,
-        )
-        points += len(ts)
-    writer.close()
+        writer, new_sealed = engine._new_sink(Space.SEQUENCE)
+        points = 0
+        for (device, sensor) in sorted(columns):
+            merged = columns[(device, sensor)]
+            ts = sorted(merged)
+            vs = [merged[t] for t in ts]
+            if not ts:
+                continue
+            writer.write_chunk(
+                device,
+                sensor,
+                dtypes[(device, sensor)],
+                ts,
+                vs,
+                time_encoding=engine.config.time_encoding,
+                value_encoding=engine.config.value_encoding_for(dtypes[(device, sensor)]),
+                page_size=engine.config.page_size,
+                compression=engine.config.compression,
+            )
+            points += len(ts)
+        writer.close()
 
-    from repro.iotdb.tsfile import TsFileReader
+        from repro.iotdb.tsfile import TsFileReader
 
-    new_sealed.reader = TsFileReader(new_sealed.buffer)
-    engine._replace_sealed([new_sealed] if points else [])
+        new_sealed.reader = TsFileReader(new_sealed.buffer)
+        engine._replace_sealed([new_sealed] if points else [])
+    engine._instruments.compaction_seconds.observe(timer.seconds)
     return CompactionReport(
         files_before=len(sealed),
         files_after=1 if points else 0,
         unseq_files_merged=unseq_count,
         points_written=points,
-        seconds=time.perf_counter() - start,
+        seconds=timer.seconds,
     )

@@ -16,18 +16,20 @@ critical path — the effect the paper's system experiments measure.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.sorter import Sorter
 from repro.errors import StorageError
 from repro.iotdb.config import IoTDBConfig
+from repro.iotdb.engine_metrics import EngineInstruments, EngineMetrics
 from repro.iotdb.flush import FlushReport, flush_memtable
 from repro.iotdb.memtable import MemTable
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
 from repro.iotdb.separation import SeparationPolicy, Space
 from repro.iotdb.tsfile import TsFileReader, TsFileWriter
 from repro.iotdb.wal import WriteAheadLog
+from repro.obs import Observability, metrics_only
 from repro.sorting.registry import get_sorter
 
 
@@ -39,29 +41,6 @@ class _SealedFile:
     reader: TsFileReader
     path: Path | None = None
     buffer: io.BytesIO | None = None
-
-
-@dataclass
-class EngineMetrics:
-    """Server-side observability the benchmark harness consumes."""
-
-    points_written: int = 0
-    queries_executed: int = 0
-    flush_reports: list[FlushReport] = field(default_factory=list)
-    seq_flushes: int = 0
-    unseq_flushes: int = 0
-
-    @property
-    def mean_flush_seconds(self) -> float:
-        if not self.flush_reports:
-            return 0.0
-        return sum(r.total_seconds for r in self.flush_reports) / len(self.flush_reports)
-
-    @property
-    def mean_flush_sort_seconds(self) -> float:
-        if not self.flush_reports:
-            return 0.0
-        return sum(r.sort_seconds for r in self.flush_reports) / len(self.flush_reports)
 
 
 def _combine_aggregates(partials: list):
@@ -107,22 +86,35 @@ def _combine_aggregates(partials: list):
 class StorageEngine:
     """An in-process time-series store with a pluggable TVList sorter."""
 
-    def __init__(self, config: IoTDBConfig | None = None, sorter: Sorter | None = None) -> None:
+    def __init__(
+        self,
+        config: IoTDBConfig | None = None,
+        sorter: Sorter | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> None:
         self.config = config if config is not None else IoTDBConfig()
+        # Default: a per-engine metrics-only Observability, so the metrics
+        # façade and describe() always sit over a live registry.  Inject
+        # Observability() for tracing too, or repro.obs.NOOP to disable
+        # metrics entirely.
+        self.obs = obs if obs is not None else metrics_only()
         if sorter is not None:
             self.sorter = sorter
         else:
             self.sorter = get_sorter(self.config.sorter, **self.config.sorter_options)
         self.separation = SeparationPolicy(enabled=self.config.separation_enabled)
         self._working: dict[Space, MemTable] = {
-            Space.SEQUENCE: MemTable(self.config),
-            Space.UNSEQUENCE: MemTable(self.config),
+            Space.SEQUENCE: MemTable(self.config, obs=self.obs),
+            Space.UNSEQUENCE: MemTable(self.config, obs=self.obs),
         }
         self._flushing: list[tuple[Space, MemTable]] = []
         self._sealed: list[_SealedFile] = []
         self._file_counter = 0
-        self._executor = TimeRangeQueryExecutor(self.sorter)
-        self.metrics = EngineMetrics()
+        self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
+        self._instruments = EngineInstruments(self.obs.registry)
+        self._flush_reports: list[FlushReport] = []
+        self.metrics = EngineMetrics(self._instruments, self._flush_reports)
         if self.config.data_dir is not None:
             Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
         self._wals: dict[Space, WriteAheadLog] | None = None
@@ -145,23 +137,37 @@ class StorageEngine:
 
     # -- write path ----------------------------------------------------------
 
+    @property
+    def flush_reports(self) -> list[FlushReport]:
+        """Reports of every completed flush, in completion order.
+
+        The supported replacement for the deprecated
+        ``engine.metrics.flush_reports``.
+        """
+        return self._flush_reports
+
     def write(self, device: str, sensor: str, timestamp: int, value) -> None:
         """Ingest one point; may trigger a synchronous flush."""
         space = self.separation.route(device, timestamp)
-        if self._wals is not None:
-            self._wals[space].append(device, sensor, timestamp, value)
-        memtable = self._working[space]
-        memtable.write(device, sensor, timestamp, value)
-        self.metrics.points_written += 1
-        if memtable.should_flush():
-            self._flush_space(space)
+        with self.obs.span("engine.write", space=space.value):
+            if self._wals is not None:
+                self._wals[space].append(device, sensor, timestamp, value)
+            memtable = self._working[space]
+            memtable.write(device, sensor, timestamp, value)
+            self._instruments.points_written.inc()
+            if memtable.should_flush():
+                self._flush_space(space)
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
         """Ingest a batch (the IoTDB-benchmark client's unit of work)."""
         if len(timestamps) != len(values):
             raise StorageError("timestamps and values lengths differ")
-        for t, v in zip(timestamps, values):
-            self.write(device, sensor, t, v)
+        with self.obs.span(
+            "engine.write_batch", device=device, sensor=sensor,
+            points=len(timestamps),
+        ):
+            for t, v in zip(timestamps, values):
+                self.write(device, sensor, t, v)
 
     # -- flushing --------------------------------------------------------------
 
@@ -185,7 +191,7 @@ class StorageEngine:
         if memtable.total_points == 0:
             return None
         memtable.mark_flushing()
-        self._working[space] = MemTable(self.config)
+        self._working[space] = MemTable(self.config, obs=self.obs)
         self._flushing.append((space, memtable))
         if space is Space.SEQUENCE:
             for device, _sensor, tvlist in memtable.iter_chunks():
@@ -195,18 +201,19 @@ class StorageEngine:
 
     def _perform_flush(self, space: Space, memtable: MemTable) -> FlushReport:
         """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
-        writer, sealed = self._new_sink(space)
-        report = flush_memtable(memtable, writer, self.sorter, self.config)
-        sealed.reader = TsFileReader(sealed.buffer)
-        self._sealed.append(sealed)
-        self._flushing.remove((space, memtable))
-        if self._wals is not None:
-            self._wals[space].truncate()
-        self.metrics.flush_reports.append(report)
-        if space is Space.SEQUENCE:
-            self.metrics.seq_flushes += 1
-        else:
-            self.metrics.unseq_flushes += 1
+        with self.obs.span("engine.flush", space=space.value) as span:
+            writer, sealed = self._new_sink(space)
+            report = flush_memtable(
+                memtable, writer, self.sorter, self.config, obs=self.obs
+            )
+            sealed.reader = TsFileReader(sealed.buffer)
+            self._sealed.append(sealed)
+            self._flushing.remove((space, memtable))
+            if self._wals is not None:
+                self._wals[space].truncate()
+            span.set(points=report.total_points, file_bytes=report.file_bytes)
+        self._flush_reports.append(report)
+        report.emit(self.obs, space=space.value, instruments=self._instruments)
         return report
 
     def _flush_space(self, space: Space) -> FlushReport | None:
@@ -264,32 +271,40 @@ class StorageEngine:
         With a TTL configured, expired points (older than the column's
         latest event time minus the TTL) are excluded.
         """
-        floor = self._ttl_floor(device, sensor)
-        if floor is not None and floor > start:
-            if floor >= end:
-                from repro.iotdb.query import QueryStats
+        with self.obs.span("engine.query", device=device, sensor=sensor) as span:
+            floor = self._ttl_floor(device, sensor)
+            if floor is not None and floor > start:
+                if floor >= end:
+                    from repro.iotdb.query import QueryStats
 
-                self.metrics.queries_executed += 1
-                return QueryResult(timestamps=[], values=[], stats=QueryStats())
-            start = floor
-        seq_readers = [f.reader for f in self._sealed if f.space is Space.SEQUENCE]
-        unseq_readers = [f.reader for f in self._sealed if f.space is Space.UNSEQUENCE]
-        flushing = [m for _, m in self._flushing]
-        # Both working memtables can hold in-range points; merge order makes
-        # the sequence table freshest-but-one, the unsequence table holds
-        # late rewrites of old timestamps.
-        result = self._executor.execute(
-            device,
-            sensor,
-            start,
-            end,
-            seq_readers=seq_readers,
-            unseq_readers=unseq_readers,
-            flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
-            working_memtable=self._working[Space.SEQUENCE],
-        )
-        self.metrics.queries_executed += 1
+                    self._record_query(0.0)
+                    return QueryResult(timestamps=[], values=[], stats=QueryStats())
+                start = floor
+            seq_readers = [f.reader for f in self._sealed if f.space is Space.SEQUENCE]
+            unseq_readers = [
+                f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
+            ]
+            flushing = [m for _, m in self._flushing]
+            # Both working memtables can hold in-range points; merge order makes
+            # the sequence table freshest-but-one, the unsequence table holds
+            # late rewrites of old timestamps.
+            result = self._executor.execute(
+                device,
+                sensor,
+                start,
+                end,
+                seq_readers=seq_readers,
+                unseq_readers=unseq_readers,
+                flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
+                working_memtable=self._working[Space.SEQUENCE],
+            )
+            self._record_query(result.stats.total_seconds)
+            span.set(points=len(result))
         return result
+
+    def _record_query(self, seconds: float) -> None:
+        self._instruments.queries.inc()
+        self._instruments.query_seconds.observe(seconds)
 
     def aggregate(self, device: str, sensor: str, start: int, end: int):
         """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last.
@@ -318,20 +333,21 @@ class StorageEngine:
                     max_value=None, first=None, last=None,
                 )
             start = floor
-        if self._fast_aggregation_safe(device, sensor, start, end):
-            partials = []
-            for sealed in self._sealed:
-                if sealed.space is not Space.SEQUENCE:
-                    continue
-                meta = sealed.reader.chunk_metadata(device, sensor)
-                if meta is None or meta.max_time < start or meta.min_time >= end:
-                    continue
-                partials.append(
-                    aggregate_sealed_chunk(sealed.reader, device, sensor, start, end)
-                )
-            self.metrics.queries_executed += 1
-            return _combine_aggregates(partials)
-        return aggregate_from_points(self.query(device, sensor, start, end))
+        with self.obs.span("engine.aggregate", device=device, sensor=sensor):
+            if self._fast_aggregation_safe(device, sensor, start, end):
+                partials = []
+                for sealed in self._sealed:
+                    if sealed.space is not Space.SEQUENCE:
+                        continue
+                    meta = sealed.reader.chunk_metadata(device, sensor)
+                    if meta is None or meta.max_time < start or meta.min_time >= end:
+                        continue
+                    partials.append(
+                        aggregate_sealed_chunk(sealed.reader, device, sensor, start, end)
+                    )
+                self._record_query(0.0)
+                return _combine_aggregates(partials)
+            return aggregate_from_points(self.query(device, sensor, start, end))
 
     def aggregate_windows(
         self, device: str, sensor: str, start: int, end: int, window: int
@@ -389,7 +405,14 @@ class StorageEngine:
         :mod:`repro.iotdb.compaction`)."""
         from repro.iotdb.compaction import compact
 
-        return compact(self)
+        with self.obs.span("engine.compact") as span:
+            report = compact(self)
+            span.set(
+                files_before=report.files_before,
+                files_after=report.files_after,
+                points=report.points_written,
+            )
+        return report
 
     def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
         """Swap the sealed-file set after a compaction, closing old handles."""
@@ -409,7 +432,12 @@ class StorageEngine:
         return counts
 
     def describe(self) -> dict:
-        """Operator-facing snapshot of the whole engine's state."""
+        """Operator-facing snapshot of the whole engine's state.
+
+        The numeric fields are read straight from the metrics registry (the
+        legacy keys are kept stable); the full registry snapshot rides along
+        under ``"metrics"``.
+        """
         working = {
             space.value: self._working[space].total_points
             for space in (Space.SEQUENCE, Space.UNSEQUENCE)
@@ -417,19 +445,23 @@ class StorageEngine:
         sealed = [
             {"space": f.space.value, **f.reader.describe()} for f in self._sealed
         ]
+        flush_hist = self._instruments.flush_seconds
+        flush_count = sum(child.count for _, child in flush_hist.children())
+        flush_sum = sum(child.sum for _, child in flush_hist.children())
         return {
             "sorter": self.sorter.name,
-            "points_written": self.metrics.points_written,
+            "points_written": int(self._instruments.points_written.value),
             "working_points": working,
             "pending_flushes": self.pending_flushes(),
             "sealed_files": len(sealed),
             "sealed": sealed,
             "watermarks": dict(self.separation._watermarks),
             "flushes": {
-                "seq": self.metrics.seq_flushes,
-                "unseq": self.metrics.unseq_flushes,
-                "mean_seconds": self.metrics.mean_flush_seconds,
+                "seq": int(self._instruments.flushes_by_space["seq"].value),
+                "unseq": int(self._instruments.flushes_by_space["unseq"].value),
+                "mean_seconds": flush_sum / flush_count if flush_count else 0.0,
             },
+            "metrics": self.obs.registry.as_dict(),
         }
 
     def close(self) -> None:
@@ -452,15 +484,24 @@ class StorageEngine:
         if self._wals is None:
             raise StorageError("WAL is disabled in this configuration")
         replayed = 0
-        for space, wal in self._wals.items():
-            for device, sensor, timestamp, value in wal.replay():
-                self._working[space].write(device, sensor, timestamp, value)
-                replayed += 1
-        self.metrics.points_written += replayed
+        with self.obs.span("engine.wal_replay") as span:
+            for space, wal in self._wals.items():
+                for device, sensor, timestamp, value in wal.replay():
+                    self._working[space].write(device, sensor, timestamp, value)
+                    replayed += 1
+            span.set(points=replayed)
+        self._instruments.points_written.inc(replayed)
+        self._instruments.wal_replayed.inc(replayed)
         return replayed
 
     @classmethod
-    def open(cls, config: IoTDBConfig, sorter: Sorter | None = None) -> "StorageEngine":
+    def open(
+        cls,
+        config: IoTDBConfig,
+        sorter: Sorter | None = None,
+        *,
+        obs: Observability | None = None,
+    ) -> "StorageEngine":
         """Reopen an on-disk engine after a restart (or crash).
 
         Scans ``config.data_dir`` for sealed TsFiles (space and write order
@@ -476,7 +517,7 @@ class StorageEngine:
 
         # Construct without WALs so the fresh-start constructor does not
         # truncate the on-disk segments we are about to replay.
-        engine = cls(replace(config, wal_enabled=False), sorter=sorter)
+        engine = cls(replace(config, wal_enabled=False), sorter=sorter, obs=obs)
         engine.config = config
         data_dir = Path(config.data_dir)
 
@@ -507,13 +548,20 @@ class StorageEngine:
         # WAL replay: unflushed writes come back into the working memtables.
         if config.wal_enabled:
             engine._wals = {}
-            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                wal_path = data_dir / f"wal-{space.value}.log"
-                handle = open(wal_path, "ab+") if wal_path.exists() else open(wal_path, "wb+")
-                wal = WriteAheadLog(handle)
-                engine._wals[space] = wal
-                for device, sensor, timestamp, value in wal.replay():
-                    engine._working[space].write(device, sensor, timestamp, value)
-                    engine.metrics.points_written += 1
-                handle.seek(0, io.SEEK_END)
+            with engine.obs.span("engine.wal_replay") as span:
+                replayed = 0
+                for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                    wal_path = data_dir / f"wal-{space.value}.log"
+                    handle = (
+                        open(wal_path, "ab+") if wal_path.exists() else open(wal_path, "wb+")
+                    )
+                    wal = WriteAheadLog(handle)
+                    engine._wals[space] = wal
+                    for device, sensor, timestamp, value in wal.replay():
+                        engine._working[space].write(device, sensor, timestamp, value)
+                        replayed += 1
+                    handle.seek(0, io.SEEK_END)
+                span.set(points=replayed)
+            engine._instruments.points_written.inc(replayed)
+            engine._instruments.wal_replayed.inc(replayed)
         return engine

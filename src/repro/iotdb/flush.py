@@ -5,11 +5,15 @@ state, the time series needs to be sorted and then written to the disk."
 The flush-time metric of §VI-D2 covers exactly this pipeline; this module
 measures each stage separately so the benchmarks can report both total
 flush time and the sort share the paper plots as stacked bars.
+
+All timing flows through :class:`repro.bench.timing.Timer` over the
+injected observability's clock; when tracing is enabled each chunk gets a
+``flush.chunk`` span nested under the engine's ``engine.flush`` span, with
+the sort itself a ``sort`` span one level deeper.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.instrumentation import SortStats
@@ -18,6 +22,7 @@ from repro.iotdb.config import IoTDBConfig
 from repro.iotdb.memtable import MemTable
 from repro.iotdb.tvlist import dedupe_sorted
 from repro.iotdb.tsfile import TsFileWriter
+from repro.obs import NOOP, Observability
 
 
 @dataclass
@@ -52,12 +57,31 @@ class FlushReport:
             return 0.0
         return self.sort_seconds / self.total_seconds
 
+    def emit(self, obs: Observability, *, space: str, instruments=None) -> None:
+        """Fold this flush into ``obs``'s registry under the ``space`` label.
+
+        ``instruments`` may pass a pre-resolved
+        :class:`repro.iotdb.engine_metrics.EngineInstruments` (the engine
+        does); otherwise the instruments are looked up idempotently.
+        """
+        if not obs.metrics_enabled:
+            return
+        if instruments is None:
+            from repro.iotdb.engine_metrics import EngineInstruments
+
+            instruments = EngineInstruments(obs.registry)
+        instruments.flushes_by_space[space].inc()
+        instruments.flush_seconds_by_space[space].observe(self.total_seconds)
+        instruments.flush_sort_seconds_by_space[space].observe(self.sort_seconds)
+
 
 def flush_memtable(
     memtable: MemTable,
     writer: TsFileWriter,
     sorter: Sorter,
     config: IoTDBConfig | None = None,
+    *,
+    obs: Observability = NOOP,
 ) -> FlushReport:
     """Flush every chunk of a FLUSHING memtable into ``writer``.
 
@@ -65,64 +89,69 @@ def flush_memtable(
     transition is what the flush-time metric clocks from).  The writer is
     closed (footer sealed) before returning.
     """
+    from repro.bench.timing import Timer
+
     if config is None:
         config = memtable.config
-    start = time.perf_counter()
     reports: list[ChunkFlushReport] = []
     sort_total = 0.0
     encode_total = 0.0
-    for device, sensor, tvlist in memtable.iter_chunks():
-        timed = tvlist.sort_in_place(sorter)
-        ts = tvlist.timestamps()
-        vs = tvlist.values()
-        ts, vs = dedupe_sorted(ts, vs)
-        expired = 0
-        if config.ttl is not None and ts:
-            # Event-time TTL: points older than this chunk's latest point
-            # minus the TTL are dropped instead of written.
-            from bisect import bisect_left
+    with Timer(obs.clock) as total_timer:
+        for device, sensor, tvlist in memtable.iter_chunks():
+            with obs.span(
+                "flush.chunk", device=device, sensor=sensor, points=len(tvlist)
+            ) as chunk_span:
+                timed = tvlist.sort_in_place(sorter, obs=obs, site="flush")
+                ts = tvlist.timestamps()
+                vs = tvlist.values()
+                ts, vs = dedupe_sorted(ts, vs)
+                expired = 0
+                if config.ttl is not None and ts:
+                    # Event-time TTL: points older than this chunk's latest
+                    # point minus the TTL are dropped instead of written.
+                    from bisect import bisect_left
 
-            floor = ts[-1] - config.ttl + 1
-            if ts[0] < floor:
-                cut = bisect_left(ts, floor)
-                expired = cut
-                ts = ts[cut:]
-                vs = vs[cut:]
-        encode_start = time.perf_counter()
-        if ts:
-            writer.write_chunk(
-                device,
-                sensor,
-                tvlist.dtype,
-                ts,
-                vs,
-                time_encoding=config.time_encoding,
-                value_encoding=config.value_encoding_for(tvlist.dtype),
-                page_size=config.page_size,
-                compression=config.compression,
-            )
-        encode_seconds = time.perf_counter() - encode_start
-        sort_total += timed.seconds
-        encode_total += encode_seconds
-        reports.append(
-            ChunkFlushReport(
-                device=device,
-                sensor=sensor,
-                points=len(tvlist),
-                deduped_points=len(ts),
-                sort_seconds=timed.seconds,
-                encode_write_seconds=encode_seconds,
-                sort_stats=timed.stats,
-                expired_points=expired,
-            )
-        )
-    file_bytes = writer.close()
-    memtable.mark_flushed()
+                    floor = ts[-1] - config.ttl + 1
+                    if ts[0] < floor:  # repro: allow(stats-accounting): TTL cutoff test, not a sort
+                        cut = bisect_left(ts, floor)
+                        expired = cut
+                        ts = ts[cut:]
+                        vs = vs[cut:]
+                with Timer(obs.clock) as encode_timer:
+                    if ts:
+                        writer.write_chunk(
+                            device,
+                            sensor,
+                            tvlist.dtype,
+                            ts,
+                            vs,
+                            time_encoding=config.time_encoding,
+                            value_encoding=config.value_encoding_for(tvlist.dtype),
+                            page_size=config.page_size,
+                            compression=config.compression,
+                        )
+                chunk_span.set(deduped_points=len(ts), expired_points=expired)
+                sort_total += timed.seconds
+                encode_total += encode_timer.seconds
+                reports.append(
+                    ChunkFlushReport(
+                        device=device,
+                        sensor=sensor,
+                        points=len(tvlist),
+                        deduped_points=len(ts),
+                        sort_seconds=timed.seconds,
+                        encode_write_seconds=encode_timer.seconds,
+                        sort_stats=timed.stats,
+                        expired_points=expired,
+                    )
+                )
+        file_bytes = writer.close()
+        memtable.mark_flushed()
     return FlushReport(
         total_points=memtable.total_points,
         sort_seconds=sort_total,
         encode_write_seconds=encode_total,
-        total_seconds=time.perf_counter() - start,
+        total_seconds=total_timer.seconds,
         file_bytes=file_bytes,
         chunks=reports,
     )

@@ -16,6 +16,7 @@ from repro.errors import InvalidParameterError, MemTableFlushedError
 from repro.iotdb.config import IoTDBConfig, TSDataType
 from repro.iotdb.tvlist import TVList
 from repro.iotdb.typed_tvlists import infer_dtype, tvlist_for
+from repro.obs import NOOP, Observability
 
 
 class MemTableState(Enum):
@@ -32,11 +33,19 @@ class MemTable:
     type are rejected at ingestion (the typed-TVList validation of §V-A).
     """
 
-    def __init__(self, config: IoTDBConfig | None = None) -> None:
+    def __init__(
+        self, config: IoTDBConfig | None = None, *, obs: Observability = NOOP
+    ) -> None:
         self.config = config if config is not None else IoTDBConfig()
+        self.obs = obs
         self.state = MemTableState.WORKING
         self._chunks: dict[tuple[str, str], TVList] = {}
         self._total_points = 0
+        # Pre-resolved child: the per-point cost of observability is one
+        # method call (a no-op when ``obs`` is the shared NOOP).
+        self._writes_counter = obs.registry.counter(
+            "memtable_writes_total", "points accepted by any memtable"
+        )
 
     # -- writes ------------------------------------------------------------
 
@@ -58,6 +67,7 @@ class MemTable:
             self._chunks[key] = tvlist
         tvlist.put(timestamp, value)
         self._total_points += 1
+        self._writes_counter.inc()
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
         if len(timestamps) != len(values):

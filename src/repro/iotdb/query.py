@@ -15,7 +15,6 @@ timestamps the *freshest* source wins, with freshness ordered
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.instrumentation import SortStats
@@ -24,6 +23,7 @@ from repro.errors import QueryError
 from repro.iotdb.memtable import MemTable
 from repro.iotdb.tsfile import TsFileReader
 from repro.iotdb.tvlist import dedupe_sorted
+from repro.obs import NOOP, Observability
 
 
 @dataclass
@@ -53,8 +53,9 @@ class QueryResult:
 class TimeRangeQueryExecutor:
     """Executes range scans against an engine's current source set."""
 
-    def __init__(self, sorter: Sorter) -> None:
+    def __init__(self, sorter: Sorter, obs: Observability = NOOP) -> None:
         self._sorter = sorter
+        self._obs = obs
 
     def execute(
         self,
@@ -68,39 +69,44 @@ class TimeRangeQueryExecutor:
         working_memtable: MemTable | None,
     ) -> QueryResult:
         """Gather, sort, merge and deduplicate points from every source."""
+        from repro.bench.timing import Timer
+
         if start >= end:
             raise QueryError(f"empty time range [{start}, {end})")
-        began = time.perf_counter()
+        obs = self._obs
         stats = QueryStats()
         merged: dict[int, object] = {}
 
-        # Freshness order: later sources overwrite earlier ones.
-        for reader in (*seq_readers, *unseq_readers):
-            ts, vs = reader.query_range(device, sensor, start, end)
-            if ts:
+        with Timer(obs.clock) as total_timer:
+            # Freshness order: later sources overwrite earlier ones.
+            for reader in (*seq_readers, *unseq_readers):
+                ts, vs = reader.query_range(device, sensor, start, end)
+                if ts:
+                    stats.sources_visited += 1
+                    stats.points_scanned += len(ts)
+                    for t, v in zip(ts, vs):
+                        merged[t] = v
+
+            for memtable in (*flushing_memtables, working_memtable):
+                if memtable is None:
+                    continue
+                tvlist = memtable.chunk(device, sensor)
+                if tvlist is None or len(tvlist) == 0:
+                    continue
                 stats.sources_visited += 1
+                ts, vs, timed = tvlist.get_sorted_arrays(
+                    self._sorter, obs=obs, site="query"
+                )
+                stats.sort_seconds += timed.seconds
+                stats.sort_stats.merge(timed.stats)
                 stats.points_scanned += len(ts)
+                ts, vs = dedupe_sorted(ts, vs)
                 for t, v in zip(ts, vs):
-                    merged[t] = v
+                    if start <= t < end:
+                        merged[t] = v
 
-        for memtable in (*flushing_memtables, working_memtable):
-            if memtable is None:
-                continue
-            tvlist = memtable.chunk(device, sensor)
-            if tvlist is None or len(tvlist) == 0:
-                continue
-            stats.sources_visited += 1
-            ts, vs, timed = tvlist.get_sorted_arrays(self._sorter)
-            stats.sort_seconds += timed.seconds
-            stats.sort_stats.merge(timed.stats)
-            stats.points_scanned += len(ts)
-            ts, vs = dedupe_sorted(ts, vs)
-            for t, v in zip(ts, vs):
-                if start <= t < end:
-                    merged[t] = v
-
-        out_t = sorted(merged)
-        out_v = [merged[t] for t in out_t]
+            out_t = sorted(merged)
+            out_v = [merged[t] for t in out_t]
         stats.points_returned = len(out_t)
-        stats.total_seconds = time.perf_counter() - began
+        stats.total_seconds = total_timer.seconds
         return QueryResult(timestamps=out_t, values=out_v, stats=stats)

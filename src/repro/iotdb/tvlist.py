@@ -147,26 +147,32 @@ class TVList:
 
     # -- sorting -----------------------------------------------------------
 
-    def get_sorted_arrays(self, sorter: Sorter) -> tuple[list[int], list, TimedResult]:
+    def get_sorted_arrays(
+        self, sorter: Sorter, *, obs=None, site: str = "query"
+    ) -> tuple[list[int], list, TimedResult]:
         """Query path: sorted copies of (times, values) without mutation.
 
         Already-sorted lists skip the sort entirely (IoTDB checks the same
         flag); the returned :class:`TimedResult` then reports zero cost.
+        ``obs``/``site`` flow through to :meth:`Sorter.timed_sort` so the
+        sort lands in the span tree and the per-sorter metrics.
         """
         ts = self.timestamps()
         vs = self.values()
         if self._sorted:
             return ts, vs, TimedResult(seconds=0.0, stats=SortStats())
-        timed = sorter.timed_sort(ts, vs)
+        timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
         return ts, vs, timed
 
-    def sort_in_place(self, sorter: Sorter) -> TimedResult:
+    def sort_in_place(
+        self, sorter: Sorter, *, obs=None, site: str = "flush"
+    ) -> TimedResult:
         """Flush path: sort the backing arrays, returning timing + counters."""
         if self._sorted:
             return TimedResult(seconds=0.0, stats=SortStats())
         ts = self.timestamps()
         vs = self.values()
-        timed = sorter.timed_sort(ts, vs)
+        timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
         self._write_back(ts, vs)
         self._sorted = True
         return timed
@@ -191,9 +197,9 @@ def dedupe_sorted(ts: list[int], vs: list) -> tuple[list[int], list]:
     out_t: list[int] = []
     out_v: list = []
     for i in range(len(ts)):
-        if out_t and out_t[-1] == ts[i]:
-            out_v[-1] = vs[i]
+        if out_t and out_t[-1] == ts[i]:  # repro: allow(stats-accounting): dedupe, not a sort
+            out_v[-1] = vs[i]  # repro: allow(stats-accounting): dedupe, not a sort
         else:
-            out_t.append(ts[i])
+            out_t.append(ts[i])  # repro: allow(stats-accounting, parallel-arrays): dedupe, not a sort
             out_v.append(vs[i])
     return out_t, out_v

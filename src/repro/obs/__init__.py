@@ -1,0 +1,76 @@
+"""repro.obs — dependency-free observability: metrics, traces, exporters.
+
+The package is a *leaf*: it imports only the stdlib and ``repro.errors``,
+so any layer (core sorters, the IoTDB engine, the bench harness) can depend
+on it without risking an import cycle.  The one upward reference — the text
+exporter reusing ``repro.bench.reporting.format_table`` — is a lazy,
+function-level import.
+
+Entry points:
+
+* :class:`Observability` — the façade injected down the hot path
+  (``obs.clock`` / ``obs.registry`` / ``obs.tracer`` / ``obs.span``);
+* :data:`NOOP` — the shared all-off instance, the default wherever ``obs``
+  is not passed;
+* :func:`from_env` — ``REPRO_OBS=1`` flips a process to fully enabled.
+
+See docs/OBSERVABILITY.md for the metric and span catalogue.
+"""
+
+from repro.obs.clock import MONOTONIC, Clock, FakeClock, MonotonicClock
+from repro.obs.instruments import (
+    DEFAULT_TIME_BUCKETS,
+    NOOP_INSTRUMENT,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+)
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry, NoopRegistry
+from repro.obs.tracing import NOOP_SPAN, NOOP_TRACER, NoopTracer, Span, Tracer
+from repro.obs.observability import (
+    NOOP,
+    Observability,
+    from_env,
+    metrics_only,
+)
+from repro.obs.bridge import SORT_SECONDS_BUCKETS, record_sort_stats
+from repro.obs.export import (
+    iter_jsonlines,
+    render_jsonlines,
+    render_prometheus,
+    render_span_tree,
+    render_text,
+)
+
+__all__ = [
+    "Clock",
+    "MonotonicClock",
+    "FakeClock",
+    "MONOTONIC",
+    "Instrument",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_TIME_BUCKETS",
+    "NOOP_INSTRUMENT",
+    "MetricsRegistry",
+    "NoopRegistry",
+    "NOOP_REGISTRY",
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "Observability",
+    "NOOP",
+    "from_env",
+    "metrics_only",
+    "record_sort_stats",
+    "SORT_SECONDS_BUCKETS",
+    "iter_jsonlines",
+    "render_jsonlines",
+    "render_prometheus",
+    "render_span_tree",
+    "render_text",
+]

@@ -1,0 +1,72 @@
+"""SortStats → metrics bridge: per-sorter counters land in the registry.
+
+The sorters report platform-independent operation counts through
+:class:`repro.core.instrumentation.SortStats`; this bridge folds one sort's
+counters into the shared registry under ``sorter`` and ``site`` labels, so
+per-sorter comparisons/moves/extra-space sit next to the engine's system
+metrics and export through the same three formats.
+
+``site`` distinguishes the call site: ``"flush"`` (TVList flush-path sort),
+``"query"`` (working-memtable sort on the query's critical path), or
+``"direct"`` (library calls / benchmarks).
+
+The module is duck-typed against SortStats on purpose — ``repro.obs`` stays
+import-free of the core package so it can never participate in a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.instrumentation import SortStats
+    from repro.obs.observability import Observability
+
+#: Bucket bounds for per-sort durations (sorts are much faster than flushes).
+SORT_SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 10.0
+)
+
+_LABELS = ("sorter", "site")
+
+
+def record_sort_stats(
+    obs: "Observability",
+    stats: "SortStats",
+    *,
+    sorter: str,
+    site: str = "direct",
+    seconds: float | None = None,
+    points: int | None = None,
+) -> None:
+    """Fold one sort invocation's counters into ``obs``'s registry."""
+    if not obs.metrics_enabled:
+        return
+    reg = obs.registry
+    labels = {"sorter": sorter, "site": site}
+    reg.counter(
+        "sort_invocations_total", "sort calls per sorter and call site", _LABELS
+    ).labels(**labels).inc()
+    reg.counter(
+        "sort_comparisons_total", "timestamp comparisons performed", _LABELS
+    ).labels(**labels).inc(stats.comparisons)
+    reg.counter(
+        "sort_moves_total", "element writes (buffer hops included)", _LABELS
+    ).labels(**labels).inc(stats.moves)
+    reg.counter(
+        "sort_merges_total", "(backward) merge operations executed", _LABELS
+    ).labels(**labels).inc(stats.merges)
+    reg.gauge(
+        "sort_extra_space_peak", "peak auxiliary element slots in one sort", _LABELS
+    ).labels(**labels).set_max(stats.extra_space)
+    if points is not None:
+        reg.counter(
+            "sort_points_total", "points passed through a sorter", _LABELS
+        ).labels(**labels).inc(points)
+    if seconds is not None:
+        reg.histogram(
+            "sort_seconds",
+            "wall-clock duration of one sort call",
+            _LABELS,
+            buckets=SORT_SECONDS_BUCKETS,
+        ).labels(**labels).observe(seconds)

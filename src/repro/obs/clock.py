@@ -1,0 +1,59 @@
+"""The one injectable clock behind every span and timer in the project.
+
+Wall-clock reads are banned in hot-path modules (the ``wall-clock`` lint
+rule); reliable timings flow through exactly two sanctioned modules —
+:mod:`repro.bench.timing`, which owns warmup/repetition statistics, and
+this one, which owns the *clock itself*.  Everything that stamps a time
+(:class:`~repro.obs.tracing.Tracer` spans, :class:`~repro.bench.timing.Timer`,
+the flush/query pipelines) reads through a :class:`Clock` instance, so tests
+can swap in a :class:`FakeClock` and assert exact durations deterministically.
+
+The default is monotonic (``time.perf_counter``): span and timer arithmetic
+must never see the clock jump backwards on an NTP adjustment.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+
+class Clock(ABC):
+    """Source of seconds for durations; values are only meaningfully *subtracted*."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current reading in seconds (arbitrary epoch, monotonic preferred)."""
+
+
+class MonotonicClock(Clock):
+    """High-resolution monotonic clock (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class FakeClock(Clock):
+    """Deterministic manual clock for tests: advances only when told to."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward by ``seconds`` (negative values rejected)."""
+        if seconds < 0:
+            raise ValueError(f"FakeClock cannot move backwards (advance {seconds})")
+        self._now += seconds
+
+    def set(self, now: float) -> None:
+        """Jump to an absolute reading (must not go backwards)."""
+        if now < self._now:
+            raise ValueError(f"FakeClock cannot move backwards ({now} < {self._now})")
+        self._now = float(now)
+
+
+#: Shared default used whenever no clock is injected.
+MONOTONIC = MonotonicClock()

@@ -1,0 +1,138 @@
+"""Exporters: aligned text, JSON-lines, and Prometheus-style exposition.
+
+Three sinks over one data model (the registry snapshot plus the span
+forest):
+
+* :func:`render_text` — the human/terminal view, reusing the same
+  ``format_table`` the experiment drivers print figures with;
+* :func:`render_jsonlines` — one JSON object per line (``{"type": ...}``),
+  the machine-readable stream CI and downstream tooling parse;
+* :func:`render_prometheus` — ``# HELP``/``# TYPE`` + sample lines in the
+  text exposition format, so a scrape endpoint is a string away.
+
+Custom sinks consume the same primitives: ``registry.as_dict()`` for
+metrics and ``tracer.iter_spans()`` for spans (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+# ---------------------------------------------------------------- text table
+
+
+def render_text(registry: "MetricsRegistry", tracer: "Tracer | None" = None) -> str:
+    """Aligned table of every sample, plus the span tree when a tracer is given."""
+    # Lazy import: repro.bench's package __init__ pulls in the storage engine,
+    # which imports repro.obs — a module-level import here would close that
+    # cycle (the documented lazy-import pattern keeps it harmless).
+    from repro.bench.reporting import format_table
+
+    rows: list[tuple] = []
+    for instrument in registry.instruments():
+        for labels, child in instrument.children():
+            label_text = _format_labels(labels) or "-"
+            if instrument.kind == "histogram":
+                rows.append(
+                    (instrument.name, instrument.kind, label_text,
+                     f"count={child.count} sum={child.sum:.6f} mean={child.mean:.6f}")
+                )
+            else:
+                rows.append(
+                    (instrument.name, instrument.kind, label_text,
+                     f"{child.value:g}")
+                )
+    if not rows:
+        rows.append(("(no metrics recorded)", "-", "-", "-"))
+    parts = [format_table(("metric", "kind", "labels", "value"), rows, title="metrics")]
+    if tracer is not None and tracer.roots:
+        parts.append("")
+        parts.append(render_span_tree(tracer))
+    return "\n".join(parts)
+
+
+def render_span_tree(tracer: "Tracer") -> str:
+    """Indented one-line-per-span rendering of the retained span forest."""
+    lines = ["spans"]
+
+    def _walk(span, depth: int) -> None:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(f"{'  ' * depth}- {span.name}  {span.duration * 1e3:.3f}ms{suffix}")
+        for child in span.children:
+            _walk(child, depth + 1)
+
+    for root in tracer.roots:
+        _walk(root, 1)
+    if tracer.dropped:
+        lines.append(f"  ({tracer.dropped} span(s) beyond the retention cap not shown)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- JSON lines
+
+
+def iter_jsonlines(
+    registry: "MetricsRegistry", tracer: "Tracer | None" = None
+) -> Iterator[str]:
+    """Yield one JSON document per metric sample / span."""
+    for name, info in registry.as_dict().items():
+        for sample in info["samples"]:
+            record = {"type": "metric", "name": name, "kind": info["kind"], **sample}
+            yield json.dumps(record, sort_keys=True)
+    if tracer is not None:
+        for span in tracer.iter_spans():
+            yield json.dumps({"type": "span", **span.as_dict()}, sort_keys=True)
+        if tracer.dropped:
+            yield json.dumps({"type": "spans_dropped", "count": tracer.dropped})
+
+
+def render_jsonlines(
+    registry: "MetricsRegistry", tracer: "Tracer | None" = None
+) -> str:
+    """The JSON-lines export as one newline-joined string."""
+    return "\n".join(iter_jsonlines(registry, tracer))
+
+
+# ---------------------------------------------------------------- Prometheus
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """Text exposition format (counters/gauges/histograms, labels included)."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for labels, child in instrument.children():
+            if instrument.kind == "histogram":
+                for bound, count in child.bucket_counts():
+                    le = "+Inf" if bound == float("inf") else f"{bound:g}"
+                    bucket_labels = {**labels, "le": le}
+                    lines.append(
+                        f"{instrument.name}_bucket{_format_labels(bucket_labels)} {count}"
+                    )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(labels)} {child.sum:g}"
+                )
+                lines.append(
+                    f"{instrument.name}_count{_format_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{instrument.name}{_format_labels(labels)} {child.value:g}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,242 @@
+"""Metric instruments: Counter, Gauge, and fixed-bucket Histogram with labels.
+
+The model follows Prometheus conventions so the exposition exporter is a
+straight serialisation: an instrument is declared once with a name, a help
+string, and an optional tuple of *label names*; each distinct combination of
+label *values* materialises a child that holds the actual numbers.  An
+instrument declared without labels is its own (single) child, so call sites
+can write ``counter.inc()`` without a ``labels()`` hop.
+
+Children are cached — the hot path resolves its children once and then pays
+one attribute update per event — and every no-op twin (:data:`NOOP_COUNTER`
+and friends) swallows the same API so disabled observability costs a single
+no-op method call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import InvalidParameterError
+
+#: Default histogram buckets for durations in seconds: 1µs .. ~100s.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 100.0
+)
+
+
+def _check_labels(
+    labelnames: tuple[str, ...], labels: Mapping[str, str]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise InvalidParameterError(
+            f"labels {sorted(labels)} do not match declared label names "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class Instrument:
+    """Base of every instrument: name/help/labels plus the child cache."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: dict[tuple[str, ...], "Instrument"] = {}
+
+    def labels(self, **labels: str) -> "Instrument":
+        """The child for one combination of label values (created on demand)."""
+        if not self.labelnames:
+            if labels:
+                raise InvalidParameterError(
+                    f"instrument {self.name!r} was declared without labels"
+                )
+            return self
+        key = _check_labels(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(self.name, self.help)
+            child._labelvalues = key  # type: ignore[attr-defined]
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[tuple[dict[str, str], "Instrument"]]:
+        """Yield ``(labels, child)`` pairs; the parent itself when unlabeled."""
+        if not self.labelnames:
+            yield {}, self
+            return
+        for key, child in sorted(self._children.items()):
+            yield dict(zip(self.labelnames, key)), child
+
+
+class Counter(Instrument):
+    """Monotonically increasing count of events."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    def _add(self, delta: float) -> None:
+        """Signed adjustment — reserved for the deprecated EngineMetrics setters."""
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(Instrument):
+    """A value that can go up and down (sizes, watermarks, peaks)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Record a high-water mark (keeps the larger of old and new)."""
+        if value > self._value:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram of observations (cumulative buckets on export).
+
+    ``buckets`` are the inclusive upper bounds of each bucket; a final
+    ``+Inf`` bucket is implicit.  Per-bucket counts are kept non-cumulative
+    internally and accumulated at export time, matching Prometheus.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise InvalidParameterError(f"histogram {self.name!r} needs >= 1 bucket")
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def labels(self, **labels: str) -> "Histogram":
+        if not self.labelnames:
+            return super().labels(**labels)  # type: ignore[return-value]
+        key = _check_labels(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = Histogram(self.name, self.help, buckets=self.buckets)
+            child._labelvalues = key  # type: ignore[attr-defined]
+            self._children[key] = child
+        return child  # type: ignore[return-value]
+
+    def observe(self, value: float) -> None:
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:  # first bucket whose upper bound admits the value
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._counts[lo] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, ending with ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, count in zip((*self.buckets, float("inf")), self._counts):
+            running += count
+            out.append((bound, running))
+        return out
+
+
+class _NoopInstrument:
+    """Absorbs the full instrument API at the cost of one no-op call."""
+
+    __slots__ = ()
+    kind = "noop"
+    name = "noop"
+    help = ""
+    labelnames: tuple[str, ...] = ()
+    buckets: tuple[float, ...] = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def labels(self, **labels: str) -> "_NoopInstrument":
+        return self
+
+    def children(self) -> Iterator[tuple[dict[str, str], "_NoopInstrument"]]:
+        return iter(())
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def _add(self, delta: float) -> None:
+        pass
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        return []
+
+
+#: Shared no-op children handed out by the no-op registry.
+NOOP_INSTRUMENT = _NoopInstrument()

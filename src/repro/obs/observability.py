@@ -1,0 +1,111 @@
+"""The Observability façade: one injected object carries clock + metrics + traces.
+
+Every instrumented surface in the project takes ``obs`` — the storage
+engine, the memtable, the flush pipeline, the query executor,
+``Sorter.timed_sort``, and the bench harness — and reads three things from
+it: ``obs.clock`` (the injectable time source), ``obs.registry`` (metric
+instruments), and ``obs.tracer`` (nested spans).
+
+Three configurations cover every use:
+
+* ``Observability()`` — everything on (metrics + tracing);
+* ``Observability(tracing=False)`` — metrics only; what the engine builds
+  for itself by default, so ``EngineMetrics``/``describe()`` always have a
+  live registry behind them;
+* :data:`NOOP` — the shared all-off instance; the default for the
+  standalone sorter/flush/query entry points, costing one no-op method call
+  per event (the <5% hot-path bound is tested against it).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.clock import MONOTONIC, Clock
+from repro.obs.registry import NOOP_REGISTRY, MetricsRegistry, NoopRegistry
+from repro.obs.tracing import NOOP_TRACER, NoopTracer, Tracer
+
+
+class Observability:
+    """Bundle of clock, metrics registry, and tracer handed down the hot path."""
+
+    def __init__(
+        self,
+        *,
+        metrics: bool = True,
+        tracing: bool = True,
+        clock: Clock | None = None,
+        max_spans: int = 10_000,
+    ) -> None:
+        self.clock = clock if clock is not None else MONOTONIC
+        self.registry: MetricsRegistry | NoopRegistry = (
+            MetricsRegistry() if metrics else NOOP_REGISTRY
+        )
+        self.tracer: Tracer | NoopTracer = (
+            Tracer(clock=self.clock, max_spans=max_spans) if tracing else NOOP_TRACER
+        )
+
+    @property
+    def metrics_enabled(self) -> bool:
+        return isinstance(self.registry, MetricsRegistry)
+
+    @property
+    def tracing_enabled(self) -> bool:
+        return isinstance(self.tracer, Tracer)
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics_enabled or self.tracing_enabled
+
+    def span(self, name: str, **attributes):
+        """Shorthand for ``obs.tracer.span(...)``."""
+        return self.tracer.span(name, **attributes)
+
+    # -- exporters ---------------------------------------------------------
+
+    def export_text(self) -> str:
+        """Aligned-table metrics + span tree (terminal-friendly)."""
+        from repro.obs.export import render_text
+
+        tracer = self.tracer if self.tracing_enabled else None
+        return render_text(self.registry, tracer)  # type: ignore[arg-type]
+
+    def export_jsonlines(self) -> str:
+        """One JSON object per metric sample / span."""
+        from repro.obs.export import render_jsonlines
+
+        tracer = self.tracer if self.tracing_enabled else None
+        return render_jsonlines(self.registry, tracer)  # type: ignore[arg-type]
+
+    def export_prometheus(self) -> str:
+        """Prometheus text exposition of the registry."""
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self.registry)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<Observability metrics={self.metrics_enabled} "
+            f"tracing={self.tracing_enabled}>"
+        )
+
+
+def metrics_only(clock: Clock | None = None) -> Observability:
+    """An Observability with the registry live and tracing off."""
+    return Observability(metrics=True, tracing=False, clock=clock)
+
+
+def from_env(var: str = "REPRO_OBS") -> Observability:
+    """:class:`Observability` switched by an environment variable.
+
+    ``REPRO_OBS`` unset/false → the shared :data:`NOOP`; truthy (``1``,
+    ``true``, ``yes``, ``on``) → a fresh fully-enabled instance.  Experiment
+    drivers use this so a metrics dump is one env var away.
+    """
+    if os.environ.get(var, "").strip().lower() in {"1", "true", "yes", "on"}:
+        return Observability()
+    return NOOP
+
+
+#: Shared all-off instance; the default everywhere ``obs`` is not injected.
+NOOP = Observability(metrics=False, tracing=False)

@@ -1,0 +1,159 @@
+"""MetricsRegistry: the single namespace all instruments live in.
+
+Every subsystem — the storage engine, the sorter bridge, the bench harness —
+registers its instruments here by name.  Registration is get-or-create and
+idempotent, so two call sites asking for ``engine_flushes_total`` share one
+counter; re-registering with a *different* type or label set is an error
+(silent divergence is how metrics rot).
+
+The registry is a plain in-process object with no global state: tests build
+one per case, the engine builds one per instance, and a shared one can be
+injected to aggregate across components (Prometheus-style process metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import InvalidParameterError
+from repro.obs.instruments import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    NOOP_INSTRUMENT,
+)
+
+
+class MetricsRegistry:
+    """Name-keyed store of :class:`~repro.obs.instruments.Instrument` objects."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Instrument] = {}
+
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs,
+    ) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise InvalidParameterError(
+                    f"metric {name!r} is already registered as a "
+                    f"{existing.kind}, not a {cls.kind}"  # type: ignore[attr-defined]
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise InvalidParameterError(
+                    f"metric {name!r} is already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        instrument = cls(name, help, labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )  # type: ignore[return-value]
+
+    def get(self, name: str) -> Instrument | None:
+        """The registered instrument, or None (read-only lookup)."""
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def instruments(self) -> Iterator[Instrument]:
+        """All instruments in registration-name order."""
+        for name in sorted(self._instruments):
+            yield self._instruments[name]
+
+    def as_dict(self) -> dict:
+        """Nested snapshot: ``{name: {kind, help, samples: [...]}}``.
+
+        This is the generated data model behind ``StorageEngine.describe()``
+        and the JSON-lines exporter — one shape, derived from the registry,
+        never hand-maintained per metric.
+        """
+        out: dict[str, dict] = {}
+        for instrument in self.instruments():
+            samples = []
+            for labels, child in instrument.children():
+                if instrument.kind == "histogram":
+                    samples.append(
+                        {
+                            "labels": labels,
+                            "count": child.count,
+                            "sum": child.sum,
+                            "buckets": [
+                                [bound, count] for bound, count in child.bucket_counts()
+                            ],
+                        }
+                    )
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[instrument.name] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "samples": samples,
+            }
+        return out
+
+
+class NoopRegistry:
+    """Registry twin whose instruments swallow every update.
+
+    Shared by the module-level no-op :class:`~repro.obs.observability.Observability`
+    so a disabled pipeline costs a dict-free method call per event.
+    """
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return NOOP_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return NOOP_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ):
+        return NOOP_INSTRUMENT
+
+    def get(self, name: str):
+        return None
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def instruments(self) -> Iterator[Instrument]:
+        return iter(())
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+#: Shared no-op registry (one per process is plenty — it holds no state).
+NOOP_REGISTRY = NoopRegistry()

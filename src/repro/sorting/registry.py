@@ -48,8 +48,10 @@ def available_sorters() -> tuple[str, ...]:
     return tuple(sorted(_FACTORIES))
 
 
-def get_sorter(name: str, sanitize: bool | None = None, **kwargs) -> Sorter:
-    """Instantiate a sorter by registry name.
+def get_sorter(
+    name: str, *, sanitize: bool | None = None, obs=None, **kwargs
+) -> Sorter:
+    """Instantiate a sorter by registry name — the one sorter entry point.
 
     Args:
         name: a key from :func:`available_sorters`.
@@ -58,6 +60,10 @@ def get_sorter(name: str, sanitize: bool | None = None, **kwargs) -> Sorter:
             asserts sortedness, pair permutation, and stats consistency after
             every sort.  ``None`` (the default) defers to the
             ``REPRO_SANITIZE`` environment variable.
+        obs: an :class:`repro.obs.Observability` the sorter's
+            :meth:`~repro.core.sorter.Sorter.timed_sort` reports into by
+            default.  ``None`` leaves the sorter unobserved unless a call
+            site injects its own.
         **kwargs: forwarded to the sorter constructor (e.g. ``theta`` or
             ``fixed_block_size`` for ``"backward"``).
 
@@ -79,7 +85,9 @@ def get_sorter(name: str, sanitize: bool | None = None, **kwargs) -> Sorter:
     if sanitize:
         from repro.analysis.sanitizer import SanitizingSorter
 
-        return SanitizingSorter(sorter)
+        sorter = SanitizingSorter(sorter)
+    if obs is not None:
+        sorter.obs = obs
     return sorter
 
 

@@ -39,6 +39,7 @@ def test_available_rules_cover_the_documented_set():
         "lazy-import-cycle",
         "wall-clock",
         "quadratic-list-op",
+        "no-direct-metrics-mutation",
     }
 
 
@@ -310,6 +311,56 @@ def test_quadratic_list_op_ignores_ops_outside_loops(tmp_path):
     source = "def once(piles):\n    piles.insert(0, 42)\n    return piles.pop(0)\n"
     path = write(tmp_path, "sorting/no_loop.py", source)
     assert run_linter([path], get_rules(["quadratic-list-op"])) == []
+
+
+# --------------------------------------------- no-direct-metrics-mutation
+
+
+_METRICS_WRITES = """
+def record(engine, report):
+    engine.metrics.points_written += 10
+    engine.metrics.seq_flushes = 3
+    engine.metrics.flush_reports.append(report)
+"""
+
+_METRICS_READS = """
+def describe(engine):
+    total = engine.metrics.points_written
+    return {"points": total, "reports": list(engine.metrics.flush_reports)}
+"""
+
+_REGISTRY_WRITES = """
+def record(engine, report):
+    engine._instruments.points_written.inc(10)
+    engine.flush_reports.append(report)
+"""
+
+
+def test_metrics_mutation_flags_direct_writes(tmp_path):
+    path = write(tmp_path, "iotdb/bad_metrics.py", _METRICS_WRITES)
+    findings = run_linter([path], get_rules(["no-direct-metrics-mutation"]))
+    assert len(findings) == 3
+    assert rule_ids(findings) == {"no-direct-metrics-mutation"}
+    messages = " | ".join(f.message for f in findings)
+    assert "points_written" in messages
+    assert "flush_reports.append" in messages
+
+
+def test_metrics_mutation_allows_reads(tmp_path):
+    path = write(tmp_path, "iotdb/read_metrics.py", _METRICS_READS)
+    assert run_linter([path], get_rules(["no-direct-metrics-mutation"])) == []
+
+
+def test_metrics_mutation_allows_registry_instruments(tmp_path):
+    path = write(tmp_path, "iotdb/good_metrics.py", _REGISTRY_WRITES)
+    assert run_linter([path], get_rules(["no-direct-metrics-mutation"])) == []
+
+
+def test_metrics_mutation_exempts_the_facade_module(tmp_path):
+    write(tmp_path, "repro/__init__.py", "")
+    write(tmp_path, "repro/iotdb/__init__.py", "")
+    path = write(tmp_path, "repro/iotdb/engine_metrics.py", _METRICS_WRITES)
+    assert run_linter([path], get_rules(["no-direct-metrics-mutation"])) == []
 
 
 # ------------------------------------------------------------------ pragma

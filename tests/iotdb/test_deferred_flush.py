@@ -20,7 +20,7 @@ class TestDeferredFlush:
         for t in range(650):
             engine.write("d", "s", t, float(t))
         assert engine.pending_flushes() == 3
-        assert engine.metrics.seq_flushes == 0
+        assert engine.describe()["flushes"]["seq"] == 0
         assert engine.sealed_file_count()[Space.SEQUENCE] == 0
 
     def test_flushing_memtables_are_queryable(self):
@@ -39,7 +39,7 @@ class TestDeferredFlush:
         reports = engine.drain_flushes()
         assert len(reports) == 3
         assert engine.pending_flushes() == 0
-        assert engine.metrics.seq_flushes == 3
+        assert engine.describe()["flushes"]["seq"] == 3
         assert engine.query("d", "s", 0, 650).timestamps == list(range(650))
 
     def test_watermark_advances_at_retirement(self):
@@ -70,7 +70,7 @@ class TestDeferredFlush:
         for t in range(650):
             engine.write("d", "s", t, float(t))
         assert engine.pending_flushes() == 0
-        assert engine.metrics.seq_flushes == 3
+        assert engine.describe()["flushes"]["seq"] == 3
 
     def test_queued_memtable_state(self):
         engine = _engine()

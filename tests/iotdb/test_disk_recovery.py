@@ -28,7 +28,7 @@ class TestDiskRecovery:
             engine.write("d", "s", t, v)
         # 3 flushes happened (600 pts sealed); 50 pts only in WAL.  Crash:
         # the engine object is dropped without flush_all/close.
-        assert engine.metrics.seq_flushes == 3
+        assert engine.describe()["flushes"]["seq"] == 3
         del engine
 
         reborn = StorageEngine.open(_config(tmp_path))

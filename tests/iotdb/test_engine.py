@@ -21,13 +21,13 @@ class TestWriteAndFlush:
         engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=100))
         stream = make_delayed_stream(350, seed=1)
         _fill(engine, stream)
-        assert engine.metrics.seq_flushes >= 3
-        assert len(engine.metrics.flush_reports) >= 3
+        assert engine.describe()["flushes"]["seq"] >= 3
+        assert len(engine.flush_reports) >= 3
 
     def test_flush_reports_carry_sort_breakdown(self):
         engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=200))
         _fill(engine, make_delayed_stream(200, seed=2))
-        report = engine.metrics.flush_reports[0]
+        report = engine.flush_reports[0]
         assert report.total_points == 200
         assert report.total_seconds > 0
         assert report.sort_seconds >= 0
@@ -37,10 +37,10 @@ class TestWriteAndFlush:
     def test_flush_all_covers_remainder(self):
         engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=10_000))
         _fill(engine, make_delayed_stream(500, seed=3))
-        assert engine.metrics.seq_flushes == 0
+        assert engine.describe()["flushes"]["seq"] == 0
         reports = engine.flush_all()
         assert len(reports) == 1
-        assert engine.metrics.seq_flushes == 1
+        assert engine.describe()["flushes"]["seq"] == 1
 
     def test_batch_write_length_check(self):
         engine = StorageEngine()
@@ -77,7 +77,7 @@ class TestQuery:
         engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=10))
         for t in range(10):
             engine.write("d", "s", t, float(t))
-        assert engine.metrics.seq_flushes == 1
+        assert engine.describe()["flushes"]["seq"] == 1
         engine.write("d", "s", 5, 99.0)
         result = engine.query("d", "s", 0, 10)
         assert result.values[5] == 99.0

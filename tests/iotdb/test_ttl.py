@@ -70,7 +70,7 @@ class TestTTLFlush:
         engine = _engine(ttl=20, threshold=100)
         for t in range(100):
             engine.write("d", "s", t, float(t))
-        report = engine.metrics.flush_reports[0]
+        report = engine.flush_reports[0]
         chunk = report.chunks[0]
         assert chunk.expired_points == 80
         assert chunk.deduped_points == 20
@@ -81,4 +81,4 @@ class TestTTLFlush:
         engine = _engine(ttl=None, threshold=100)
         for t in range(100):
             engine.write("d", "s", t, float(t))
-        assert engine.metrics.flush_reports[0].chunks[0].expired_points == 0
+        assert engine.flush_reports[0].chunks[0].expired_points == 0

@@ -1,0 +1,122 @@
+"""Exporters: aligned text, JSON-lines, Prometheus exposition, span tree."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FakeClock,
+    MetricsRegistry,
+    Tracer,
+    iter_jsonlines,
+    render_jsonlines,
+    render_prometheus,
+    render_span_tree,
+    render_text,
+)
+
+
+@pytest.fixture
+def populated():
+    reg = MetricsRegistry()
+    reg.counter("writes_total", "points written", ("space",)).labels(
+        space="seq"
+    ).inc(42)
+    reg.gauge("depth", "stack depth").set(3)
+    reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0)).observe(0.05)
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("outer", site="test"):
+        clock.advance(0.2)
+        with tracer.span("inner"):
+            clock.advance(0.1)
+    return reg, tracer
+
+
+class TestText:
+    def test_table_lists_every_sample(self, populated):
+        reg, tracer = populated
+        text = render_text(reg, tracer)
+        assert "writes_total" in text
+        assert 'space="seq"' in text
+        assert "42" in text
+        assert "count=1" in text  # histogram summary
+        assert "spans" in text
+
+    def test_empty_registry_renders_placeholder(self):
+        assert "(no metrics recorded)" in render_text(MetricsRegistry())
+
+
+class TestSpanTree:
+    def test_nesting_shown_by_indentation(self, populated):
+        _, tracer = populated
+        tree = render_span_tree(tracer)
+        lines = tree.splitlines()
+        assert lines[0] == "spans"
+        outer = next(l for l in lines if "outer" in l)
+        inner = next(l for l in lines if "inner" in l)
+        assert len(inner) - len(inner.lstrip()) > len(outer) - len(outer.lstrip())
+        assert "300.000ms" in outer
+        assert "100.000ms" in inner
+        assert "site=test" in outer
+
+    def test_dropped_spans_noted(self):
+        clock = FakeClock()
+        tracer = Tracer(clock, max_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                clock.advance(0.01)
+        assert "2 span(s)" in render_span_tree(tracer)
+
+
+class TestJsonLines:
+    def test_every_line_parses_and_covers_metrics_and_spans(self, populated):
+        reg, tracer = populated
+        lines = render_jsonlines(reg, tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = {r["type"] for r in records}
+        assert kinds == {"metric", "span"}
+        metric = next(r for r in records if r.get("name") == "writes_total")
+        assert metric["labels"] == {"space": "seq"}
+        assert metric["value"] == 42
+        spans = [r for r in records if r["type"] == "span"]
+        inner = next(s for s in spans if s["name"] == "inner")
+        outer = next(s for s in spans if s["name"] == "outer")
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["duration"] == pytest.approx(0.1)
+
+    def test_histogram_samples_carry_cumulative_buckets(self, populated):
+        reg, _ = populated
+        records = [json.loads(l) for l in iter_jsonlines(reg)]
+        hist = next(r for r in records if r["name"] == "lat_seconds")
+        assert hist["count"] == 1
+        assert hist["buckets"][0] == [0.1, 1]
+
+    def test_dropped_spans_emit_a_record(self):
+        tracer = Tracer(FakeClock(), max_spans=0)
+        with tracer.span("s"):
+            pass
+        records = [json.loads(l) for l in iter_jsonlines(MetricsRegistry(), tracer)]
+        assert records == [{"type": "spans_dropped", "count": 1}]
+
+
+class TestPrometheus:
+    def test_exposition_format(self, populated):
+        reg, _ = populated
+        text = render_prometheus(reg)
+        assert "# HELP writes_total points written" in text
+        assert "# TYPE writes_total counter" in text
+        assert 'writes_total{space="seq"} 42' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 3" in text
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.05" in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""

@@ -1,0 +1,181 @@
+"""Instruments and registry: counters, gauges, histograms, labels, no-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import (
+    Counter,
+    DEFAULT_TIME_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_INSTRUMENT,
+    NOOP_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        c = Counter("events_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("events_total")
+        with pytest.raises(InvalidParameterError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent_and_cached(self):
+        c = Counter("events_total", "help", labelnames=("space",))
+        c.labels(space="seq").inc(2)
+        c.labels(space="unseq").inc(5)
+        assert c.labels(space="seq") is c.labels(space="seq")
+        assert c.labels(space="seq").value == 2
+        assert c.labels(space="unseq").value == 5
+
+    def test_label_mismatch_rejected(self):
+        c = Counter("events_total", labelnames=("space",))
+        with pytest.raises(InvalidParameterError):
+            c.labels(wrong="x")
+
+    def test_labels_on_unlabeled_instrument_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Counter("events_total").labels(space="seq")
+
+    def test_unlabeled_instrument_is_its_own_child(self):
+        c = Counter("events_total")
+        assert c.labels() is c
+        assert list(c.children()) == [({}, c)]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7
+
+    def test_set_max_keeps_high_water_mark(self):
+        g = Gauge("peak")
+        g.set_max(4)
+        g.set_max(2)
+        assert g.value == 4
+        g.set_max(9)
+        assert g.value == 9
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.1, 0.5, 2.0, 100.0):
+            h.observe(v)
+        # Cumulative counts, ending with +Inf.
+        assert h.bucket_counts() == [
+            (0.1, 2),  # 0.05 and the boundary 0.1 (bounds are inclusive)
+            (1.0, 3),
+            (10.0, 4),
+            (float("inf"), 5),
+        ]
+        assert h.count == 5
+        assert h.sum == pytest.approx(102.65)
+        assert h.mean == pytest.approx(102.65 / 5)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+    def test_buckets_are_sorted_on_construction(self):
+        h = Histogram("lat", buckets=(5.0, 1.0))
+        assert h.buckets == (1.0, 5.0)
+
+    def test_at_least_one_bucket_required(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("lat", buckets=())
+
+    def test_labeled_children_inherit_buckets(self):
+        h = Histogram("lat", labelnames=("space",), buckets=(0.5, 2.0))
+        child = h.labels(space="seq")
+        assert child.buckets == (0.5, 2.0)
+        child.observe(1.0)
+        assert h.labels(space="seq").count == 1
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("writes_total", "points written")
+        b = reg.counter("writes_total")
+        assert a is b
+        a.inc(3)
+        assert reg.get("writes_total").value == 3
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(InvalidParameterError):
+            reg.gauge("m")
+
+    def test_label_set_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labelnames=("space",))
+        with pytest.raises(InvalidParameterError):
+            reg.counter("m", labelnames=("device",))
+
+    def test_contains_and_get(self):
+        reg = MetricsRegistry()
+        assert "m" not in reg
+        assert reg.get("m") is None
+        reg.gauge("m")
+        assert "m" in reg
+
+    def test_instruments_iterate_in_name_order(self):
+        reg = MetricsRegistry()
+        reg.counter("zeta")
+        reg.counter("alpha")
+        assert [i.name for i in reg.instruments()] == ["alpha", "zeta"]
+
+    def test_as_dict_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("writes_total", "w", labelnames=("space",)).labels(
+            space="seq"
+        ).inc(2)
+        reg.histogram("lat", "l", buckets=(1.0,)).observe(0.5)
+        snap = reg.as_dict()
+        assert snap["writes_total"]["kind"] == "counter"
+        assert snap["writes_total"]["samples"] == [
+            {"labels": {"space": "seq"}, "value": 2.0}
+        ]
+        hist = snap["lat"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["sum"] == 0.5
+        assert hist["buckets"] == [[1.0, 1], [float("inf"), 1]]
+
+
+class TestNoops:
+    def test_noop_registry_hands_out_the_shared_instrument(self):
+        assert NOOP_REGISTRY.counter("anything") is NOOP_INSTRUMENT
+        assert NOOP_REGISTRY.gauge("anything") is NOOP_INSTRUMENT
+        assert NOOP_REGISTRY.histogram("anything") is NOOP_INSTRUMENT
+
+    def test_noop_instrument_absorbs_the_full_api(self):
+        n = NOOP_INSTRUMENT
+        n.inc()
+        n.dec()
+        n.set(5)
+        n.set_max(5)
+        n.observe(0.1)
+        assert n.labels(space="seq") is n
+        assert n.value == 0.0
+        assert list(n.children()) == []
+
+    def test_noop_registry_is_empty(self):
+        assert NOOP_REGISTRY.as_dict() == {}
+        assert "m" not in NOOP_REGISTRY
+        assert list(NOOP_REGISTRY.instruments()) == []
+
+    def test_default_buckets_cover_micro_to_minutes(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 1e-6
+        assert DEFAULT_TIME_BUCKETS[-1] >= 100.0

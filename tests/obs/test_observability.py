@@ -1,0 +1,131 @@
+"""Observability façade, from_env switch, and the SortStats bridge."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.instrumentation import SortStats
+from repro.obs import (
+    FakeClock,
+    MONOTONIC,
+    NOOP,
+    NOOP_REGISTRY,
+    NOOP_TRACER,
+    Observability,
+    from_env,
+    metrics_only,
+    record_sort_stats,
+)
+
+
+class TestConfigurations:
+    def test_default_is_fully_enabled(self):
+        obs = Observability()
+        assert obs.metrics_enabled and obs.tracing_enabled and obs.enabled
+        assert obs.clock is MONOTONIC
+
+    def test_metrics_only(self):
+        obs = metrics_only()
+        assert obs.metrics_enabled
+        assert not obs.tracing_enabled
+        assert obs.enabled
+        assert obs.tracer is NOOP_TRACER
+
+    def test_noop_is_all_off_and_shared(self):
+        assert not NOOP.enabled
+        assert NOOP.registry is NOOP_REGISTRY
+        assert NOOP.tracer is NOOP_TRACER
+
+    def test_injected_clock_reaches_the_tracer(self):
+        clock = FakeClock()
+        obs = Observability(clock=clock)
+        with obs.span("s") as span:
+            clock.advance(0.5)
+        assert span.duration == pytest.approx(0.5)
+
+    def test_span_delegates_to_the_tracer(self):
+        obs = Observability(clock=FakeClock())
+        with obs.span("engine.write", space="seq"):
+            pass
+        assert obs.tracer.find("engine.write").attributes == {"space": "seq"}
+
+    def test_exporters_run_on_a_live_instance(self):
+        obs = Observability(clock=FakeClock())
+        obs.registry.counter("c", "help").inc()
+        with obs.span("s"):
+            pass
+        assert "c" in obs.export_text()
+        for line in obs.export_jsonlines().splitlines():
+            json.loads(line)
+        assert "# TYPE c counter" in obs.export_prometheus()
+
+    def test_exporters_on_noop_are_empty(self):
+        assert "(no metrics recorded)" in NOOP.export_text()
+        assert NOOP.export_jsonlines() == ""
+        assert NOOP.export_prometheus() == ""
+
+
+class TestFromEnv:
+    def test_unset_yields_the_shared_noop(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        assert from_env() is NOOP
+
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_OBS", value)
+        obs = from_env()
+        assert obs.enabled and obs is not NOOP
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", ""])
+    def test_falsy_values_stay_noop(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_OBS", value)
+        assert from_env() is NOOP
+
+
+class TestBridge:
+    def stats(self):
+        s = SortStats()
+        s.comparisons = 7
+        s.moves = 11
+        s.merges = 2
+        s.extra_space = 64
+        return s
+
+    def test_counters_land_under_sorter_and_site_labels(self):
+        obs = metrics_only()
+        record_sort_stats(
+            obs, self.stats(), sorter="backward", site="flush", seconds=0.25,
+            points=100,
+        )
+        reg = obs.registry
+        labels = {"sorter": "backward", "site": "flush"}
+        assert reg.get("sort_invocations_total").labels(**labels).value == 1
+        assert reg.get("sort_comparisons_total").labels(**labels).value == 7
+        assert reg.get("sort_moves_total").labels(**labels).value == 11
+        assert reg.get("sort_merges_total").labels(**labels).value == 2
+        assert reg.get("sort_extra_space_peak").labels(**labels).value == 64
+        assert reg.get("sort_points_total").labels(**labels).value == 100
+        hist = reg.get("sort_seconds").labels(**labels)
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.25)
+
+    def test_extra_space_is_a_high_water_mark(self):
+        obs = metrics_only()
+        for extra in (64, 16):
+            s = SortStats()
+            s.extra_space = extra
+            record_sort_stats(obs, s, sorter="backward", site="direct")
+        gauge = obs.registry.get("sort_extra_space_peak")
+        assert gauge.labels(sorter="backward", site="direct").value == 64
+
+    def test_optional_fields_are_skipped(self):
+        obs = metrics_only()
+        record_sort_stats(obs, SortStats(), sorter="tim")
+        assert obs.registry.get("sort_seconds") is None
+        assert obs.registry.get("sort_points_total") is None
+
+    def test_disabled_obs_records_nothing(self):
+        record_sort_stats(NOOP, self.stats(), sorter="backward")
+        assert NOOP.registry.as_dict() == {}

@@ -1,0 +1,128 @@
+"""Tracer over a FakeClock: exact durations, nesting, retention, no-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import FakeClock, NOOP_SPAN, NOOP_TRACER, Tracer
+
+
+def test_fake_clock_rejects_backwards_motion():
+    clock = FakeClock()
+    clock.advance(1.0)
+    with pytest.raises(ValueError):
+        clock.advance(-0.5)
+    with pytest.raises(ValueError):
+        clock.set(0.5)
+
+
+def test_span_duration_is_exact_under_fake_clock():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("work") as span:
+        clock.advance(0.75)
+    assert span.duration == pytest.approx(0.75)
+    assert span.start == pytest.approx(0.0)
+    assert span.end == pytest.approx(0.75)
+
+
+def test_nested_spans_form_a_tree_with_parent_ids():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.span("outer") as outer:
+        clock.advance(0.25)
+        with tracer.span("inner", points=10) as inner:
+            clock.advance(0.5)
+        clock.advance(0.25)
+    assert tracer.roots == [outer]
+    assert outer.children == [inner]
+    assert inner.parent_id == outer.span_id
+    assert outer.duration == pytest.approx(1.0)
+    assert inner.duration == pytest.approx(0.5)
+    assert inner.attributes == {"points": 10}
+
+
+def test_sibling_spans_share_a_parent():
+    tracer = Tracer(FakeClock())
+    with tracer.span("parent"):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    root = tracer.roots[0]
+    assert [c.name for c in root.children] == ["a", "b"]
+
+
+def test_span_set_merges_attributes():
+    tracer = Tracer(FakeClock())
+    with tracer.span("s", fixed=1) as span:
+        span.set(extra=2)
+        span.set(extra=3, more=4)
+    assert span.attributes == {"fixed": 1, "extra": 3, "more": 4}
+
+
+def test_find_and_iter_walk_depth_first():
+    tracer = Tracer(FakeClock())
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                pass
+    assert [s.name for s in tracer.iter_spans()] == ["a", "b", "c"]
+    assert tracer.find("c").name == "c"
+    assert tracer.find("missing") is None
+    assert tracer.roots[0].find("b").name == "b"
+
+
+def test_open_span_duration_is_zero():
+    tracer = Tracer(FakeClock())
+    ctx = tracer.span("open")
+    span = ctx.__enter__()
+    assert span.duration == 0.0
+    ctx.__exit__(None, None, None)
+
+
+def test_retention_cap_drops_spans_but_keeps_timing():
+    clock = FakeClock()
+    tracer = Tracer(clock, max_spans=2)
+    for _ in range(5):
+        with tracer.span("s") as span:
+            clock.advance(0.1)
+    assert tracer.span_count == 2
+    assert tracer.dropped == 3
+    assert len(tracer.roots) == 2
+    # The dropped span still timed correctly.
+    assert span.duration == pytest.approx(0.1)
+
+
+def test_clear_resets_retention():
+    tracer = Tracer(FakeClock())
+    with tracer.span("s"):
+        pass
+    tracer.clear()
+    assert tracer.roots == []
+    assert tracer.span_count == 0
+
+
+def test_out_of_order_exit_unwinds_to_the_matching_entry():
+    tracer = Tracer(FakeClock())
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer_span = outer.__enter__()
+    inner.__enter__()
+    # Close the outer span while the inner one is still open (generator leak).
+    outer.__exit__(None, None, None)
+    # The stack unwound; a fresh span becomes a root, not a child of inner.
+    with tracer.span("next") as next_span:
+        pass
+    assert next_span in tracer.roots
+    assert outer_span.end is not None
+
+
+def test_noop_tracer_hands_out_the_shared_span():
+    assert NOOP_TRACER.span("anything", points=1) is NOOP_SPAN
+    with NOOP_TRACER.span("s") as span:
+        span.set(k=1)
+    assert span.attributes == {}
+    assert list(NOOP_TRACER.iter_spans()) == []
+    assert NOOP_TRACER.find("s") is None
+    NOOP_TRACER.clear()
