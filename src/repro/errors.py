@@ -56,6 +56,31 @@ class QueryError(StorageError):
     """Raised for malformed queries (e.g. inverted time ranges)."""
 
 
+class InjectedFaultError(StorageError):
+    """A *recoverable* failure raised on purpose by ``repro.faults``.
+
+    Models an I/O error the engine must survive: a failed flush keeps its
+    memtable queued and retryable, a failed compaction leaves the old
+    sealed files in place.  Ordinary ``except Exception`` error handling is
+    allowed — and expected — to run.
+    """
+
+
+class InjectedCrashError(BaseException):
+    """A simulated *process death* raised by ``repro.faults``.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so no
+    ``except Exception`` cleanup path runs: after a real crash the process
+    does not get to tidy up, and recovery must work from whatever bytes
+    reached the disk.  Only the fault harness catches this.
+    """
+
+    def __init__(self, site: str, call: int) -> None:
+        super().__init__(f"injected crash at fault site {site!r} (call #{call})")
+        self.site = site
+        self.call = call
+
+
 class WorkloadError(ReproError):
     """Raised when a workload/dataset generator is configured inconsistently."""
 

@@ -11,6 +11,13 @@ Expected shape: bursts create long sorted backlog runs, so run-based
 algorithms (Timsort, Patience) get *relatively* stronger than under i.i.d.
 delays of equal inversion count, while Backward-Sort holds its lead as long
 as the outage span stays below the block size its search picks.
+
+``--faults PLAN`` turns the "system failure" framing literal: it runs the
+write path under a :mod:`repro.faults` plan (e.g.
+``wal.write:nth=500:torn`` or ``flush.perform:p=0.05:kind=fail:fires=inf``),
+recovers if the plan kills the engine, and reports whether every
+acknowledged write survived — the crash-consistency harness as a bench
+mode instead of a test.
 """
 
 from __future__ import annotations
@@ -47,7 +54,49 @@ def run(
     return rows
 
 
-def main(scale: str = "small") -> None:
+def run_fault_bench(plan_spec: str, scale: str = "small", seed: int = 0):
+    """Run the write-path workload under a fault plan and check recovery.
+
+    Returns the :class:`repro.faults.harness.CrashCaseResult`; the engine
+    state (recovered, if the plan crashed it) is verified point-for-point
+    against the acknowledged-write oracle.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.faults.harness import FaultWorkload, run_fault_plan
+    from repro.faults.plan import FaultPlan
+
+    # Bench workloads sort millions of points; crash cases replay the whole
+    # write path per run, so cap the fault workload at a tractable size.
+    points = min(scale_points(scale, ALGORITHM_SCALE_POINTS), 5_000)
+    workload = FaultWorkload(points=points, flush_threshold=200, seed=seed)
+    plan = FaultPlan.parse(plan_spec, seed=seed)
+    root = Path(tempfile.mkdtemp(prefix="repro-fault-bench-"))
+    return run_fault_plan(workload, plan, root)
+
+
+def main(scale: str = "small", faults: str | None = None) -> None:
+    if faults is not None:
+        result = run_fault_bench(faults, scale=scale)
+        print_table(
+            ("site", "call", "kind", "fired", "acked", "recovered", "violations"),
+            [(
+                result.site,
+                result.nth,
+                result.kind,
+                result.fired,
+                result.acked_points,
+                result.recovered_points,
+                len(result.violations),
+            )],
+            title=f"Extension — write path under fault plan {faults!r}",
+        )
+        for violation in result.violations:
+            print(f"  VIOLATION: {violation}")
+        if result.violations:
+            raise SystemExit(1)
+        return
     rows = run(scale=scale)
     print_table(
         SORT_TABLE_HEADERS,
@@ -58,4 +107,19 @@ def main(scale: str = "small") -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", default="small", choices=sorted(ALGORITHM_SCALE_POINTS)
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="PLAN",
+        default=None,
+        help="repro.faults plan spec, e.g. 'wal.write:nth=500:torn' "
+        "(see docs/FAULTS.md); runs the write path under the plan "
+        "instead of the sorter sweep",
+    )
+    args = parser.parse_args()
+    main(scale=args.scale, faults=args.faults)

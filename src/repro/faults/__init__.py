@@ -1,0 +1,57 @@
+"""repro.faults — deterministic fault injection + crash-consistency harness.
+
+The paper's separation policy exists because real ingestion is messy
+("extreme delays like system recovery from failure", §II); this package
+is how the repo *provokes* that mess on demand instead of hand-crafting
+corrupt byte strings:
+
+* :class:`FaultPlan` / :class:`FaultRule` — seeded, deterministic trigger
+  rules (nth-call, probability, predicate) for named fault sites;
+* :class:`FaultInjector` — evaluated by the engine's write path at sites
+  like ``wal.write``, ``sink.write``, ``flush.perform``, ``flush.seal``,
+  ``wal.drop``, ``compact.swap``, ``compact.unlink``, ``clock``;
+* :class:`FaultyFile` — fault-aware file wrapper with an explicit
+  durable-vs-pending byte model (torn and partial writes);
+* :class:`FaultyClock` — skew/jumps through the ``repro.obs.clock`` seam;
+* :class:`CrashSimulator` — snapshot the on-disk state at the fault point
+  and recover via ``StorageEngine.open``;
+* :mod:`repro.faults.harness` — the crash-consistency harness: a seeded
+  workload against an in-memory oracle, an exhaustive (bounded) nth-call
+  crash sweep over every reachable site, and prefix-consistency checks
+  (imported lazily here because it sits *above* the engine).
+
+See docs/FAULTS.md for the site catalogue and the harness's guarantees.
+"""
+
+from repro.faults.clock import FaultyClock
+from repro.faults.files import FaultyFile
+from repro.faults.injector import NOOP_INJECTOR, FaultInjector, NoopInjector
+from repro.faults.plan import KINDS, FaultPlan, FaultRule, FiredFault
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "KINDS",
+    "FaultInjector",
+    "NoopInjector",
+    "NOOP_INJECTOR",
+    "FaultyFile",
+    "FaultyClock",
+    "CrashSimulator",
+    "OracleModel",
+]
+
+
+def __getattr__(name: str):
+    # CrashSimulator/OracleModel import the engine layer; load them lazily
+    # so `repro.iotdb.engine` can import this package without a cycle.
+    if name == "CrashSimulator":
+        from repro.faults.crash import CrashSimulator
+
+        return CrashSimulator
+    if name == "OracleModel":
+        from repro.faults.oracle import OracleModel
+
+        return OracleModel
+    raise AttributeError(f"module 'repro.faults' has no attribute {name!r}")

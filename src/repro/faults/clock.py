@@ -1,0 +1,41 @@
+"""FaultyClock: clock skew and jumps through the ``repro.obs.clock`` seam.
+
+Every timed surface in the project reads time through an injectable
+:class:`repro.obs.Clock` (see docs/OBSERVABILITY.md), which makes clock
+misbehaviour a one-line fault to inject: wrap the base clock and hand the
+wrapper to ``Observability(clock=...)``.  Each read consults the fault
+plan at the ``clock`` site; a ``jump`` rule advances the clock by its
+``arg`` seconds (an NTP step, a VM migration stall becoming visible at
+once).  The result is clamped monotonic — the :class:`Clock` contract is
+that readings are only meaningfully subtracted and never go backwards —
+so negative ``arg`` values model a *stalled* clock (readings freeze until
+real time catches up) rather than time travel.
+"""
+
+from __future__ import annotations
+
+from repro.obs.clock import Clock
+
+
+class FaultyClock(Clock):
+    """Wraps a base clock, applying plan-driven jumps; never runs backwards."""
+
+    def __init__(self, base: Clock, injector) -> None:
+        self._base = base
+        self._injector = injector
+        self._offset = 0.0
+        self._last = float("-inf")
+
+    def now(self) -> float:
+        self._offset += self._injector.clock_offset("clock")
+        reading = self._base.now() + self._offset
+        if reading < self._last:
+            # A negative jump stalls the clock instead of reversing it.
+            reading = self._last
+        self._last = reading
+        return reading
+
+    @property
+    def offset(self) -> float:
+        """Cumulative injected skew in seconds."""
+        return self._offset

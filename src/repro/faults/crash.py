@@ -1,0 +1,54 @@
+"""CrashSimulator: capture the on-disk state at a fault point, reopen from it.
+
+When an :class:`repro.errors.InjectedCrashError` escapes the engine, the
+process is — by simulation — dead: nothing it would have done next
+happened, and the only truth left is what reached the filesystem.  The
+simulator copies the engine's ``data_dir`` *as the filesystem sees it*
+(bytes still pending in a :class:`repro.faults.files.FaultyFile` buffer
+were never flushed and are naturally absent) into a snapshot directory,
+then reopens a fresh engine over the snapshot with
+:meth:`StorageEngine.open` — the exact code path a real restart takes.
+
+Snapshotting instead of reopening in place keeps the crashed engine's
+still-open file handles from interfering and lets one workload produce
+many independent crash points.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import replace
+from pathlib import Path
+
+
+class CrashSimulator:
+    """Snapshot ``data_dir`` at a fault point and recover an engine from it."""
+
+    def __init__(self, data_dir: str | Path, snapshot_dir: str | Path) -> None:
+        self.data_dir = Path(data_dir)
+        self.snapshot_dir = Path(snapshot_dir)
+
+    def snapshot(self) -> Path:
+        """Copy the current on-disk state; returns the snapshot directory."""
+        if self.snapshot_dir.exists():
+            shutil.rmtree(self.snapshot_dir)
+        self.snapshot_dir.mkdir(parents=True)
+        for path in sorted(self.data_dir.iterdir()):
+            if path.is_file():
+                shutil.copyfile(path, self.snapshot_dir / path.name)
+        return self.snapshot_dir
+
+    def reopen(self, config, *, sorter=None, obs=None, faults=None):
+        """``StorageEngine.open`` over the snapshot (crash-recovery path).
+
+        ``config`` is the crashed engine's config; its ``data_dir`` is
+        re-pointed at the snapshot.  Call :meth:`snapshot` first.
+        """
+        from repro.iotdb.engine import StorageEngine
+
+        if not self.snapshot_dir.exists():
+            self.snapshot()
+        recovered_config = replace(config, data_dir=self.snapshot_dir)
+        return StorageEngine.open(
+            recovered_config, sorter=sorter, obs=obs, faults=faults
+        )

@@ -1,0 +1,94 @@
+"""FaultyFile: a fault-aware file wrapper with explicit durability.
+
+Wraps a real binary file and models the write path the way crash
+consistency actually works: bytes passed to :meth:`write` sit in a
+*pending* buffer and only become durable when something calls
+:meth:`flush` (or reads/seeks, which force a commit, as an OS would make
+buffered bytes visible to readers).  A simulated crash simply abandons
+the wrapper — pending bytes never reach the file, exactly like a process
+dying with a dirty user-space buffer.  This makes torn-write experiments
+deterministic across platforms and Python buffer sizes.
+
+The wrapper is for *append-structured* files (WAL segments, TsFile
+sinks): pending bytes always commit at the end of the file, so reads may
+seek freely in between without corrupting the append position.
+
+On every write the wrapper consults its injector at the wrapped site
+(e.g. ``wal.write``, ``sink.write``); a ``torn`` rule commits only a
+prefix of the in-flight bytes before crashing, a ``crash`` rule crashes
+before any byte lands, a ``fail`` rule raises a recoverable error.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+class FaultyFile:
+    """Binary file wrapper routing writes through a fault injector."""
+
+    def __init__(self, inner, injector, site: str) -> None:
+        self._inner = inner
+        self._injector = injector
+        self._site = site
+        self._pending = bytearray()
+
+    # -- durability model --------------------------------------------------
+
+    def _commit(self) -> None:
+        """Append pending bytes to the real file and flush them to the OS."""
+        if self._pending:
+            self._inner.seek(0, io.SEEK_END)
+            self._inner.write(bytes(self._pending))
+            self._pending.clear()
+        self._inner.flush()
+
+    def write(self, data) -> int:
+        data = bytes(data)
+        keep, crash = self._injector.on_write(self._site, len(data))
+        if keep >= len(data) and not crash:
+            self._pending.extend(data)
+            return len(data)
+        # Torn write: the kept prefix reached the disk (commit it), the
+        # rest never did; then the process dies.
+        self._pending.extend(data[:keep])
+        self._commit()
+        self._injector.crash(self._site)
+        return keep  # pragma: no cover - crash() always raises
+
+    def flush(self) -> None:
+        self._commit()
+
+    # -- read side (used by TsFileReader after seal, replay after rotate) --
+
+    def read(self, size: int = -1):
+        self._commit()
+        return self._inner.read(size)
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        self._commit()
+        return self._inner.seek(offset, whence)
+
+    def tell(self) -> int:
+        self._commit()
+        return self._inner.tell()
+
+    def truncate(self, size: int | None = None) -> int:
+        self._commit()
+        return self._inner.truncate(size)
+
+    def close(self) -> None:
+        """A *clean* close commits pending bytes (normal process exit)."""
+        self._commit()
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    def pending_bytes(self) -> int:
+        """Bytes written but not yet durable (lost if a crash happens now)."""
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultyFile site={self._site!r} pending={len(self._pending)}B>"

@@ -1,0 +1,166 @@
+"""FaultInjector: the object the write path consults at every fault site.
+
+The engine (and compaction, and the WAL's file wrapper) hold one injector
+and call it at named sites; the injector asks its :class:`~repro.faults.plan.FaultPlan`
+whether to fire and, when it does, raises the matching exception —
+:class:`repro.errors.InjectedCrashError` for simulated process death,
+:class:`repro.errors.InjectedFaultError` for recoverable I/O failures —
+after recording the event in the injected :class:`repro.obs.Observability`
+(``faults_injected_total{site,kind}`` counter + a ``fault.injected`` span).
+
+:data:`NOOP_INJECTOR` is the shared all-off twin the engine uses by
+default: every hook is a cheap no-op and ``wrap_file`` returns the file
+unchanged, so production paths pay one method call per site.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InjectedCrashError, InjectedFaultError
+from repro.faults.files import FaultyFile
+from repro.faults.plan import FaultPlan, FaultRule, FiredFault
+from repro.obs import NOOP, Observability
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at named sites and injects faults."""
+
+    def __init__(self, plan: FaultPlan | None = None, *, obs: Observability = NOOP) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self.obs = obs
+        #: Every fault actually injected, in order.
+        self.fired: list[FiredFault] = []
+        #: While False every hook is inert (see :meth:`disarm`).
+        self.armed = True
+        self._counter = obs.registry.counter(
+            "faults_injected_total",
+            "faults injected by repro.faults, by site and kind",
+            ("site", "kind"),
+        )
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _record(self, site: str, rule: FaultRule) -> int:
+        call = self.plan.calls[site]
+        self.fired.append(FiredFault(site=site, call=call, kind=rule.kind, rule=rule))
+        self._counter.labels(site=site, kind=rule.kind).inc()
+        with self.obs.span("fault.injected", site=site, call=call, kind=rule.kind):
+            pass
+        return call
+
+    def crash(self, site: str) -> None:
+        """Unconditional simulated process death (used by FaultyFile)."""
+        raise InjectedCrashError(site, self.plan.calls.get(site, 0))
+
+    # -- site hooks --------------------------------------------------------
+
+    def disarm(self) -> None:
+        """Stop injecting; ``fired`` history survives.
+
+        The harness calls this once the workload is over: plans describe
+        faults *during* the run, while post-run verification and cleanup
+        (drain, close) must execute on healthy machinery — otherwise a
+        ``fires=inf`` rule fails the checker itself.
+        """
+        self.armed = False
+
+    def crash_point(self, site: str, **context) -> None:
+        """A place the process can die; fires only ``crash`` rules."""
+        if not self.armed:
+            return
+        rule = self.plan.decide(site, context)
+        if rule is not None and rule.kind in ("crash", "torn"):
+            call = self._record(site, rule)
+            raise InjectedCrashError(site, call)
+
+    def fail_point(self, site: str, **context) -> None:
+        """A place an operation can fail recoverably; ``fail`` rules raise
+        :class:`InjectedFaultError`, ``crash`` rules still kill the process."""
+        if not self.armed:
+            return
+        rule = self.plan.decide(site, context)
+        if rule is None:
+            return
+        call = self._record(site, rule)
+        if rule.kind == "fail":
+            raise InjectedFaultError(
+                f"injected failure at fault site {site!r} (call #{call})"
+            )
+        if rule.kind in ("crash", "torn"):
+            raise InjectedCrashError(site, call)
+
+    def on_write(self, site: str, nbytes: int) -> tuple[int, bool]:
+        """Decision for one file write: (bytes to keep, crash afterwards?)."""
+        if not self.armed:
+            return nbytes, False
+        rule = self.plan.decide(site, {"nbytes": nbytes})
+        if rule is None:
+            return nbytes, False
+        call = self._record(site, rule)
+        if rule.kind == "fail":
+            raise InjectedFaultError(
+                f"injected write failure at fault site {site!r} (call #{call})"
+            )
+        if rule.kind == "torn":
+            keep = max(0, min(nbytes - 1, int(nbytes * rule.arg)))
+            return keep, True
+        return 0, True  # crash before any byte lands
+
+    def clock_offset(self, site: str = "clock") -> float:
+        """Extra seconds a fault-aware clock should jump forward right now."""
+        if not self.armed:
+            return 0.0
+        rule = self.plan.decide(site, None)
+        if rule is None or rule.kind != "jump":
+            return 0.0
+        self._record(site, rule)
+        return rule.arg
+
+    # -- wiring helpers ----------------------------------------------------
+
+    def wrap_file(self, fileobj, site: str) -> FaultyFile:
+        """Interpose this injector on every byte written to ``fileobj``."""
+        return FaultyFile(fileobj, self, site)
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<FaultInjector plan=[{self.plan.describe()}] fired={len(self.fired)}>"
+
+
+class NoopInjector:
+    """All-off twin: one no-op method call per fault site."""
+
+    plan = None
+    fired: tuple = ()
+    armed = False
+
+    def disarm(self) -> None:
+        pass
+
+    def crash_point(self, site: str, **context) -> None:
+        pass
+
+    def fail_point(self, site: str, **context) -> None:
+        pass
+
+    def on_write(self, site: str, nbytes: int) -> tuple[int, bool]:
+        return nbytes, False
+
+    def clock_offset(self, site: str = "clock") -> float:
+        return 0.0
+
+    def wrap_file(self, fileobj, site: str):
+        return fileobj
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<NoopInjector>"
+
+
+#: Shared no-op injector; the engine's default when no faults are injected.
+NOOP_INJECTOR = NoopInjector()

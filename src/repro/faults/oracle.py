@@ -1,0 +1,44 @@
+"""OracleModel: the trivially-correct in-memory twin of the storage engine.
+
+One dict per (device, sensor) column mapping timestamp → freshest value —
+exactly the overwrite semantics the engine implements with memtables,
+sealed files, separation and compaction.  The differential test
+(`tests/faults/test_oracle_differential.py`) pins ``StorageEngine.query``
+point-for-point against this model on fault-free workloads; the crash
+harness then reuses it as ground truth for what *must* survive a crash.
+"""
+
+from __future__ import annotations
+
+
+class OracleModel:
+    """Last-write-wins columns; the harness's ground truth."""
+
+    def __init__(self) -> None:
+        self._columns: dict[tuple[str, str], dict[int, object]] = {}
+
+    def write(self, device: str, sensor: str, timestamp: int, value) -> None:
+        self._columns.setdefault((device, sensor), {})[timestamp] = value
+
+    def query(
+        self, device: str, sensor: str, start: int, end: int
+    ) -> tuple[list[int], list]:
+        """``SELECT *`` over ``[start, end)``: sorted timestamps + values."""
+        column = self._columns.get((device, sensor), {})
+        ts = sorted(t for t in column if start <= t < end)
+        return ts, [column[t] for t in ts]
+
+    def column(self, device: str, sensor: str) -> dict[int, object]:
+        """The raw timestamp → value map (a copy) for one column."""
+        return dict(self._columns.get((device, sensor), {}))
+
+    def columns(self) -> list[tuple[str, str]]:
+        return sorted(self._columns)
+
+    def total_points(self) -> int:
+        return sum(len(c) for c in self._columns.values())
+
+    def copy(self) -> "OracleModel":
+        clone = OracleModel()
+        clone._columns = {key: dict(col) for key, col in self._columns.items()}
+        return clone

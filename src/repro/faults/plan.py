@@ -1,0 +1,183 @@
+"""FaultPlan: deterministic, seeded trigger rules for named fault sites.
+
+A plan is a list of :class:`FaultRule` objects plus a seeded
+``random.Random``.  Every visit to a fault site asks the plan to
+:meth:`~FaultPlan.decide`; the plan counts the call (the per-site call
+counters are what the crash sweep enumerates) and returns the first rule
+that triggers, if any.  Trigger modes:
+
+* ``nth`` — fire on exactly the nth visit to the site (1-based);
+* ``probability`` — fire with probability p per visit, drawn from the
+  plan's seeded RNG, so a given seed reproduces the same fault sequence;
+* ``predicate`` — fire when a callable over the site's context says so.
+
+What *happens* when a rule fires is its ``kind``:
+
+* ``crash`` — simulated process death (:class:`repro.errors.InjectedCrashError`);
+* ``torn`` — commit only a prefix of the in-flight file write, then crash
+  (``arg`` is the fraction of bytes kept);
+* ``fail`` — a recoverable I/O error (:class:`repro.errors.InjectedFaultError`);
+* ``jump`` — advance the fault-aware clock by ``arg`` seconds.
+
+Plans parse from compact command-line specs (see :meth:`FaultPlan.parse`)::
+
+    wal.write:nth=3:kind=torn:arg=0.5
+    flush.perform:p=0.01:kind=fail:fires=inf
+    sink.write:nth=7,clock:nth=2:kind=jump:arg=30
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Callable
+
+from repro.errors import InvalidParameterError
+
+KINDS = ("crash", "torn", "fail", "jump")
+
+
+@dataclass
+class FaultRule:
+    """One trigger rule: when to fire at a site, and what fault to inject."""
+
+    site: str
+    kind: str = "crash"
+    nth: int | None = None
+    probability: float | None = None
+    predicate: Callable[[dict], bool] | None = None
+    arg: float = 0.5
+    max_fires: int | None = 1
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise InvalidParameterError(
+                f"fault kind must be one of {KINDS}, got {self.kind!r}"
+            )
+        if self.nth is not None and self.nth < 1:
+            raise InvalidParameterError(f"nth is 1-based, got {self.nth}")
+        if self.probability is not None and not (0.0 <= self.probability <= 1.0):
+            raise InvalidParameterError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def matches_site(self, site: str) -> bool:
+        """Exact match, or glob-style (``sink.*`` matches ``sink.write``)."""
+        return self.site == site or fnmatchcase(site, self.site)
+
+    def describe(self) -> str:
+        trigger = (
+            f"nth={self.nth}"
+            if self.nth is not None
+            else f"p={self.probability}"
+            if self.probability is not None
+            else "predicate"
+            if self.predicate is not None
+            else "always"
+        )
+        return f"{self.site}:{trigger}:kind={self.kind}"
+
+
+@dataclass
+class FiredFault:
+    """Record of one injected fault (kept by the injector for assertions)."""
+
+    site: str
+    call: int
+    kind: str
+    rule: FaultRule
+
+
+class FaultPlan:
+    """Seeded rule set deciding, per fault-site visit, whether to inject."""
+
+    def __init__(self, rules: list[FaultRule] | tuple = (), seed: int = 0) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        self.rng = random.Random(seed)
+        #: Visits per site — populated even with no rules, which is how the
+        #: crash sweep discovers every reachable site and its call count.
+        self.calls: dict[str, int] = {}
+
+    def decide(self, site: str, context: dict | None = None) -> FaultRule | None:
+        """Count this visit and return the rule that fires, if any."""
+        n = self.calls.get(site, 0) + 1
+        self.calls[site] = n
+        for rule in self.rules:
+            if not rule.matches_site(site):
+                continue
+            if rule.max_fires is not None and rule.fired >= rule.max_fires:
+                continue
+            if rule.nth is not None and n != rule.nth:
+                continue
+            if rule.probability is not None and self.rng.random() >= rule.probability:
+                continue
+            if rule.predicate is not None and not rule.predicate(context or {}):
+                continue
+            rule.fired += 1
+            return rule
+        return None
+
+    def reset(self) -> None:
+        """Back to the initial state (counters, RNG, per-rule fire counts)."""
+        self.calls = {}
+        self.rng = random.Random(self.seed)
+        for rule in self.rules:
+            rule.fired = 0
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Build a plan from a compact spec string.
+
+        ``spec`` is a comma-separated list of rules; each rule is a site
+        name followed by colon-separated options: ``nth=N``, ``p=F``,
+        ``kind=K`` (or a bare kind name), ``arg=F``, ``fires=N|inf``.
+        """
+        rules: list[FaultRule] = []
+        for chunk in spec.split(","):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            parts = chunk.split(":")
+            site, options = parts[0].strip(), parts[1:]
+            if not site:
+                raise InvalidParameterError(f"empty fault site in rule {chunk!r}")
+            kwargs: dict = {"site": site}
+            for option in options:
+                option = option.strip()
+                if option in KINDS:
+                    kwargs["kind"] = option
+                    continue
+                key, sep, value = option.partition("=")
+                if not sep:
+                    raise InvalidParameterError(
+                        f"bad fault option {option!r} in rule {chunk!r}"
+                    )
+                try:
+                    if key == "nth":
+                        kwargs["nth"] = int(value)
+                    elif key in ("p", "probability"):
+                        kwargs["probability"] = float(value)
+                    elif key == "kind":
+                        kwargs["kind"] = value
+                    elif key == "arg":
+                        kwargs["arg"] = float(value)
+                    elif key == "fires":
+                        kwargs["max_fires"] = None if value == "inf" else int(value)
+                    else:
+                        raise InvalidParameterError(
+                            f"unknown fault option {key!r} in rule {chunk!r}"
+                        )
+                except ValueError:
+                    raise InvalidParameterError(
+                        f"bad value {value!r} for {key!r} in rule {chunk!r}"
+                    ) from None
+            rules.append(FaultRule(**kwargs))
+        if not rules:
+            raise InvalidParameterError(f"fault plan spec {spec!r} contains no rules")
+        return cls(rules, seed=seed)
+
+    def describe(self) -> str:
+        return "; ".join(rule.describe() for rule in self.rules) or "<no rules>"

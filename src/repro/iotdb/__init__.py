@@ -24,7 +24,7 @@ from repro.iotdb.tsfile import (
     TsFileReader,
     TsFileWriter,
 )
-from repro.iotdb.tvlist import TVList, dedupe_sorted
+from repro.iotdb.tvlist import TVList, dedupe_arrival, dedupe_sorted
 from repro.iotdb.typed_tvlists import (
     BooleanTVList,
     DoubleTVList,
@@ -35,7 +35,7 @@ from repro.iotdb.typed_tvlists import (
     infer_dtype,
     tvlist_for,
 )
-from repro.iotdb.wal import WriteAheadLog
+from repro.iotdb.wal import SegmentedWal, WriteAheadLog
 
 __all__ = [
     "AGGREGATIONS",
@@ -66,6 +66,7 @@ __all__ = [
     "ParsedQuery",
     "Session",
     "Space",
+    "SegmentedWal",
     "StorageEngine",
     "TSDataType",
     "TVList",
@@ -74,6 +75,7 @@ __all__ = [
     "TsFileReader",
     "TsFileWriter",
     "WriteAheadLog",
+    "dedupe_arrival",
     "dedupe_sorted",
     "flush_memtable",
     "get_encoder",

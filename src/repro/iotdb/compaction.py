@@ -16,7 +16,6 @@ the aggregation statistics fast path.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 
 from repro.iotdb.separation import Space
@@ -93,10 +92,17 @@ def compact(engine) -> CompactionReport:
             points += len(ts)
         writer.close()
 
-        from repro.iotdb.tsfile import TsFileReader
-
-        new_sealed.reader = TsFileReader(new_sealed.buffer)
-        engine._replace_sealed([new_sealed] if points else [])
+        if points:
+            # Seal the merged file *before* unlinking its inputs: a crash
+            # between the two leaves overlapping sequence files, which the
+            # query merge tolerates (later file wins) and the aggregation
+            # fast path detects — duplicated work, never lost data.
+            engine._seal_sink(new_sealed)
+            engine.faults.crash_point("compact.swap")
+            engine._replace_sealed([new_sealed])
+        else:
+            engine._discard_sink(new_sealed)
+            engine._replace_sealed([])
     engine._instruments.compaction_seconds.observe(timer.seconds)
     return CompactionReport(
         files_before=len(sealed),

@@ -11,16 +11,30 @@ separation policy.
 Query path: a time-range query merges sealed files and live memtables; the
 working memtable must be sorted first, putting the sorter on the query's
 critical path — the effect the paper's system experiments measure.
+
+Crash consistency (exercised by the ``repro.faults`` harness): every
+operation that can die mid-way leaves a recoverable disk state.  Sinks are
+written under a ``.tsfile.part`` name and renamed into place only after
+their bytes are flushed (a torn flush leaves garbage ``open()`` discards,
+never a torn TsFile); each retired memtable is covered by its own WAL
+segment(s), dropped only once that memtable is sealed (truncating a shared
+log lost acknowledged writes); a failed flush keeps its memtable queued
+and retryable.  Named fault sites (``wal.write``, ``sink.write``,
+``flush.perform``, ``flush.seal``, ``flush.sealed``, ``wal.rotate``,
+``wal.drop``, ``compact.swap``, ``compact.unlink``) thread through these
+steps via the injected :class:`repro.faults.FaultInjector`.
 """
 
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.sorter import Sorter
 from repro.errors import StorageError
+from repro.faults.injector import NOOP_INJECTOR
 from repro.iotdb.config import IoTDBConfig
 from repro.iotdb.engine_metrics import EngineInstruments, EngineMetrics
 from repro.iotdb.flush import FlushReport, flush_memtable
@@ -28,7 +42,7 @@ from repro.iotdb.memtable import MemTable
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
 from repro.iotdb.separation import SeparationPolicy, Space
 from repro.iotdb.tsfile import TsFileReader, TsFileWriter
-from repro.iotdb.wal import WriteAheadLog
+from repro.iotdb.wal import SegmentedWal
 from repro.obs import Observability, metrics_only
 from repro.sorting.registry import get_sorter
 
@@ -41,6 +55,22 @@ class _SealedFile:
     reader: TsFileReader
     path: Path | None = None
     buffer: io.BytesIO | None = None
+    #: Temporary name the sink is written under until sealed (on-disk only).
+    part_path: Path | None = None
+
+
+@dataclass
+class _FlushTask:
+    """One FLUSHING memtable queued for the flush pipeline."""
+
+    space: Space
+    memtable: MemTable
+    #: WAL segment ids covering exactly this memtable's points; dropped
+    #: only after the memtable is sealed into a TsFile.
+    wal_segments: list[int] = field(default_factory=list)
+    #: True when sealing this memtable releases a crash-recovery hold on
+    #: the replayed WAL segments (see ``StorageEngine.open``).
+    releases_recovery_hold: bool = False
 
 
 def _combine_aggregates(partials: list):
@@ -92,6 +122,7 @@ class StorageEngine:
         sorter: Sorter | None = None,
         *,
         obs: Observability | None = None,
+        faults=None,
     ) -> None:
         self.config = config if config is not None else IoTDBConfig()
         # Default: a per-engine metrics-only Observability, so the metrics
@@ -99,6 +130,9 @@ class StorageEngine:
         # Observability() for tracing too, or repro.obs.NOOP to disable
         # metrics entirely.
         self.obs = obs if obs is not None else metrics_only()
+        # Fault injection seam (repro.faults); the shared no-op costs one
+        # method call per site.
+        self.faults = faults if faults is not None else NOOP_INJECTOR
         if sorter is not None:
             self.sorter = sorter
         else:
@@ -108,7 +142,7 @@ class StorageEngine:
             Space.SEQUENCE: MemTable(self.config, obs=self.obs),
             Space.UNSEQUENCE: MemTable(self.config, obs=self.obs),
         }
-        self._flushing: list[tuple[Space, MemTable]] = []
+        self._flushing: list[_FlushTask] = []
         self._sealed: list[_SealedFile] = []
         self._file_counter = 0
         self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
@@ -117,22 +151,31 @@ class StorageEngine:
         self.metrics = EngineMetrics(self._instruments, self._flush_reports)
         if self.config.data_dir is not None:
             Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
-        self._wals: dict[Space, WriteAheadLog] | None = None
+        # WAL segments recovered by open() that must survive until every
+        # memtable holding their replayed points has been sealed.
+        self._recovery_segments: dict[Space, list[int]] = {}
+        self._recovery_holds: set[Space] = set()
+        self._wals: dict[Space, SegmentedWal] | None = None
         if self.config.wal_enabled:
             if self.config.data_dir is not None:
-                # Fresh-start semantics: the constructor truncates any WAL
+                # Fresh-start semantics: the constructor deletes any WAL
                 # segments left behind; use StorageEngine.open() to recover
                 # them instead.
                 self._wals = {
-                    space: WriteAheadLog(
-                        open(Path(self.config.data_dir) / f"wal-{space.value}.log", "wb+")
+                    space: SegmentedWal.on_disk(
+                        Path(self.config.data_dir),
+                        space.value,
+                        fresh=True,
+                        wrap=self.faults.wrap_file,
                     )
                     for space in (Space.SEQUENCE, Space.UNSEQUENCE)
                 }
             else:
                 self._wals = {
-                    Space.SEQUENCE: WriteAheadLog(),
-                    Space.UNSEQUENCE: WriteAheadLog(),
+                    space: SegmentedWal.in_memory(
+                        space.value, wrap=self.faults.wrap_file
+                    )
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
                 }
 
     # -- write path ----------------------------------------------------------
@@ -147,7 +190,11 @@ class StorageEngine:
         return self._flush_reports
 
     def write(self, device: str, sensor: str, timestamp: int, value) -> None:
-        """Ingest one point; may trigger a synchronous flush."""
+        """Ingest one point; may trigger a synchronous flush.
+
+        The WAL append is flushed before the memtable accepts the point,
+        so a write is durable by the time this method returns.
+        """
         space = self.separation.route(device, timestamp)
         with self.obs.span("engine.write", space=space.value):
             if self._wals is not None:
@@ -172,65 +219,133 @@ class StorageEngine:
     # -- flushing --------------------------------------------------------------
 
     def _new_sink(self, space: Space) -> tuple[TsFileWriter, _SealedFile]:
+        """A fresh sink; on disk it is written under a ``.part`` name until
+        sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
         self._file_counter += 1
         if self.config.data_dir is None:
             buffer = io.BytesIO()
             return TsFileWriter(buffer), _SealedFile(space=space, reader=None, buffer=buffer)
         path = Path(self.config.data_dir) / f"{space.value}-{self._file_counter:06d}.tsfile"
-        handle = open(path, "wb+")
-        return TsFileWriter(handle), _SealedFile(space=space, reader=None, path=path, buffer=handle)
+        part = path.with_name(path.name + ".part")
+        handle = self.faults.wrap_file(open(part, "wb+"), site="sink.write")
+        return TsFileWriter(handle), _SealedFile(
+            space=space, reader=None, path=path, buffer=handle, part_path=part
+        )
 
-    def _retire_working(self, space: Space) -> MemTable | None:
+    def _seal_sink(self, sealed: _SealedFile) -> None:
+        """Flush a closed writer's bytes and atomically publish the file."""
+        sealed.buffer.flush()
+        self.faults.crash_point("flush.seal", space=sealed.space.value)
+        if sealed.part_path is not None:
+            os.replace(sealed.part_path, sealed.path)
+            sealed.part_path = None
+            self.faults.crash_point("flush.sealed", space=sealed.space.value)
+        sealed.reader = TsFileReader(sealed.buffer)
+
+    def _discard_sink(self, sealed: _SealedFile) -> None:
+        """Drop a partially written sink after a recoverable failure."""
+        if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
+            try:
+                sealed.buffer.close()
+            except OSError:
+                pass
+        if sealed.part_path is not None:
+            sealed.part_path.unlink(missing_ok=True)
+
+    def _retire_working(self, space: Space) -> _FlushTask | None:
         """WORKING → FLUSHING: swap in a fresh memtable, enqueue the old one.
 
         The separation watermark advances here — once the memtable is
         immutable, "the current flushing time" (§II) is fixed, regardless of
-        when the sort-encode-write work actually happens.
+        when the sort-encode-write work actually happens.  The WAL rotates
+        in the same step, so the sealed segment covers exactly the retired
+        memtable's points.
         """
         memtable = self._working[space]
         if memtable.total_points == 0:
             return None
         memtable.mark_flushing()
         self._working[space] = MemTable(self.config, obs=self.obs)
-        self._flushing.append((space, memtable))
+        segment_ids: list[int] = []
+        if self._wals is not None:
+            self.faults.crash_point("wal.rotate", space=space.value)
+            segment_ids = [self._wals[space].rotate()]
+        task = _FlushTask(
+            space=space,
+            memtable=memtable,
+            wal_segments=segment_ids,
+            releases_recovery_hold=space in self._recovery_holds,
+        )
+        self._flushing.append(task)
         if space is Space.SEQUENCE:
             for device, _sensor, tvlist in memtable.iter_chunks():
                 if tvlist.max_time is not None:
                     self.separation.update_watermark(device, tvlist.max_time)
-        return memtable
+        return task
 
-    def _perform_flush(self, space: Space, memtable: MemTable) -> FlushReport:
+    def _perform_flush(self, task: _FlushTask) -> FlushReport:
         """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
+        space, memtable = task.space, task.memtable
+        self.faults.fail_point("flush.perform", space=space.value)
         with self.obs.span("engine.flush", space=space.value) as span:
             writer, sealed = self._new_sink(space)
-            report = flush_memtable(
-                memtable, writer, self.sorter, self.config, obs=self.obs
-            )
-            sealed.reader = TsFileReader(sealed.buffer)
+            try:
+                report = flush_memtable(
+                    memtable, writer, self.sorter, self.config, obs=self.obs
+                )
+                self._seal_sink(sealed)
+            except Exception:
+                # A failed flush must leave the engine retryable: the
+                # memtable stays queued (still FLUSHING), its WAL segments
+                # stay live, and the partial sink is discarded.  A
+                # simulated crash (BaseException) skips this cleanup — a
+                # dead process cannot tidy up.
+                self._discard_sink(sealed)
+                raise
             self._sealed.append(sealed)
-            self._flushing.remove((space, memtable))
+            self._flushing.remove(task)
             if self._wals is not None:
-                self._wals[space].truncate()
+                for segment_id in task.wal_segments:
+                    self.faults.crash_point(
+                        "wal.drop", space=space.value, segment=segment_id
+                    )
+                    self._wals[space].drop(segment_id)
+            if task.releases_recovery_hold:
+                self._recovery_holds.discard(space)
+                if not self._recovery_holds:
+                    self._drop_recovery_segments()
             span.set(points=report.total_points, file_bytes=report.file_bytes)
         self._flush_reports.append(report)
         report.emit(self.obs, space=space.value, instruments=self._instruments)
         return report
 
+    def _drop_recovery_segments(self) -> None:
+        """Delete replayed WAL segments once their points are all sealed."""
+        if self._wals is None:
+            return
+        for space, segment_ids in self._recovery_segments.items():
+            for segment_id in segment_ids:
+                self.faults.crash_point(
+                    "wal.drop", space=space.value, segment=segment_id
+                )
+                self._wals[space].drop(segment_id)
+        self._recovery_segments = {}
+
     def _flush_space(self, space: Space) -> FlushReport | None:
-        memtable = self._retire_working(space)
-        if memtable is None:
+        task = self._retire_working(space)
+        if task is None:
             return None
         if self.config.deferred_flush:
             # Asynchronous mode: the memtable waits in the flushing queue;
             # drain_flushes() (or close) pays the cost later.
             return None
-        return self._perform_flush(space, memtable)
+        return self._perform_flush(task)
 
     def drain_flushes(self) -> list[FlushReport]:
         """Flush every queued FLUSHING memtable (the async worker's job)."""
         reports = []
-        for space, memtable in list(self._flushing):
-            reports.append(self._perform_flush(space, memtable))
+        for task in list(self._flushing):
+            reports.append(self._perform_flush(task))
         return reports
 
     def pending_flushes(self) -> int:
@@ -284,7 +399,7 @@ class StorageEngine:
             unseq_readers = [
                 f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
             ]
-            flushing = [m for _, m in self._flushing]
+            flushing = [task.memtable for task in self._flushing]
             # Both working memtables can hold in-range points; merge order makes
             # the sequence table freshest-but-one, the unsequence table holds
             # late rewrites of old timestamps.
@@ -367,27 +482,41 @@ class StorageEngine:
     def _fast_aggregation_safe(
         self, device: str, sensor: str, start: int, end: int
     ) -> bool:
-        """No source fresher than the sealed sequence files overlaps the range."""
+        """No source fresher than the sealed sequence files overlaps the range,
+        and the sequence files themselves are pairwise disjoint for this
+        column (crash recovery or an interrupted compaction can leave
+        overlapping sequence files whose per-file partial sums would
+        double-count)."""
         for space in (Space.SEQUENCE, Space.UNSEQUENCE):
             tvlist = self._working[space].chunk(device, sensor)
             if tvlist is not None and tvlist.overlaps(start, end):
                 return False
-        for _space, memtable in self._flushing:
-            tvlist = memtable.chunk(device, sensor)
+        for task in self._flushing:
+            tvlist = task.memtable.chunk(device, sensor)
             if tvlist is not None and tvlist.overlaps(start, end):
                 return False
+        seq_ranges: list[tuple[int, int]] = []
         for sealed in self._sealed:
-            if sealed.space is not Space.UNSEQUENCE:
-                continue
             meta = sealed.reader.chunk_metadata(device, sensor)
-            if meta is not None and meta.min_time < end and meta.max_time >= start:
+            if meta is None or meta.min_time is None:
+                continue
+            if sealed.space is Space.UNSEQUENCE:
+                if meta.min_time < end and meta.max_time >= start:
+                    return False
+            else:
+                seq_ranges.append((meta.min_time, meta.max_time))
+        seq_ranges.sort()
+        for i in range(1, len(seq_ranges)):
+            if seq_ranges[i][0] <= seq_ranges[i - 1][1]:
                 return False
         return True
 
     def latest_time(self, device: str, sensor: str) -> int | None:
         """Largest timestamp ever written for a column (benchmark helper)."""
         best: int | None = None
-        live_memtables = list(self._working.values()) + [m for _, m in self._flushing]
+        live_memtables = list(self._working.values()) + [
+            task.memtable for task in self._flushing
+        ]
         for memtable in live_memtables:
             tvlist = memtable.chunk(device, sensor)
             if tvlist is not None and tvlist.max_time is not None:
@@ -415,11 +544,18 @@ class StorageEngine:
         return report
 
     def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
-        """Swap the sealed-file set after a compaction, closing old handles."""
+        """Swap the sealed-file set after a compaction, closing old handles.
+
+        Crash-safe in any prefix: until an old file's unlink happens it
+        remains readable, and the compacted file supersedes it under the
+        query merge rule (later sequence files win), so dying between
+        unlinks leaves duplicated but never lost data.
+        """
         for old in self._sealed:
             if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
                 old.buffer.close()
             if old.path is not None:
+                self.faults.crash_point("compact.unlink", file=old.path.name)
                 old.path.unlink(missing_ok=True)
         self._sealed = new_sealed
 
@@ -479,15 +615,18 @@ class StorageEngine:
         """Replay WALs into the working memtables (crash-recovery path).
 
         Returns the number of replayed points.  Only meaningful on a fresh
-        engine constructed over the same WAL buffers.
+        engine constructed over the same WAL buffers.  Replayed points are
+        routed through the separation policy, so the sequence memtable
+        invariant (no point at or below the watermark) holds afterwards.
         """
         if self._wals is None:
             raise StorageError("WAL is disabled in this configuration")
         replayed = 0
         with self.obs.span("engine.wal_replay") as span:
-            for space, wal in self._wals.items():
+            for _space, wal in self._wals.items():
                 for device, sensor, timestamp, value in wal.replay():
-                    self._working[space].write(device, sensor, timestamp, value)
+                    target = self.separation.route(device, timestamp)
+                    self._working[target].write(device, sensor, timestamp, value)
                     replayed += 1
             span.set(points=replayed)
         self._instruments.points_written.inc(replayed)
@@ -501,25 +640,38 @@ class StorageEngine:
         sorter: Sorter | None = None,
         *,
         obs: Observability | None = None,
+        faults=None,
     ) -> "StorageEngine":
         """Reopen an on-disk engine after a restart (or crash).
 
         Scans ``config.data_dir`` for sealed TsFiles (space and write order
-        come from the ``<space>-<seq>.tsfile`` naming), rebuilds the sealed
-        readers, replays on-disk WAL segments into fresh working memtables
-        (torn tails tolerated), and re-derives the per-device separation
-        watermarks from the recovered sequence data so late points keep
-        routing correctly.
+        come from the ``<space>-<seq>.tsfile`` naming), discards ``.part``
+        sinks a crash left mid-write (their points are still covered by the
+        surviving WAL segments), rebuilds the sealed readers, replays every
+        on-disk WAL segment into fresh working memtables (torn tails
+        tolerated), and re-derives the per-device separation watermarks
+        from the recovered sequence data so late points keep routing
+        correctly.  Replayed segments are kept on disk until every memtable
+        holding their points has been sealed — only then is it safe to drop
+        them.
         """
         if config.data_dir is None:
             raise StorageError("StorageEngine.open requires a data_dir configuration")
         from dataclasses import replace
 
         # Construct without WALs so the fresh-start constructor does not
-        # truncate the on-disk segments we are about to replay.
-        engine = cls(replace(config, wal_enabled=False), sorter=sorter, obs=obs)
+        # delete the on-disk segments we are about to replay.
+        engine = cls(
+            replace(config, wal_enabled=False), sorter=sorter, obs=obs, faults=faults
+        )
         engine.config = config
         data_dir = Path(config.data_dir)
+
+        # A crash mid-flush or mid-compaction leaves a partially written
+        # sink under its .part name: never sealed, never readable, safe to
+        # discard.
+        for leftover in sorted(data_dir.glob("*.tsfile.part")):
+            leftover.unlink()
 
         for path in sorted(data_dir.glob("*.tsfile")):
             prefix, _, counter = path.stem.partition("-")
@@ -551,17 +703,34 @@ class StorageEngine:
             with engine.obs.span("engine.wal_replay") as span:
                 replayed = 0
                 for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                    wal_path = data_dir / f"wal-{space.value}.log"
-                    handle = (
-                        open(wal_path, "ab+") if wal_path.exists() else open(wal_path, "wb+")
+                    wal = SegmentedWal.on_disk(
+                        data_dir,
+                        space.value,
+                        fresh=False,
+                        wrap=engine.faults.wrap_file,
                     )
-                    wal = WriteAheadLog(handle)
                     engine._wals[space] = wal
+                    recovered_ids = wal.sealed_segment_ids()
+                    if recovered_ids:
+                        engine._recovery_segments[space] = recovered_ids
                     for device, sensor, timestamp, value in wal.replay():
-                        engine._working[space].write(device, sensor, timestamp, value)
+                        # Route through the rebuilt watermarks: a record
+                        # whose point is already sealed in sequence space
+                        # re-lands in the unsequence memtable, where the
+                        # overwrite rule makes the duplicate harmless.
+                        target = engine.separation.route(device, timestamp)
+                        engine._working[target].write(device, sensor, timestamp, value)
                         replayed += 1
-                    handle.seek(0, io.SEEK_END)
                 span.set(points=replayed)
+            engine._recovery_holds = {
+                space
+                for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                if engine._working[space].total_points > 0
+            }
+            if not engine._recovery_holds:
+                # Nothing replayed survives only in the WAL; the recovered
+                # segments are already covered by sealed files.
+                engine._drop_recovery_segments()
             engine._instruments.points_written.inc(replayed)
             engine._instruments.wal_replayed.inc(replayed)
         return engine

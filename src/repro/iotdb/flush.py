@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from repro.core.instrumentation import SortStats
 from repro.core.sorter import Sorter
 from repro.iotdb.config import IoTDBConfig
-from repro.iotdb.memtable import MemTable
+from repro.iotdb.memtable import MemTable, MemTableState
 from repro.iotdb.tvlist import dedupe_sorted
 from repro.iotdb.tsfile import TsFileWriter
 from repro.obs import NOOP, Observability
@@ -98,8 +98,10 @@ def flush_memtable(
     encode_total = 0.0
     with Timer(obs.clock) as total_timer:
         for device, sensor, tvlist in memtable.iter_chunks():
+            # Ingested count, before sort_in_place collapses duplicates.
+            ingested = len(tvlist)
             with obs.span(
-                "flush.chunk", device=device, sensor=sensor, points=len(tvlist)
+                "flush.chunk", device=device, sensor=sensor, points=ingested
             ) as chunk_span:
                 timed = tvlist.sort_in_place(sorter, obs=obs, site="flush")
                 ts = tvlist.timestamps()
@@ -137,7 +139,7 @@ def flush_memtable(
                     ChunkFlushReport(
                         device=device,
                         sensor=sensor,
-                        points=len(tvlist),
+                        points=ingested,
                         deduped_points=len(ts),
                         sort_seconds=timed.seconds,
                         encode_write_seconds=encode_timer.seconds,
@@ -146,7 +148,10 @@ def flush_memtable(
                     )
                 )
         file_bytes = writer.close()
-        memtable.mark_flushed()
+        # Idempotent on retry: a flush that died after this transition (e.g.
+        # the sink's seal failed) is re-run against a FLUSHED memtable.
+        if memtable.state is not MemTableState.FLUSHED:
+            memtable.mark_flushed()
     return FlushReport(
         total_points=memtable.total_points,
         sort_seconds=sort_total,

@@ -161,21 +161,37 @@ class TVList:
         vs = self.values()
         if self._sorted:
             return ts, vs, TimedResult(seconds=0.0, stats=SortStats())
+        ts, vs = dedupe_arrival(ts, vs)
         timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
         return ts, vs, timed
 
     def sort_in_place(
         self, sorter: Sorter, *, obs=None, site: str = "flush"
     ) -> TimedResult:
-        """Flush path: sort the backing arrays, returning timing + counters."""
+        """Flush path: sort the backing arrays, returning timing + counters.
+
+        Duplicate timestamps are collapsed (last arrival wins) *before* the
+        sort, physically shrinking the list — see :func:`dedupe_arrival` for
+        why this must happen pre-sort.
+        """
         if self._sorted:
             return TimedResult(seconds=0.0, stats=SortStats())
         ts = self.timestamps()
         vs = self.values()
+        ts, vs = dedupe_arrival(ts, vs)
         timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
+        self._shrink_to(len(ts))
         self._write_back(ts, vs)
         self._sorted = True
         return timed
+
+    def _shrink_to(self, size: int) -> None:
+        if size == self._size:
+            return
+        self._size = size
+        arrays = -(-size // self._array_size)
+        del self._time_arrays[arrays:]
+        del self._value_arrays[arrays:]
 
     def _write_back(self, ts: list[int], vs: list) -> None:
         for i in range(self._size):
@@ -184,13 +200,35 @@ class TVList:
             self._value_arrays[arr][off] = vs[i]
 
 
+def dedupe_arrival(ts: list[int], vs: list) -> tuple[list[int], list]:
+    """Collapse duplicate timestamps in *arrival-order* arrays, last write wins.
+
+    Must run **before** the sort: several registry sorters (Backward-Sort's
+    block quicksort included) are unstable, so once a tie group has been
+    through them the arrival order is gone and "keep the last element of the
+    tie" — what :func:`dedupe_sorted` does — resolves the overwrite to an
+    arbitrary value.  Collapsing first means the sorter only ever sees
+    unique keys, so stability stops mattering.  Survivors keep their
+    original relative order.
+    """
+    last: dict[int, int] = {}
+    for i, t in enumerate(ts):
+        last[t] = i
+    if len(last) == len(ts):
+        return ts, vs
+    keep = sorted(last.values())  # repro: allow(stats-accounting): O(k log k) dedupe index sort, not a point sort
+    return [ts[i] for i in keep], [vs[i] for i in keep]  # repro: allow(parallel-arrays): dedupe, not a sort
+
+
 def dedupe_sorted(ts: list[int], vs: list) -> tuple[list[int], list]:
     """Collapse duplicate timestamps, keeping the *last* written value.
 
     IoTDB semantics: re-writing a timestamp overwrites the previous value;
     the duplicate is resolved when the sorted run is materialised (flush or
-    query).  Requires ``ts`` sorted; stable sorting guarantees the last
-    arrival sits last within its tie group.
+    query).  Requires ``ts`` sorted *and* tie groups in arrival order —
+    which an unstable sorter destroys, so unsorted arrays must go through
+    :func:`dedupe_arrival` before the sort; this post-sort pass then only
+    handles duplicates that were appended already-in-order.
     """
     if not ts:
         return ts, vs

@@ -5,10 +5,24 @@ Each record is::
     uint32 length | payload | uint32 crc32(payload)
 
 with the payload a JSON array ``[device, sensor, timestamp, value]``.  The
-engine appends a record before acknowledging a write and truncates the log
-once the covering memtable has been flushed to a sealed TsFile.  Replay
+engine appends a record before acknowledging a write, and ``append``
+flushes the underlying file so an acknowledged write is durable even if
+the process dies immediately afterwards (the ``repro.faults`` crash sweep
+is what turned the missing flush into a pinned regression test).  Replay
 stops cleanly at the first torn record (a crash mid-append), surfacing
 everything durable before it.
+
+Two layers live here:
+
+* :class:`WriteAheadLog` — the record codec over one seekable file: one
+  *segment*.
+* :class:`SegmentedWal` — an ordered collection of segments.  The engine
+  rotates to a fresh segment whenever a working memtable retires, so each
+  FLUSHING memtable is covered by its own segment(s); once that memtable
+  is sealed into a TsFile, exactly those segments are dropped.  Truncating
+  a single shared log instead (the pre-fault-harness design) destroyed
+  coverage for every point acknowledged after the retire — a crash then
+  lost acknowledged writes.
 """
 
 from __future__ import annotations
@@ -17,9 +31,10 @@ import io
 import json
 import struct
 import zlib
-from typing import Iterator
+from pathlib import Path
+from typing import Callable, Iterator
 
-from repro.errors import WalCorruptionError
+from repro.errors import StorageError, WalCorruptionError
 
 _HEADER = struct.Struct("<I")
 
@@ -32,38 +47,65 @@ class WriteAheadLog:
         self._file.seek(0, io.SEEK_END)
 
     def append(self, device: str, sensor: str, timestamp: int, value) -> None:
-        """Durably record one write."""
+        """Durably record one write (flushed before returning)."""
         payload = json.dumps([device, sensor, timestamp, value]).encode("utf-8")
         self._file.write(_HEADER.pack(len(payload)))
         self._file.write(payload)
         self._file.write(_HEADER.pack(zlib.crc32(payload)))
+        # Durability on acknowledge: without this flush, records sat in the
+        # user-space buffer and a crash lost acknowledged writes.
+        self._file.flush()
 
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
         """Yield every intact record from the start of the log.
 
         Args:
-            strict: raise :class:`WalCorruptionError` on a corrupt record
-                instead of treating it as the torn tail of a crash.
+            strict: raise :class:`WalCorruptionError` on a torn or corrupt
+                record instead of treating it as the tail of a crash.  The
+                error message names the failing record index and which part
+                of the record is damaged (header / payload / crc / checksum).
         """
         self._file.seek(0)
+        index = 0
         while True:
             header = self._file.read(_HEADER.size)
+            if not header:
+                return
             if len(header) < _HEADER.size:
+                if strict:
+                    raise WalCorruptionError(
+                        f"torn header at record {index}: "
+                        f"{len(header)} of {_HEADER.size} bytes"
+                    )
                 return
             (length,) = _HEADER.unpack(header)
             payload = self._file.read(length)
-            crc_bytes = self._file.read(_HEADER.size)
-            if len(payload) < length or len(crc_bytes) < _HEADER.size:
+            if len(payload) < length:
                 if strict:
-                    raise WalCorruptionError("torn record at end of WAL")
+                    raise WalCorruptionError(
+                        f"torn payload at record {index}: "
+                        f"{len(payload)} of {length} bytes"
+                    )
+                return
+            crc_bytes = self._file.read(_HEADER.size)
+            if len(crc_bytes) < _HEADER.size:
+                if strict:
+                    raise WalCorruptionError(
+                        f"torn crc at record {index}: "
+                        f"{len(crc_bytes)} of {_HEADER.size} bytes"
+                    )
                 return
             (crc,) = _HEADER.unpack(crc_bytes)
             if zlib.crc32(payload) != crc:
                 if strict:
-                    raise WalCorruptionError("WAL record checksum mismatch")
+                    raise WalCorruptionError(
+                        f"checksum mismatch at record {index}: "
+                        f"stored {crc:#010x}, computed {zlib.crc32(payload):#010x}"
+                    )
                 return
             device, sensor, timestamp, value = json.loads(payload.decode("utf-8"))
             yield device, sensor, timestamp, value
+            index += 1
 
     def truncate(self) -> None:
         """Drop all records (called after the covering memtable flushed)."""
@@ -81,3 +123,144 @@ class WriteAheadLog:
         size = self._file.tell()
         self._file.seek(pos)
         return size
+
+
+class _Segment:
+    """One WAL segment: id, codec, and (for on-disk segments) its path."""
+
+    __slots__ = ("segment_id", "wal", "path")
+
+    def __init__(self, segment_id: int, wal: WriteAheadLog, path: Path | None) -> None:
+        self.segment_id = segment_id
+        self.wal = wal
+        self.path = path
+
+
+class SegmentedWal:
+    """Ordered WAL segments for one memtable space.
+
+    The *active* segment receives appends; :meth:`rotate` seals it and
+    opens a fresh one (the engine rotates when a working memtable retires,
+    so the sealed segment covers exactly that memtable's points);
+    :meth:`drop` deletes a sealed segment once its memtable is durable in
+    a TsFile.  :meth:`replay` iterates every live segment in id order —
+    after a crash that is precisely the set of acknowledged-but-unsealed
+    points.
+    """
+
+    def __init__(
+        self,
+        *,
+        directory: Path | None,
+        space: str,
+        wrap: Callable | None = None,
+    ) -> None:
+        self._directory = directory
+        self._space = space
+        # ``wrap(fileobj, site=...)`` lets the fault injector interpose on
+        # every byte written; identity when fault injection is off.
+        self._wrap = wrap if wrap is not None else (lambda fileobj, site: fileobj)
+        self._segments: list[_Segment] = []
+        self._active: _Segment | None = None
+        self._next_id = 1
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def in_memory(cls, space: str, *, wrap: Callable | None = None) -> "SegmentedWal":
+        wal = cls(directory=None, space=space, wrap=wrap)
+        wal._start_active()
+        return wal
+
+    @classmethod
+    def on_disk(
+        cls,
+        directory: Path,
+        space: str,
+        *,
+        fresh: bool,
+        wrap: Callable | None = None,
+    ) -> "SegmentedWal":
+        """Open the segment set under ``directory``.
+
+        ``fresh=True`` is the constructor's fresh-start semantics: any
+        leftover segments are deleted.  ``fresh=False`` (recovery) keeps
+        them as sealed segments so :meth:`replay` surfaces their records;
+        the engine drops them once the replayed points are sealed.
+        """
+        wal = cls(directory=directory, space=space, wrap=wrap)
+        for path in sorted(directory.glob(f"wal-{space}-*.log")):
+            try:
+                segment_id = int(path.stem.rsplit("-", 1)[-1])
+            except ValueError:
+                raise StorageError(f"unrecognised WAL segment name {path.name!r}") from None
+            if fresh:
+                path.unlink()
+                continue
+            handle = open(path, "rb")
+            wal._segments.append(_Segment(segment_id, WriteAheadLog(handle), path))
+            wal._next_id = max(wal._next_id, segment_id + 1)
+        wal._segments.sort(key=lambda s: s.segment_id)
+        wal._start_active()
+        return wal
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def _start_active(self) -> None:
+        segment_id = self._next_id
+        self._next_id += 1
+        if self._directory is None:
+            fileobj, path = io.BytesIO(), None
+        else:
+            path = self._directory / f"wal-{self._space}-{segment_id:06d}.log"
+            fileobj = open(path, "wb+")
+        wrapped = self._wrap(fileobj, site="wal.write")
+        self._active = _Segment(segment_id, WriteAheadLog(wrapped), path)
+        self._segments.append(self._active)
+
+    def rotate(self) -> int:
+        """Seal the active segment, start a fresh one; returns the sealed id."""
+        sealed = self._active
+        self._start_active()
+        return sealed.segment_id
+
+    def drop(self, segment_id: int) -> None:
+        """Delete a sealed segment whose points are durable in a TsFile."""
+        for segment in self._segments:
+            if segment.segment_id == segment_id:
+                if segment is self._active:
+                    raise StorageError(
+                        f"cannot drop the active WAL segment {segment_id}"
+                    )
+                segment.wal.close()
+                if segment.path is not None:
+                    segment.path.unlink(missing_ok=True)
+                self._segments.remove(segment)
+                return
+        raise StorageError(f"unknown WAL segment {segment_id}")
+
+    # -- record API --------------------------------------------------------
+
+    def append(self, device: str, sensor: str, timestamp: int, value) -> None:
+        self._active.wal.append(device, sensor, timestamp, value)
+
+    def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
+        """Every intact record across all live segments, in segment order."""
+        for segment in list(self._segments):
+            yield from segment.wal.replay(strict=strict)
+
+    # -- introspection -----------------------------------------------------
+
+    def segment_ids(self) -> list[int]:
+        """Ids of every live segment, active last."""
+        return [s.segment_id for s in self._segments]
+
+    def sealed_segment_ids(self) -> list[int]:
+        return [s.segment_id for s in self._segments if s is not self._active]
+
+    def size_bytes(self) -> int:
+        return sum(s.wal.size_bytes() for s in self._segments)
+
+    def close(self) -> None:
+        for segment in self._segments:
+            segment.wal.close()

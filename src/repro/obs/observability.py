@@ -36,13 +36,22 @@ class Observability:
         tracing: bool = True,
         clock: Clock | None = None,
         max_spans: int = 10_000,
+        sample_rate: float = 1.0,
+        trace_seed: int = 0,
     ) -> None:
         self.clock = clock if clock is not None else MONOTONIC
         self.registry: MetricsRegistry | NoopRegistry = (
             MetricsRegistry() if metrics else NOOP_REGISTRY
         )
         self.tracer: Tracer | NoopTracer = (
-            Tracer(clock=self.clock, max_spans=max_spans) if tracing else NOOP_TRACER
+            Tracer(
+                clock=self.clock,
+                max_spans=max_spans,
+                sample_rate=sample_rate,
+                seed=trace_seed,
+            )
+            if tracing
+            else NOOP_TRACER
         )
 
     @property

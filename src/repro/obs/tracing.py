@@ -8,12 +8,18 @@ default, a :class:`~repro.obs.clock.FakeClock` in tests.
 
 Spans are retained in memory up to ``max_spans`` (a bound, not a sample:
 beyond it spans still nest and time correctly but are not kept, and the
-``dropped`` counter says how many).  The no-op twin hands out one shared
-context manager, so a disabled tracer costs a single method call per span.
+``dropped`` counter says how many).  For long benchmark runs,
+``sample_rate`` keeps a representative fraction instead of a truncated
+prefix: the decision is made once per *root* span with a seeded RNG (so a
+given seed always keeps the same traces) and applies to the whole tree —
+an unsampled root's descendants are never retained, because a partial
+trace is worse than none.  The no-op twin hands out one shared context
+manager, so a disabled tracer costs a single method call per span.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -89,14 +95,32 @@ class _SpanContext:
 class Tracer:
     """Produces nested spans; keeps the finished tree for export."""
 
-    def __init__(self, clock: Clock | None = None, max_spans: int = 10_000) -> None:
+    def __init__(
+        self,
+        clock: Clock | None = None,
+        max_spans: int = 10_000,
+        sample_rate: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            from repro.errors import InvalidParameterError
+
+            raise InvalidParameterError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
         self._clock = clock if clock is not None else MONOTONIC
         self._max_spans = max_spans
+        self._sample_rate = sample_rate
+        self._rng = random.Random(seed)
+        # Depth inside an unsampled root's subtree (0 = sampling normally).
+        self._unsampled_depth = 0
         self._stack: list[Span] = []
         self._next_id = 1
         self.roots: list[Span] = []
         self.span_count = 0
         self.dropped = 0
+        #: Spans not retained because their root lost the sampling draw.
+        self.sampled_out = 0
 
     def span(self, name: str, **attributes) -> _SpanContext:
         """Open a span on entry; attributes may be extended via ``span.set``."""
@@ -107,7 +131,19 @@ class Tracer:
     def _open(self, span: Span) -> None:
         if self._stack:
             span.parent_id = self._stack[-1].span_id
-        if self.span_count < self._max_spans:
+        if self._unsampled_depth:
+            # Inside an unsampled root's subtree: never retain.
+            self._unsampled_depth += 1
+            self.sampled_out += 1
+        elif (
+            not self._stack
+            and self._sample_rate < 1.0
+            and self._rng.random() >= self._sample_rate
+        ):
+            # Root lost the (seeded, deterministic) sampling draw.
+            self._unsampled_depth = 1
+            self.sampled_out += 1
+        elif self.span_count < self._max_spans:
             self.span_count += 1
             if self._stack:
                 self._stack[-1].children.append(span)
@@ -124,6 +160,8 @@ class Tracer:
         # unwind to the matching entry instead of corrupting the stack.
         while self._stack:
             top = self._stack.pop()
+            if self._unsampled_depth:
+                self._unsampled_depth -= 1
             if top is span:
                 break
 
@@ -144,6 +182,7 @@ class Tracer:
         self.roots = []
         self.span_count = 0
         self.dropped = 0
+        self.sampled_out = 0
 
 
 class _NoopSpan:
@@ -187,6 +226,7 @@ class NoopTracer:
     roots: tuple = ()
     span_count = 0
     dropped = 0
+    sampled_out = 0
 
     def span(self, name: str, **attributes) -> _NoopSpan:
         return NOOP_SPAN

@@ -2,12 +2,21 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.workloads import TimeSeriesGenerator
 from repro.theory import ExponentialDelay
+
+# Property-test profiles: "ci" is derandomized so every CI run explores the
+# same examples (failures reproduce locally with HYPOTHESIS_PROFILE=ci);
+# "dev" keeps hypothesis's randomized exploration for local runs.
+hypothesis_settings.register_profile("ci", derandomize=True, deadline=None)
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 def make_delayed_stream(n: int, lam: float = 0.5, seed: int = 0):

@@ -1,0 +1,1 @@
+"""Tests for repro.faults: fault injection and crash consistency."""

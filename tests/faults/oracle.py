@@ -1,0 +1,9 @@
+"""The in-memory oracle the differential and crash tests share.
+
+Re-exported from :mod:`repro.faults.oracle` so test code imports it from
+one place; the crash harness uses the same model as its ground truth.
+"""
+
+from repro.faults.oracle import OracleModel
+
+__all__ = ["OracleModel"]

@@ -1,0 +1,153 @@
+"""The crash-consistency harness itself: sweep + canary tests.
+
+The canaries are the harness's own proof of usefulness: they feed
+``check_points`` (and a real end-to-end recovery with sabotaged state)
+known losses, phantoms, duplicates and wrong values, and assert the
+harness *reports* them.  A checker that passes everything would pass a
+broken engine too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultPlan, FaultRule
+from repro.faults.harness import (
+    FaultWorkload,
+    check_points,
+    discover_sites,
+    run_crash_case,
+    run_crash_sweep,
+    run_fault_plan,
+    _nth_positions,
+)
+
+
+class TestCheckPointsCanaries:
+    ACKED = {1: 1.0, 2: 2.0, 5: 5.0}
+
+    def test_consistent_state_passes(self):
+        assert check_points(dict(self.ACKED), dict(self.ACKED)) == []
+
+    def test_lost_acknowledged_point_detected(self):
+        recovered = {1: 1.0, 5: 5.0}  # t=2 gone
+        violations = check_points(recovered, dict(self.ACKED))
+        assert any("lost acknowledged point t=2" in v for v in violations)
+
+    def test_phantom_point_detected(self):
+        recovered = {**self.ACKED, 9: 9.0}
+        violations = check_points(recovered, dict(self.ACKED))
+        assert any("phantom point t=9" in v for v in violations)
+
+    def test_wrong_value_detected(self):
+        recovered = {**self.ACKED, 2: -2.0}
+        violations = check_points(recovered, dict(self.ACKED))
+        assert any("wrong value at t=2" in v for v in violations)
+
+    def test_inflight_point_may_be_present_or_absent(self):
+        inflight = {9: 9.0}
+        assert check_points(dict(self.ACKED), dict(self.ACKED), inflight) == []
+        assert (
+            check_points({**self.ACKED, 9: 9.0}, dict(self.ACKED), inflight) == []
+        )
+
+    def test_inflight_point_with_corrupted_value_detected(self):
+        violations = check_points(
+            {**self.ACKED, 9: -1.0}, dict(self.ACKED), {9: 9.0}
+        )
+        assert any("in-flight point t=9" in v for v in violations)
+
+    def test_acknowledged_overwrite_beats_inflight_duplicate(self):
+        # The in-flight write hit an already-acknowledged timestamp: the
+        # acknowledged value must win.
+        violations = check_points(dict(self.ACKED), dict(self.ACKED), {2: 99.0})
+        assert violations == []
+        violations = check_points(
+            {**self.ACKED, 2: 99.0}, dict(self.ACKED), {2: 99.0}
+        )
+        assert any("wrong value at t=2" in v for v in violations)
+
+
+class TestSweep:
+    def test_small_exhaustive_sweep_is_clean(self, tmp_path):
+        workload = FaultWorkload(points=90, flush_threshold=30, seed=7)
+        report = run_crash_sweep(workload, tmp_path, max_nth=2)
+        assert report.violations == []
+        assert report.fired_cases >= 8
+        for site in ("wal.write", "sink.write", "flush.seal", "wal.drop"):
+            assert site in report.sites, f"sweep never reached {site}"
+
+    def test_sweep_covers_compaction_sites(self, tmp_path):
+        workload = FaultWorkload(
+            points=100, flush_threshold=30, compact_every=50, seed=7
+        )
+        sites = discover_sites(workload, tmp_path)
+        assert "compact.swap" in sites
+        assert "compact.unlink" in sites
+        for nth in _nth_positions(sites["compact.unlink"], 2):
+            result = run_crash_case(workload, "compact.unlink", nth, tmp_path)
+            assert result.fired
+            assert result.ok, result.violations
+
+    def test_torn_wal_write_recovers_cleanly(self, tmp_path):
+        workload = FaultWorkload(points=80, flush_threshold=30, seed=7)
+        result = run_crash_case(
+            workload, "wal.write", 40, tmp_path, kind="torn", arg=0.5
+        )
+        assert result.fired
+        assert result.ok, result.violations
+
+    def test_harness_detects_sabotaged_recovery(self, tmp_path):
+        # End-to-end canary: crash with unflushed acknowledged writes, then
+        # delete a WAL segment from the snapshot before recovery — the
+        # harness must report lost acknowledged points.
+        import shutil
+
+        from repro.faults.crash import CrashSimulator
+        from repro.faults.harness import check_recovery, run_ops
+        from repro.faults import FaultInjector
+        from repro.iotdb.engine import StorageEngine
+
+        workload = FaultWorkload(points=80, flush_threshold=30, seed=7)
+        data_dir = tmp_path / "data"
+        plan = FaultPlan([FaultRule(site="wal.write", nth=200)], seed=7)
+        injector = FaultInjector(plan)
+        engine = StorageEngine(workload.config(data_dir), faults=injector)
+        acked, inflight = run_ops(engine, workload.ops())
+        assert injector.fired, "canary workload never reached the fault"
+
+        simulator = CrashSimulator(data_dir, tmp_path / "snapshot")
+        simulator.snapshot()
+        sabotaged = [p for p in simulator.snapshot_dir.glob("wal-*.log") if p.stat().st_size]
+        assert sabotaged, "no WAL segment with acknowledged bytes to sabotage"
+        for path in sabotaged:
+            path.unlink()
+        recovered = simulator.reopen(workload.config(data_dir))
+        violations = check_recovery(recovered, acked, inflight)
+        recovered.close()
+        shutil.rmtree(tmp_path / "snapshot", ignore_errors=True)
+        assert any("lost acknowledged point" in v for v in violations)
+
+    def test_nth_positions_spread_includes_ends(self):
+        assert _nth_positions(3, 5) == [1, 2, 3]
+        spread = _nth_positions(100, 5)
+        assert len(spread) == 5
+        assert spread[0] == 1 and spread[-1] == 100
+
+
+class TestFaultPlanRuns:
+    def test_recoverable_flush_failures_do_not_lose_data(self, tmp_path):
+        workload = FaultWorkload(points=120, flush_threshold=30, seed=7)
+        plan = FaultPlan.parse("flush.perform:kind=fail:nth=1", seed=7)
+        result = run_fault_plan(workload, plan, tmp_path)
+        assert result.fired
+        assert result.kind == "fail"
+        assert result.ok, result.violations
+        assert result.recovered_points == result.acked_points
+
+    def test_crash_plan_recovers_prefix_consistently(self, tmp_path):
+        workload = FaultWorkload(points=120, flush_threshold=30, seed=7)
+        plan = FaultPlan.parse("sink.write:kind=torn:nth=3:arg=0.3", seed=7)
+        result = run_fault_plan(workload, plan, tmp_path)
+        assert result.fired
+        assert result.ok, result.violations

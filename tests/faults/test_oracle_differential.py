@@ -1,0 +1,102 @@
+"""S3: differential testing — StorageEngine.query vs the in-memory oracle.
+
+A seeded fault-free workload (in-order and late writes, flushes,
+compaction, deferred drains) runs against both the engine and
+:class:`OracleModel`; random time-range queries must agree point-for-point.
+The same oracle is the crash harness's ground truth, so this test is what
+earns it that role.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.iotdb import IoTDBConfig, StorageEngine
+from tests.faults.oracle import OracleModel
+
+
+def _run_workload(engine, oracle, *, n, seed, compact_every=0, drain_every=0):
+    rng = random.Random(seed)
+    devices = ["d0", "d1"]
+    sensors = ["s0", "s1"]
+    next_t = {d: 0 for d in devices}
+    for i in range(n):
+        device = rng.choice(devices)
+        sensor = rng.choice(sensors)
+        if next_t[device] > 25 and rng.random() < 0.2:
+            t = rng.randrange(next_t[device] - 25, next_t[device])
+        else:
+            t = next_t[device]
+            next_t[device] += rng.randrange(1, 3)
+        value = round(rng.uniform(-100, 100), 3)
+        engine.write(device, sensor, t, value)
+        oracle.write(device, sensor, t, value)
+        if compact_every and (i + 1) % compact_every == 0:
+            engine.compact()
+        if drain_every and (i + 1) % drain_every == 0:
+            engine.drain_flushes()
+    return devices, sensors, max(next_t.values()) + 1
+
+
+def _assert_agrees(engine, oracle, devices, sensors, horizon, seed):
+    rng = random.Random(seed + 1)
+    for device in devices:
+        for sensor in sensors:
+            # The full column plus random sub-ranges.
+            ranges = [(0, horizon)] + [
+                tuple(sorted(rng.sample(range(horizon + 5), 2)))
+                for _ in range(15)
+            ]
+            for start, end in ranges:
+                if start == end:
+                    end += 1
+                result = engine.query(device, sensor, start, end)
+                expect_ts, expect_vs = oracle.query(device, sensor, start, end)
+                assert result.timestamps == expect_ts, (
+                    f"{device}.{sensor} [{start},{end}) timestamps diverge"
+                )
+                assert result.values == expect_vs, (
+                    f"{device}.{sensor} [{start},{end}) values diverge"
+                )
+
+
+@pytest.mark.parametrize("seed", [3, 17])
+@pytest.mark.parametrize(
+    "mode",
+    ["inline", "deferred", "compacting"],
+)
+def test_query_agrees_with_oracle(tmp_path, seed, mode):
+    config = IoTDBConfig(
+        data_dir=tmp_path / "data",
+        wal_enabled=True,
+        memtable_flush_threshold=50,
+        deferred_flush=(mode == "deferred"),
+    )
+    engine = StorageEngine(config)
+    oracle = OracleModel()
+    devices, sensors, horizon = _run_workload(
+        engine,
+        oracle,
+        n=400,
+        seed=seed,
+        compact_every=150 if mode == "compacting" else 0,
+        drain_every=70 if mode == "deferred" else 0,
+    )
+    _assert_agrees(engine, oracle, devices, sensors, horizon, seed)
+    engine.close()
+
+
+def test_aggregate_count_matches_oracle(tmp_path):
+    config = IoTDBConfig(
+        data_dir=tmp_path / "data", wal_enabled=True, memtable_flush_threshold=40
+    )
+    engine = StorageEngine(config)
+    oracle = OracleModel()
+    devices, sensors, horizon = _run_workload(engine, oracle, n=300, seed=5)
+    for device in devices:
+        for sensor in sensors:
+            expect_ts, _ = oracle.query(device, sensor, 0, horizon)
+            assert engine.aggregate(device, sensor, 0, horizon).count == len(expect_ts)
+    engine.close()

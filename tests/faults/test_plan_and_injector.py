@@ -1,0 +1,255 @@
+"""Unit tests for the fault-injection primitives (plan, injector, file, clock)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import (
+    InjectedCrashError,
+    InjectedFaultError,
+    InvalidParameterError,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    FaultyClock,
+    FaultyFile,
+    NOOP_INJECTOR,
+)
+from repro.obs import Observability
+from repro.obs.clock import FakeClock
+
+
+class TestFaultPlan:
+    def test_nth_trigger_is_exact(self):
+        plan = FaultPlan([FaultRule(site="wal.write", nth=3)])
+        assert plan.decide("wal.write") is None
+        assert plan.decide("wal.write") is None
+        assert plan.decide("wal.write") is not None
+        assert plan.decide("wal.write") is None  # max_fires=1 by default
+
+    def test_calls_counted_even_without_rules(self):
+        plan = FaultPlan()
+        for _ in range(4):
+            plan.decide("sink.write")
+        plan.decide("flush.seal")
+        assert plan.calls == {"sink.write": 4, "flush.seal": 1}
+
+    def test_probability_is_seed_deterministic(self):
+        def fires(seed):
+            plan = FaultPlan(
+                [FaultRule(site="s", probability=0.3, max_fires=None)], seed=seed
+            )
+            return [plan.decide("s") is not None for _ in range(50)]
+
+        assert fires(11) == fires(11)
+        assert fires(11) != fires(12)
+
+    def test_predicate_sees_context(self):
+        plan = FaultPlan(
+            [FaultRule(site="s", predicate=lambda ctx: ctx.get("space") == "unseq")]
+        )
+        assert plan.decide("s", {"space": "seq"}) is None
+        assert plan.decide("s", {"space": "unseq"}) is not None
+
+    def test_glob_site_matching(self):
+        plan = FaultPlan([FaultRule(site="compact.*", nth=1, max_fires=None)])
+        assert plan.decide("compact.swap") is not None
+        assert plan.decide("wal.write") is None
+
+    def test_reset_restores_initial_state(self):
+        plan = FaultPlan([FaultRule(site="s", nth=2)], seed=5)
+        plan.decide("s")
+        plan.decide("s")
+        plan.reset()
+        assert plan.calls == {}
+        assert plan.decide("s") is None
+        assert plan.decide("s") is not None  # fires again after reset
+
+    def test_parse_spec(self):
+        plan = FaultPlan.parse(
+            "wal.write:nth=3:torn:arg=0.25, flush.perform:p=0.5:kind=fail:fires=inf"
+        )
+        first, second = plan.rules
+        assert (first.site, first.nth, first.kind, first.arg) == (
+            "wal.write", 3, "torn", 0.25,
+        )
+        assert (second.site, second.probability, second.kind, second.max_fires) == (
+            "flush.perform", 0.5, "fail", None,
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "  ,  ", "site:bogus", "site:kind=nope", "site:nth=x", "site:unknown=1"],
+    )
+    def test_parse_rejects_bad_specs(self, spec):
+        with pytest.raises(InvalidParameterError):
+            FaultPlan.parse(spec)
+
+    def test_rule_validation(self):
+        with pytest.raises(InvalidParameterError):
+            FaultRule(site="s", kind="explode")
+        with pytest.raises(InvalidParameterError):
+            FaultRule(site="s", nth=0)
+        with pytest.raises(InvalidParameterError):
+            FaultRule(site="s", probability=1.5)
+
+
+class TestFaultInjector:
+    def test_crash_point_raises_injected_crash(self):
+        injector = FaultInjector(FaultPlan([FaultRule(site="flush.seal", nth=1)]))
+        with pytest.raises(InjectedCrashError) as err:
+            injector.crash_point("flush.seal", space="seq")
+        assert err.value.site == "flush.seal"
+        assert err.value.call == 1
+
+    def test_injected_crash_is_not_an_exception(self):
+        # Simulated process death must bypass `except Exception` cleanup.
+        assert not issubclass(InjectedCrashError, Exception)
+
+    def test_fail_point_raises_recoverable_error(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="flush.perform", kind="fail", nth=1)])
+        )
+        with pytest.raises(InjectedFaultError):
+            injector.fail_point("flush.perform")
+        injector.fail_point("flush.perform")  # max_fires exhausted: no-op
+
+    def test_on_write_torn_keeps_prefix(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="w", kind="torn", nth=1, arg=0.5)])
+        )
+        keep, crash = injector.on_write("w", 10)
+        assert (keep, crash) == (5, True)
+
+    def test_torn_write_never_keeps_everything(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="w", kind="torn", nth=1, arg=1.0)])
+        )
+        keep, _ = injector.on_write("w", 10)
+        assert keep == 9  # a torn write is torn: at least one byte lost
+
+    def test_fired_faults_recorded_and_counted(self):
+        obs = Observability()
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="flush.seal", nth=2)]), obs=obs
+        )
+        injector.crash_point("flush.seal")
+        with pytest.raises(InjectedCrashError):
+            injector.crash_point("flush.seal")
+        assert [(f.site, f.call, f.kind) for f in injector.fired] == [
+            ("flush.seal", 2, "crash")
+        ]
+        counter = obs.registry.counter(
+            "faults_injected_total", "", ("site", "kind")
+        )
+        assert counter.labels(site="flush.seal", kind="crash").value == 1
+        span = obs.tracer.find("fault.injected")
+        assert span is not None
+        assert span.attributes == {"site": "flush.seal", "call": 2, "kind": "crash"}
+
+    def test_disarm_silences_every_hook_but_keeps_history(self):
+        plan = FaultPlan(
+            [FaultRule(site="*", kind="fail", probability=1.0, max_fires=None)]
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(InjectedFaultError):
+            injector.fail_point("flush.perform")
+        assert len(injector.fired) == 1
+        injector.disarm()
+        injector.fail_point("flush.perform")  # no raise
+        injector.crash_point("flush.seal")
+        assert injector.on_write("wal.write", 9) == (9, False)
+        assert injector.clock_offset() == 0.0
+        assert len(injector.fired) == 1  # history survives
+        assert not injector.armed
+
+    def test_noop_injector_is_inert(self):
+        NOOP_INJECTOR.crash_point("anything")
+        NOOP_INJECTOR.fail_point("anything")
+        assert NOOP_INJECTOR.on_write("w", 7) == (7, False)
+        assert NOOP_INJECTOR.clock_offset() == 0.0
+        sentinel = io.BytesIO()
+        assert NOOP_INJECTOR.wrap_file(sentinel, site="w") is sentinel
+        assert not NOOP_INJECTOR.enabled
+
+
+class TestFaultyFile:
+    def test_pending_bytes_are_not_durable_until_flush(self):
+        inner = io.BytesIO()
+        f = FaultyFile(inner, NOOP_INJECTOR, "w")
+        f.write(b"abc")
+        assert inner.getvalue() == b""
+        assert f.pending_bytes() == 3
+        f.flush()
+        assert inner.getvalue() == b"abc"
+        assert f.pending_bytes() == 0
+
+    def test_reads_force_a_commit(self):
+        inner = io.BytesIO()
+        f = FaultyFile(inner, NOOP_INJECTOR, "w")
+        f.write(b"abc")
+        f.seek(0)
+        assert f.read() == b"abc"
+
+    def test_torn_write_commits_prefix_then_crashes(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="w", kind="torn", nth=2, arg=0.5)])
+        )
+        inner = io.BytesIO()
+        f = FaultyFile(inner, injector, "w")
+        f.write(b"aaaa")  # survives (pending)
+        with pytest.raises(InjectedCrashError):
+            f.write(b"bbbb")
+        # Pending bytes committed, then half of the torn write, then death.
+        assert inner.getvalue() == b"aaaabb"
+
+    def test_crash_write_loses_pending_tail(self):
+        injector = FaultInjector(FaultPlan([FaultRule(site="w", nth=2)]))
+        inner = io.BytesIO()
+        f = FaultyFile(inner, injector, "w")
+        f.write(b"aaaa")
+        with pytest.raises(InjectedCrashError):
+            f.write(b"bbbb")
+        assert inner.getvalue() == b"aaaa"  # crash commits pending, drops b's
+
+    def test_clean_close_commits(self):
+        class Recorder(io.BytesIO):
+            def close(self):
+                self.final = self.getvalue()
+                super().close()
+
+        inner = Recorder()
+        f = FaultyFile(inner, NOOP_INJECTOR, "w")
+        f.write(b"abc")
+        f.close()
+        assert inner.final == b"abc"
+        assert f.closed
+
+
+class TestFaultyClock:
+    def test_jump_applies_once_and_persists(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="clock", kind="jump", nth=2, arg=30.0)])
+        )
+        base = FakeClock(100.0)
+        clock = FaultyClock(base, injector)
+        assert clock.now() == 100.0
+        assert clock.now() == 130.0  # the jump
+        base.advance(1.0)
+        assert clock.now() == 131.0  # skew persists
+        assert clock.offset == 30.0
+
+    def test_negative_jump_stalls_instead_of_reversing(self):
+        injector = FaultInjector(
+            FaultPlan([FaultRule(site="clock", kind="jump", nth=2, arg=-10.0)])
+        )
+        base = FakeClock(100.0)
+        clock = FaultyClock(base, injector)
+        assert clock.now() == 100.0
+        assert clock.now() == 100.0  # clamped: never goes backwards
+        base.advance(20.0)
+        assert clock.now() == 110.0  # resumes once real time catches up

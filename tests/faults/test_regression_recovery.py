@@ -1,0 +1,254 @@
+"""Pinned regressions: recovery bugs the crash harness exposed in the seed.
+
+Each test encodes a specific pre-existing write-path bug and the behaviour
+that fixes it:
+
+1. **WAL buffered acknowledged writes** — ``WriteAheadLog.append`` never
+   flushed, so a crash right after an acknowledged write lost it to the
+   user-space buffer (pinned in ``test_memtable_wal.py`` at the codec
+   level; here end-to-end through the engine).
+2. **Shared-WAL truncate lost acked writes** — the flush path truncated
+   one shared WAL per space, destroying coverage for every point
+   acknowledged after the memtable retired (deferred mode, or simply the
+   points routed to the *new* working memtable while flushing).  Fixed by
+   per-memtable WAL segments dropped only after their memtable seals.
+3. **Torn TsFile broke recovery** — a crash mid-flush left a partial
+   ``.tsfile`` that made ``StorageEngine.open`` raise while parsing.
+   Fixed by writing sinks under ``.part`` and renaming only after the
+   bytes are flushed.
+4. **Failed flush wedged the memtable** — an I/O failure during flush had
+   no handling: the partial sink stayed registered and the points were
+   neither queryable nor retryable.  Fixed: the memtable stays queued,
+   the sink is discarded, and a later drain retries cleanly.
+5. **Compaction crash between unlinks** — overlapping sequence files
+   survive a crash mid-swap; queries must stay exact and the aggregation
+   statistics fast path must not double-count them.
+6. **Unstable sort lost overwrites** — duplicate timestamps in one
+   memtable went through the (unstable) default sorter before dedupe, so
+   "keep the last of the tie group" picked an arbitrary arrival; the
+   older value could shadow the newer one.  Fixed by collapsing
+   duplicates in arrival order *before* the sort (``dedupe_arrival``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InjectedCrashError, InjectedFaultError
+from repro.faults import FaultInjector, FaultPlan, FaultRule
+from repro.faults.crash import CrashSimulator
+from repro.iotdb import IoTDBConfig, Space, StorageEngine
+
+
+def _config(tmp_path, **kw):
+    defaults = dict(
+        data_dir=tmp_path / "data",
+        wal_enabled=True,
+        memtable_flush_threshold=50,
+    )
+    defaults.update(kw)
+    return IoTDBConfig(**defaults)
+
+
+def _recover(tmp_path, config):
+    simulator = CrashSimulator(tmp_path / "data", tmp_path / "snapshot")
+    simulator.snapshot()
+    return simulator.reopen(config)
+
+
+class TestAckedWritesSurvive:
+    def test_acknowledged_write_survives_immediate_crash(self, tmp_path):
+        # Bug 1: no flush-on-append meant this exact scenario lost t=1.
+        config = _config(tmp_path)
+        engine = StorageEngine(config)
+        engine.write("d", "s", 1, 1.0)
+        # No close, no flush: the process dies *now*.
+        recovered = _recover(tmp_path, config)
+        result = recovered.query("d", "s", 0, 10)
+        assert (result.timestamps, result.values) == ([1], [1.0])
+        recovered.close()
+
+    def test_writes_acked_after_retire_survive_a_flush(self, tmp_path):
+        # Bug 2: with one shared WAL per space, the truncate after this
+        # drain destroyed coverage for the 30 post-retire writes.
+        config = _config(tmp_path, deferred_flush=True)
+        engine = StorageEngine(config)
+        for t in range(50):
+            engine.write("d", "s", t, float(t))  # retires at the threshold
+        for t in range(50, 80):
+            engine.write("d", "s", t, float(t))  # acked into the new memtable
+        engine.drain_flushes()  # seals the first memtable, drops ITS segment
+        replayable = list(engine._wals[Space.SEQUENCE].replay())
+        assert [r[2] for r in replayable] == list(range(50, 80)), (
+            "WAL no longer covers writes acknowledged after the retire"
+        )
+        recovered = _recover(tmp_path, config)
+        assert recovered.query("d", "s", 0, 80).timestamps == list(range(80))
+        recovered.close()
+
+    def test_wal_segment_dropped_only_after_its_memtable_seals(self, tmp_path):
+        config = _config(tmp_path, deferred_flush=True)
+        engine = StorageEngine(config)
+        for t in range(50):
+            engine.write("d", "s", t, float(t))
+        assert engine.pending_flushes() == 1
+        # Crash while the flush is queued: the rotated segment must still
+        # cover the retired memtable.
+        recovered = _recover(tmp_path, config)
+        assert recovered.query("d", "s", 0, 50).timestamps == list(range(50))
+        recovered.close()
+
+
+class TestTornSinkRecovery:
+    def test_torn_tsfile_part_does_not_break_open(self, tmp_path):
+        # Bug 3: the torn sink used to be a torn `.tsfile` that made
+        # open() raise while parsing the footer.
+        config = _config(tmp_path)
+        plan = FaultPlan([FaultRule(site="sink.write", kind="torn", nth=3, arg=0.5)])
+        engine = StorageEngine(config, faults=FaultInjector(plan))
+        with pytest.raises(InjectedCrashError):
+            for t in range(60):
+                engine.write("d", "s", t, float(t))
+        data_dir = tmp_path / "data"
+        assert list(data_dir.glob("*.tsfile.part")), "expected a torn sink"
+        assert not list(data_dir.glob("*.tsfile")), "no sealed file yet"
+
+        recovered = _recover(tmp_path, config)
+        assert recovered.query("d", "s", 0, 60).timestamps == list(range(50)), (
+            "every acknowledged write must come back from the WAL"
+        )
+        recovered.close()
+
+    def test_leftover_part_file_is_cleaned_up(self, tmp_path):
+        config = _config(tmp_path)
+        engine = StorageEngine(config)
+        for t in range(60):
+            engine.write("d", "s", t, float(t))
+        engine.close()
+        junk = tmp_path / "data" / "seq-000099.tsfile.part"
+        junk.write_bytes(b"partial garbage")
+        reopened = StorageEngine.open(config)
+        assert not junk.exists()
+        assert reopened.query("d", "s", 0, 60).timestamps == list(range(60))
+        reopened.close()
+
+
+class TestFailedFlushRequeues:
+    def test_flush_failure_keeps_memtable_queued_and_retryable(self, tmp_path):
+        # Bug 4: a failing flush left no retry path and a dangling sink.
+        config = _config(tmp_path)
+        plan = FaultPlan([FaultRule(site="flush.perform", kind="fail", nth=1)])
+        engine = StorageEngine(config, faults=FaultInjector(plan))
+        with pytest.raises(InjectedFaultError):
+            for t in range(60):
+                engine.write("d", "s", t, float(t))
+        assert engine.pending_flushes() == 1
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 0
+
+        reports = engine.drain_flushes()  # the retry succeeds
+        assert len(reports) == 1
+        assert engine.pending_flushes() == 0
+        assert engine.sealed_file_count()[Space.SEQUENCE] == 1
+        assert engine.query("d", "s", 0, 60).timestamps == list(range(50))
+        engine.close()
+
+    def test_sink_failure_discards_partial_file_and_retries(self, tmp_path):
+        config = _config(tmp_path)
+        plan = FaultPlan([FaultRule(site="sink.write", kind="fail", nth=2)])
+        engine = StorageEngine(config, faults=FaultInjector(plan))
+        with pytest.raises(InjectedFaultError):
+            for t in range(60):
+                engine.write("d", "s", t, float(t))
+        data_dir = tmp_path / "data"
+        assert not list(data_dir.glob("*.part")), "partial sink must be discarded"
+        assert engine.pending_flushes() == 1
+        engine.drain_flushes()
+        assert engine.query("d", "s", 0, 60).timestamps == list(range(50))
+        engine.close()
+
+
+class TestCompactionCrash:
+    def _build(self, tmp_path, faults=None):
+        config = _config(tmp_path, memtable_flush_threshold=30)
+        engine = StorageEngine(config, faults=faults)
+        for t in range(90):
+            engine.write("d", "s", t, float(t))
+        for t in range(0, 30, 3):
+            engine.write("d", "s", t, -float(t))  # late overwrites → unseq
+        engine.flush_all()
+        return config, engine
+
+    def test_crash_before_unlinks_leaves_old_files_readable(self, tmp_path):
+        plan = FaultPlan([FaultRule(site="compact.unlink", nth=1)])
+        config, engine = self._build(tmp_path, faults=FaultInjector(plan))
+        with pytest.raises(InjectedCrashError):
+            engine.compact()
+        # Bug 5: the compacted file AND the old files coexist on disk now.
+        recovered = _recover(tmp_path, config)
+        result = recovered.query("d", "s", 0, 90)
+        assert result.timestamps == list(range(90))
+        expected = {t: (-float(t) if t < 30 and t % 3 == 0 else float(t))
+                    for t in range(90)}
+        assert result.values == [expected[t] for t in range(90)]
+        recovered.close()
+
+    def test_overlapping_seq_files_do_not_double_count_aggregates(self, tmp_path):
+        plan = FaultPlan([FaultRule(site="compact.unlink", nth=1)])
+        config, engine = self._build(tmp_path, faults=FaultInjector(plan))
+        with pytest.raises(InjectedCrashError):
+            engine.compact()
+        recovered = _recover(tmp_path, config)
+        agg = recovered.aggregate("d", "s", 0, 90)
+        assert agg.count == 90, "overlapping sequence files were double-counted"
+        recovered.close()
+
+    def test_crash_mid_unlinks_still_recovers_exact_data(self, tmp_path):
+        plan = FaultPlan([FaultRule(site="compact.unlink", nth=3)])
+        config, engine = self._build(tmp_path, faults=FaultInjector(plan))
+        with pytest.raises(InjectedCrashError):
+            engine.compact()
+        recovered = _recover(tmp_path, config)
+        result = recovered.query("d", "s", 0, 90)
+        assert result.timestamps == list(range(90))
+        assert recovered.aggregate("d", "s", 0, 90).count == 90
+        recovered.close()
+
+
+class TestUnstableSortOverwrites:
+    """Bug 6: last-write-wins lost to the unstable sorter's tie reordering.
+
+    Found fault-free by the ``--faults`` bench mode: two late writes to the
+    same timestamp landed in one memtable, Backward-Sort's block quicksort
+    reordered the tie group, and flush-time dedupe kept the *older* value.
+    Duplicates are now collapsed in arrival order before the sort
+    (``dedupe_arrival``).
+    """
+
+    def test_late_overwrite_wins_through_flush(self, tmp_path):
+        config = _config(tmp_path, memtable_flush_threshold=200)
+        engine = StorageEngine(config)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        # Overwrite every timestamp, still inside the same memtable.
+        for t in range(100):
+            engine.write("d", "s", t, float(t) + 1000.0)
+        engine.flush_all()
+        result = engine.query("d", "s", 0, 100)
+        assert result.timestamps == list(range(100))
+        assert result.values == [float(t) + 1000.0 for t in range(100)]
+        engine.close()
+
+    def test_late_overwrite_wins_through_crash_recovery(self, tmp_path):
+        config = _config(tmp_path, memtable_flush_threshold=500)
+        engine = StorageEngine(config)
+        for t in range(100):
+            engine.write("d", "s", t, float(t))
+        for t in range(100):
+            engine.write("d", "s", t, float(t) + 1000.0)
+        # Crash before any flush: recovery replays the WAL in arrival order
+        # and the recovered memtable must resolve overwrites the same way.
+        recovered = _recover(tmp_path, config)
+        recovered.flush_all()
+        result = recovered.query("d", "s", 0, 100)
+        assert result.values == [float(t) + 1000.0 for t in range(100)]
+        recovered.close()

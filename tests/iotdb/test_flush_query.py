@@ -49,6 +49,22 @@ class TestFlushPipeline:
         assert report.chunks[0].deduped_points == 3
         assert report.chunks[0].points == 5
 
+    def test_duplicates_deduped_keeping_last_with_unstable_sorter(self):
+        # Regression: with the unstable default sorter the tie group could
+        # come out of the sort reordered, resolving the overwrite to the
+        # older value.  dedupe_arrival now collapses duplicates pre-sort.
+        memtable = MemTable(IoTDBConfig())
+        ts = list(range(50)) + list(range(50))
+        memtable.write_batch("d", "s", ts, [float(i) for i in range(100)])
+        memtable.mark_flushing()
+        buf = io.BytesIO()
+        report = flush_memtable(memtable, TsFileWriter(buf), get_sorter("backward"))
+        got_ts, got_vs = TsFileReader(buf).read_chunk("d", "s")
+        assert got_ts == list(range(50))
+        assert got_vs == [float(t + 50) for t in range(50)]  # second pass wins
+        assert report.chunks[0].points == 100
+        assert report.chunks[0].deduped_points == 50
+
     def test_report_sums_per_chunk(self):
         stream = make_delayed_stream(1_000, seed=2)
         memtable = MemTable(IoTDBConfig())

@@ -6,11 +6,17 @@ import io
 
 import pytest
 
-from repro.errors import InvalidParameterError, MemTableFlushedError, WalCorruptionError
+from repro.errors import (
+    InvalidParameterError,
+    MemTableFlushedError,
+    StorageError,
+    WalCorruptionError,
+)
 from repro.iotdb import (
     IoTDBConfig,
     MemTable,
     MemTableState,
+    SegmentedWal,
     SeparationPolicy,
     Space,
     TSDataType,
@@ -151,3 +157,123 @@ class TestWriteAheadLog:
         with pytest.raises(WalCorruptionError):
             list(bad.replay(strict=True))
         assert list(bad.replay()) == []  # lenient mode stops silently
+
+
+class TestWalStrictDiagnostics:
+    """S4 regression: strict replay distinguishes torn header / payload /
+    crc / checksum, naming the failing record index."""
+
+    @staticmethod
+    def _log(*records) -> bytes:
+        buf = io.BytesIO()
+        wal = WriteAheadLog(buf)
+        for record in records:
+            wal.append(*record)
+        return buf.getvalue()
+
+    def test_torn_header_names_record(self):
+        data = self._log(("d", "s", 1, 1.0), ("d", "s", 2, 2.0))
+        record_len = len(data) // 2
+        torn = WriteAheadLog(io.BytesIO(data[: record_len + 2]))  # 2 header bytes
+        with pytest.raises(
+            WalCorruptionError, match=r"torn header at record 1: 2 of 4 bytes"
+        ):
+            list(torn.replay(strict=True))
+
+    def test_torn_payload_names_record(self):
+        data = self._log(("d", "s", 1, 1.0))
+        torn = WriteAheadLog(io.BytesIO(data[:7]))  # header + 3 payload bytes
+        with pytest.raises(WalCorruptionError, match=r"torn payload at record 0"):
+            list(torn.replay(strict=True))
+
+    def test_torn_crc_names_record(self):
+        data = self._log(("d", "s", 1, 1.0))
+        torn = WriteAheadLog(io.BytesIO(data[:-2]))  # half the trailing crc
+        with pytest.raises(
+            WalCorruptionError, match=r"torn crc at record 0: 2 of 4 bytes"
+        ):
+            list(torn.replay(strict=True))
+
+    def test_checksum_mismatch_names_record_and_values(self):
+        data = bytearray(self._log(("d", "s", 1, 1.0), ("d", "s", 2, 2.0)))
+        data[len(data) // 2 + 6] ^= 0xFF  # flip a payload byte of record 1
+        bad = WriteAheadLog(io.BytesIO(bytes(data)))
+        with pytest.raises(
+            WalCorruptionError, match=r"checksum mismatch at record 1: stored 0x"
+        ):
+            list(bad.replay(strict=True))
+
+    def test_lenient_mode_still_returns_the_clean_prefix(self):
+        data = self._log(("d", "s", 1, 1.0), ("d", "s", 2, 2.0))
+        torn = WriteAheadLog(io.BytesIO(data[:-2]))
+        assert list(torn.replay()) == [("d", "s", 1, 1.0)]
+
+    def test_append_is_durable_without_close(self, tmp_path):
+        # Regression: append() must flush; a crash right after an
+        # acknowledged write used to lose it to the user-space buffer.
+        path = tmp_path / "wal.log"
+        handle = open(path, "wb+")
+        wal = WriteAheadLog(handle)
+        wal.append("d", "s", 1, 1.0)
+        # Read through a second descriptor: only OS-visible bytes count.
+        replayed = list(WriteAheadLog(open(path, "rb")).replay())
+        assert replayed == [("d", "s", 1, 1.0)]
+        handle.close()
+
+
+class TestSegmentedWal:
+    def test_rotate_and_replay_order(self):
+        wal = SegmentedWal.in_memory("seq")
+        wal.append("d", "s", 1, 1.0)
+        sealed_id = wal.rotate()
+        wal.append("d", "s", 2, 2.0)
+        assert wal.sealed_segment_ids() == [sealed_id]
+        assert list(wal.replay()) == [("d", "s", 1, 1.0), ("d", "s", 2, 2.0)]
+
+    def test_drop_removes_only_that_segment(self):
+        wal = SegmentedWal.in_memory("seq")
+        wal.append("d", "s", 1, 1.0)
+        first = wal.rotate()
+        wal.append("d", "s", 2, 2.0)
+        wal.drop(first)
+        assert list(wal.replay()) == [("d", "s", 2, 2.0)]
+
+    def test_cannot_drop_active_or_unknown_segment(self):
+        wal = SegmentedWal.in_memory("seq")
+        (active,) = wal.segment_ids()
+        with pytest.raises(StorageError):
+            wal.drop(active)
+        with pytest.raises(StorageError):
+            wal.drop(999)
+
+    def test_on_disk_fresh_deletes_recovery_keeps(self, tmp_path):
+        wal = SegmentedWal.on_disk(tmp_path, "seq", fresh=True)
+        wal.append("d", "s", 1, 1.0)
+        wal.rotate()
+        wal.append("d", "s", 2, 2.0)
+        wal.close()
+
+        recovered = SegmentedWal.on_disk(tmp_path, "seq", fresh=False)
+        assert list(recovered.replay()) == [("d", "s", 1, 1.0), ("d", "s", 2, 2.0)]
+        # Recovered segments are sealed; ids never collide with the new active.
+        assert len(recovered.sealed_segment_ids()) == 2
+        recovered.close()
+
+        fresh = SegmentedWal.on_disk(tmp_path, "seq", fresh=True)
+        assert list(fresh.replay()) == []
+        fresh.close()
+
+    def test_spaces_are_isolated_on_disk(self, tmp_path):
+        seq = SegmentedWal.on_disk(tmp_path, "seq", fresh=True)
+        unseq = SegmentedWal.on_disk(tmp_path, "unseq", fresh=True)
+        seq.append("d", "s", 1, 1.0)
+        unseq.append("d", "s", 2, 2.0)
+        assert list(seq.replay()) == [("d", "s", 1, 1.0)]
+        assert list(unseq.replay()) == [("d", "s", 2, 2.0)]
+        seq.close()
+        unseq.close()
+
+    def test_unrecognised_segment_name_rejected(self, tmp_path):
+        (tmp_path / "wal-seq-bogus.log").write_bytes(b"junk")
+        with pytest.raises(StorageError):
+            SegmentedWal.on_disk(tmp_path, "seq", fresh=False)

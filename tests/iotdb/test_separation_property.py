@@ -1,0 +1,76 @@
+"""S2: property tests for the sequence/unsequence separation invariants.
+
+The paper's separation policy promises two things the rest of the engine
+builds on:
+
+* every written point lands in **exactly one** space (routed counts are a
+  partition of the writes);
+* the **sequence working memtable never holds a point at or below its
+  device's watermark** — that is what keeps flush-time disorder
+  "not-too-distant" and late points out of the sorter's way.
+
+Checked here against arbitrary interleavings of in-order and late writes,
+across devices, with flushes (which advance the watermark) happening at
+arbitrary thresholds mid-stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.iotdb import IoTDBConfig, Space, StorageEngine
+
+_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # device index
+        st.integers(min_value=0, max_value=1),   # sensor index
+        st.integers(min_value=0, max_value=400),  # timestamp
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+def _seq_memtable_respects_watermark(engine) -> bool:
+    seq = engine._working[Space.SEQUENCE]
+    for device, _sensor, tvlist in seq.iter_chunks():
+        watermark = engine.separation.watermark(device)
+        if watermark is None:
+            continue
+        if min(tvlist.timestamps()) <= watermark:
+            return False
+    return True
+
+
+@settings(max_examples=60)
+@given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
+def test_every_point_lands_in_exactly_one_space(ops, threshold):
+    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=threshold))
+    for d, s, t in ops:
+        engine.write(f"d{d}", f"s{s}", t, float(t))
+    counts = engine.separation.routed_counts()
+    assert counts[Space.SEQUENCE] + counts[Space.UNSEQUENCE] == len(ops)
+
+
+@settings(max_examples=60)
+@given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
+def test_sequence_memtable_never_below_watermark(ops, threshold):
+    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=threshold))
+    for d, s, t in ops:
+        engine.write(f"d{d}", f"s{s}", t, float(t))
+        assert _seq_memtable_respects_watermark(engine)
+
+
+@settings(max_examples=40)
+@given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
+def test_invariant_survives_deferred_flushing(ops, threshold):
+    engine = StorageEngine(
+        IoTDBConfig(memtable_flush_threshold=threshold, deferred_flush=True)
+    )
+    for i, (d, s, t) in enumerate(ops):
+        engine.write(f"d{d}", f"s{s}", t, float(t))
+        if i % 37 == 36:
+            engine.drain_flushes()
+        assert _seq_memtable_respects_watermark(engine)
+    engine.drain_flushes()
+    assert _seq_memtable_respects_watermark(engine)

@@ -13,6 +13,7 @@ from repro.iotdb import (
     TSDataType,
     TextTVList,
     TVList,
+    dedupe_arrival,
     dedupe_sorted,
     infer_dtype,
     tvlist_for,
@@ -132,6 +133,54 @@ class TestDedupeSorted:
 
     def test_empty(self):
         assert dedupe_sorted([], []) == ([], [])
+
+
+class TestDedupeArrival:
+    """Pre-sort dedupe: last arrival wins regardless of sorter stability."""
+
+    def test_keeps_last_arrival(self):
+        ts, vs = dedupe_arrival([3, 1, 3, 2, 1], list("abcde"))
+        assert ts == [3, 2, 1]
+        assert vs == ["c", "d", "e"]
+
+    def test_no_duplicates_passthrough_is_identity(self):
+        ts_in, vs_in = [3, 1, 2], list("abc")
+        ts, vs = dedupe_arrival(ts_in, vs_in)
+        assert ts is ts_in and vs is vs_in
+
+    def test_empty(self):
+        assert dedupe_arrival([], []) == ([], [])
+
+    def test_sort_in_place_resolves_overwrites_with_unstable_sorter(self):
+        # Regression: Backward-Sort's block quicksort is unstable, so tie
+        # groups reach dedupe_sorted in arbitrary order and "keep the last"
+        # resolved an overwrite to the *older* value.  Two full passes over
+        # the same timestamps: the second pass (values t+50) must win.
+        tv = TVList()
+        for i, t in enumerate(list(range(50)) + list(range(50))):
+            tv.put(t, i)
+        tv.sort_in_place(get_sorter("backward"))
+        assert len(tv) == 50  # duplicates physically collapsed
+        assert tv.timestamps() == list(range(50))
+        assert tv.values() == [t + 50 for t in range(50)]
+
+    def test_get_sorted_arrays_resolves_overwrites_without_mutation(self):
+        tv = TVList()
+        for i, t in enumerate(list(range(50)) + list(range(50))):
+            tv.put(t, i)
+        ts, vs, _ = tv.get_sorted_arrays(get_sorter("backward"))
+        assert ts == list(range(50))
+        assert vs == [t + 50 for t in range(50)]
+        assert len(tv) == 100  # query path never mutates
+
+    def test_shrink_drops_surplus_backing_arrays(self):
+        tv = TVList(array_size=4)
+        for i, t in enumerate([5, 3, 5, 3, 5, 3, 5, 3, 5]):
+            tv.put(t, i)
+        tv.sort_in_place(get_sorter("backward"))
+        assert len(tv) == 2
+        assert (tv.timestamps(), tv.values()) == ([3, 5], [7, 8])
+        assert tv.memory_slots() == 4  # three backing arrays trimmed to one
 
 
 class TestTypedTVLists:

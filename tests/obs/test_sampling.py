@@ -1,0 +1,102 @@
+"""S5: deterministic span sampling for long benchmark runs.
+
+``Tracer(sample_rate=...)`` keeps a representative fraction of root spans
+instead of max_spans truncating to a prefix.  The draw is seeded, so the
+same seed always keeps the same traces — a benchmark rerun produces an
+identical span set.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.obs import Observability
+from repro.obs.clock import FakeClock
+from repro.obs.tracing import Tracer
+
+
+def _run(tracer, n=200):
+    for i in range(n):
+        with tracer.span("root", i=i):
+            with tracer.span("child"):
+                pass
+
+
+class TestSampling:
+    def test_default_rate_keeps_everything(self):
+        tracer = Tracer(clock=FakeClock())
+        _run(tracer, 50)
+        assert len(tracer.roots) == 50
+        assert tracer.sampled_out == 0
+
+    def test_rate_zero_keeps_nothing(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.0)
+        _run(tracer, 50)
+        assert tracer.roots == []
+        assert tracer.sampled_out == 100  # roots and children both counted
+
+    def test_sampling_keeps_a_representative_fraction(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.25, seed=3)
+        _run(tracer, 400)
+        kept = len(tracer.roots)
+        assert 0 < kept < 400
+        assert kept == pytest.approx(100, rel=0.5)
+        assert tracer.sampled_out == 2 * (400 - kept)
+
+    def test_same_seed_same_decisions(self):
+        def kept_indices(seed):
+            tracer = Tracer(clock=FakeClock(), sample_rate=0.3, seed=seed)
+            _run(tracer, 100)
+            return [span.attributes["i"] for span in tracer.roots]
+
+        assert kept_indices(7) == kept_indices(7)
+        assert kept_indices(7) != kept_indices(8)
+
+    def test_unsampled_subtree_is_fully_absent(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.5, seed=1)
+        _run(tracer, 100)
+        # Every retained child belongs to a retained root: no orphans.
+        for root in tracer.roots:
+            assert root.name == "root"
+            assert [c.name for c in root.children] == ["child"]
+        names = [s.name for s in tracer.iter_spans()]
+        assert names.count("child") == names.count("root") == len(tracer.roots)
+
+    def test_sampled_spans_still_nest_and_time(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock, sample_rate=0.0)
+        with tracer.span("root") as root:
+            clock.advance(2.0)
+            with tracer.span("child") as child:
+                clock.advance(1.0)
+        # Not retained, but the span objects themselves work normally.
+        assert root.duration == 3.0
+        assert child.duration == 1.0
+        assert child.parent_id == root.span_id
+
+    def test_sampling_composes_with_max_spans(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.5, seed=2, max_spans=10)
+        _run(tracer, 100)
+        assert tracer.span_count == 10
+        assert tracer.dropped > 0
+        assert tracer.sampled_out > 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            Tracer(sample_rate=1.5)
+        with pytest.raises(InvalidParameterError):
+            Tracer(sample_rate=-0.1)
+
+    def test_clear_resets_sampled_out(self):
+        tracer = Tracer(clock=FakeClock(), sample_rate=0.0)
+        _run(tracer, 10)
+        tracer.clear()
+        assert tracer.sampled_out == 0
+
+    def test_observability_passes_sampling_through(self):
+        obs = Observability(sample_rate=0.0, trace_seed=9)
+        with obs.span("engine.write"):
+            pass
+        assert obs.tracer.sampled_out == 1
+        assert obs.tracer.roots == []
