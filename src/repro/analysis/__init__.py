@@ -21,6 +21,15 @@ Findings are suppressed line-by-line with ``# repro: allow(<rule-id>)``.
 
 from __future__ import annotations
 
+from repro.analysis.concurrency import (
+    InstrumentedLock,
+    SharedStateSanitizer,
+    apply_guards,
+    concurrency_enabled,
+    create_lock,
+    holds,
+    reset_lock_order_graph,
+)
 from repro.analysis.linter import Finding, LintModule, Rule, load_modules, run_linter
 from repro.analysis.sanitizer import (
     SanitizerViolation,
@@ -29,15 +38,26 @@ from repro.analysis.sanitizer import (
     run_sanitized,
     sanitize_enabled,
 )
+from repro.errors import ConcurrencyError, GuardViolation, LockOrderViolation
 
 __all__ = [
+    "ConcurrencyError",
     "Finding",
+    "GuardViolation",
+    "InstrumentedLock",
     "LintModule",
+    "LockOrderViolation",
     "Rule",
     "SanitizerViolation",
     "SanitizingSorter",
+    "SharedStateSanitizer",
     "TracingList",
+    "apply_guards",
+    "concurrency_enabled",
+    "create_lock",
+    "holds",
     "load_modules",
+    "reset_lock_order_graph",
     "run_linter",
     "run_sanitized",
     "sanitize_enabled",

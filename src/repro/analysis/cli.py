@@ -4,6 +4,7 @@ Examples::
 
     repro-analyze src/repro                      # all rules, text output
     repro-analyze --rules wall-clock src/repro   # one rule
+    repro-analyze --exclude-rule lock-order src/repro  # all but one
     repro-analyze --format json src/repro        # machine-readable (CI)
     repro-analyze --list-rules                   # what can run
 
@@ -42,6 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to run (default: all); repeatable",
     )
     parser.add_argument(
+        "--exclude-rule",
+        action="append",
+        default=None,
+        metavar="ID[,ID...]",
+        help="comma-separated rule IDs to skip (applied after --rules); repeatable",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
@@ -64,20 +72,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{rule.rule_id}: {rule.description}")
         return 0
 
-    if args.rules is None:
-        rules = all_rules()
-    else:
-        requested = [
+    def split_ids(chunks: list[str] | None) -> list[str]:
+        return [
             rule_id.strip()
-            for chunk in args.rules
+            for chunk in chunks or []
             for rule_id in chunk.split(",")
             if rule_id.strip()
         ]
-        try:
-            rules = get_rules(requested)
-        except InvalidParameterError as exc:
-            print(f"repro-analyze: {exc}", file=sys.stderr)
-            return 2
+
+    try:
+        rules = all_rules() if args.rules is None else get_rules(split_ids(args.rules))
+        excluded = split_ids(args.exclude_rule)
+        if excluded:
+            get_rules(excluded)  # validate the IDs exist
+            rules = [rule for rule in rules if rule.rule_id not in excluded]
+    except InvalidParameterError as exc:
+        print(f"repro-analyze: {exc}", file=sys.stderr)
+        return 2
 
     paths = args.paths or ["src/repro"]
     try:

@@ -1,0 +1,397 @@
+"""Runtime concurrency sanitizer: lock-order tracking and guarded-state proxies.
+
+The static rules in :mod:`repro.analysis.rules` (``guarded-by``,
+``lock-order``, ``shared-state-escape``) check the *source* for concurrency
+discipline; this module checks the *process*.  Two pieces, both
+dependency-free:
+
+* :class:`InstrumentedLock` — a drop-in ``with``-able lock that records, per
+  thread, which locks are held when another is acquired, building a
+  process-wide lock-*order* graph keyed by lock name.  The first acquisition
+  that closes a cycle in that graph raises :class:`LockOrderViolation`
+  carrying both acquisition stacks — the classic ABBA deadlock is reported
+  deterministically on the second ordering, whether or not the schedule
+  would actually have deadlocked.
+* :class:`SharedStateSanitizer` — wraps the mutable collections a class
+  declares in its ``GUARDED_BY`` mapping (``{"_chunks": "_lock"}``) in
+  access-checking dict/list/set proxies that assert the owning
+  :class:`InstrumentedLock` is held by the current thread on every read and
+  write.  An unguarded access raises :class:`GuardViolation` — a
+  dependency-free TSan-lite for the attributes the sharded-engine work will
+  share between threads.
+
+Activation: set ``REPRO_CONCURRENCY=1`` (read once at import; tests flip it
+with :func:`set_enforcement`).  When disabled, :func:`create_lock` returns a
+plain ``threading.RLock`` and :func:`apply_guards` / :func:`holds` are
+no-ops, so production code pays one flag check per guarded call.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Iterable, Iterator
+
+from repro.errors import ConcurrencyError, GuardViolation, LockOrderViolation
+
+#: Environment variable that turns runtime concurrency checking on.
+CONCURRENCY_ENV = "REPRO_CONCURRENCY"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def concurrency_enabled() -> bool:
+    """True when ``REPRO_CONCURRENCY`` requests runtime checking."""
+    return os.environ.get(CONCURRENCY_ENV, "").strip().lower() in _TRUTHY
+
+
+#: Cached enforcement flag; env is read once so the hot-path check is a
+#: module attribute load.  Tests toggle it via :func:`set_enforcement`.
+_enforced = concurrency_enabled()
+
+
+def enforcement_enabled() -> bool:
+    """The cached enforcement flag the guarded call sites check."""
+    return _enforced
+
+
+def set_enforcement(enabled: bool) -> bool:
+    """Override the cached ``REPRO_CONCURRENCY`` flag; returns the old value.
+
+    Locks and guards are chosen at object construction, so flipping this
+    only affects objects created afterwards.
+    """
+    global _enforced  # repro: allow(shared-state-escape)
+    previous = _enforced
+    _enforced = bool(enabled)
+    return previous
+
+
+# -- the process-wide lock-order graph ---------------------------------------
+
+
+class _HeldStacks(threading.local):
+    """Per-thread stack of currently held :class:`InstrumentedLock`\\ s."""
+
+    def __init__(self) -> None:
+        self.stack: list[InstrumentedLock] = []
+
+
+_held = _HeldStacks()
+
+
+class _Edge:
+    """First-seen acquisition of ``target`` while holding ``source``."""
+
+    __slots__ = ("source", "target", "thread", "stack")
+
+    def __init__(self, source: str, target: str, thread: str, stack: str) -> None:
+        self.source = source
+        self.target = target
+        self.thread = thread
+        self.stack = stack
+
+
+class LockOrderGraph:
+    """Directed graph of observed lock-acquisition orders, keyed by name.
+
+    One process-wide instance (:data:`LOCK_ORDER_GRAPH`) collects edges from
+    every :class:`InstrumentedLock`; its own bookkeeping is guarded by a
+    plain ``threading.Lock`` (deliberately *not* instrumented — the graph
+    cannot watch itself).
+    """
+
+    def __init__(self) -> None:
+        # Guarded by self._mutex below; the graph is the one object that
+        # cannot use InstrumentedLock for its own state.
+        self._mutex = threading.Lock()
+        self._edges: dict[tuple[str, str], _Edge] = {}
+
+    def reset(self) -> None:
+        """Forget every recorded edge (test isolation)."""
+        with self._mutex:
+            self._edges.clear()
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Snapshot of the recorded (source, target) name pairs."""
+        with self._mutex:
+            return sorted(self._edges)
+
+    def _path(self, start: str, goal: str) -> list[_Edge] | None:
+        """A directed edge path start → … → goal, if one exists (DFS)."""
+        by_source: dict[str, list[_Edge]] = {}
+        for edge in self._edges.values():
+            by_source.setdefault(edge.source, []).append(edge)
+        stack: list[tuple[str, list[_Edge]]] = [(start, [])]
+        visited = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for edge in by_source.get(node, ()):
+                if edge.target not in visited:
+                    visited.add(edge.target)
+                    stack.append((edge.target, path + [edge]))
+        return None
+
+    def note_acquisition(
+        self, held: Iterable["InstrumentedLock"], acquiring: "InstrumentedLock"
+    ) -> None:
+        """Record ``held → acquiring`` edges; raise on a closed cycle."""
+        candidates = [lock for lock in held if lock.name != acquiring.name]
+        if not candidates:
+            return
+        thread = threading.current_thread().name
+        stack_text: str | None = None
+        with self._mutex:
+            for lock in candidates:
+                key = (lock.name, acquiring.name)
+                if key in self._edges:
+                    continue
+                if stack_text is None:
+                    # Stack capture is expensive; defer it until an edge is
+                    # genuinely new (steady state repeats known edges).
+                    stack_text = "".join(traceback.format_stack(limit=12)[:-2])
+                # Does the reverse order already exist (directly or
+                # transitively)?  Then this acquisition closes a cycle.
+                reverse = self._path(acquiring.name, lock.name)
+                if reverse is not None:
+                    first = reverse[0]
+                    cycle = " -> ".join(
+                        [acquiring.name]
+                        + [edge.target for edge in reverse]
+                        + [acquiring.name]
+                    )
+                    raise LockOrderViolation(
+                        f"lock-order cycle: acquiring {acquiring.name!r} while "
+                        f"holding {lock.name!r}, but the opposite order "
+                        f"{cycle} was already recorded.\n"
+                        f"--- first ordering (thread {first.thread!r}, "
+                        f"{first.source!r} -> {first.target!r}) ---\n"
+                        f"{first.stack}"
+                        f"--- this ordering (thread {thread!r}, "
+                        f"{lock.name!r} -> {acquiring.name!r}) ---\n"
+                        f"{stack_text}"
+                    )
+                self._edges[key] = _Edge(
+                    lock.name, acquiring.name, thread, stack_text
+                )
+
+
+#: The process-wide lock-order graph every InstrumentedLock reports into.
+LOCK_ORDER_GRAPH = LockOrderGraph()
+
+
+def reset_lock_order_graph() -> None:
+    """Clear the process-wide graph (call between independent tests)."""
+    LOCK_ORDER_GRAPH.reset()
+
+
+class InstrumentedLock:
+    """A named re-entrant lock that feeds the process lock-order graph.
+
+    Drop-in for ``threading.RLock`` in ``with`` statements.  ``name``
+    identifies the lock *class* in the order graph (every ``MemTable``
+    instance shares the name ``"MemTable._lock"``), matching the static
+    ``lock-order`` rule's granularity: a consistent global order must hold
+    between lock classes, not just instances.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._owner: int | None = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._owner != me:
+            # A fresh (non-re-entrant) acquisition: record ordering edges
+            # against every lock this thread already holds *before*
+            # blocking, so the violation fires instead of the deadlock.
+            LOCK_ORDER_GRAPH.note_acquisition(list(_held.stack), self)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._owner = me
+            self._count += 1
+            _held.stack.append(self)
+        return acquired
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident() or self._count <= 0:
+            raise ConcurrencyError(
+                f"lock {self.name!r} released by a thread that does not hold it"
+            )
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+        for index in range(len(_held.stack) - 1, -1, -1):
+            if _held.stack[index] is self:
+                del _held.stack[index]
+                break
+        self._lock.release()
+
+    def __enter__(self) -> "InstrumentedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def held_by_current_thread(self) -> bool:
+        """True when the calling thread currently holds this lock."""
+        return self._owner == threading.get_ident()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<InstrumentedLock {self.name!r} depth={self._count}>"
+
+
+def create_lock(name: str):
+    """The lock factory every guarded class uses.
+
+    Returns an :class:`InstrumentedLock` when runtime checking is on, a
+    plain ``threading.RLock`` otherwise — so production pays no per-acquire
+    graph bookkeeping.
+    """
+    if _enforced:
+        return InstrumentedLock(name)
+    return threading.RLock()
+
+
+# -- @holds: annotated lock expectations --------------------------------------
+
+
+def holds(*lock_attrs: str):
+    """Declare that a method runs with ``self.<lock_attr>`` already held.
+
+    The static ``guarded-by`` rule treats the decorated method's body as
+    holding the named locks; at runtime (``REPRO_CONCURRENCY=1``) entry
+    asserts the expectation, so a refactor that starts calling the helper
+    without the lock fails immediately instead of racing silently.
+    """
+
+    def decorate(fn):
+        import functools
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if _enforced:
+                for attr in lock_attrs:
+                    lock = getattr(self, attr, None)
+                    if isinstance(lock, InstrumentedLock) and not (
+                        lock.held_by_current_thread()
+                    ):
+                        raise GuardViolation(
+                            f"{type(self).__name__}.{fn.__name__} requires "
+                            f"{attr} to be held (declared via @holds)"
+                        )
+            return fn(self, *args, **kwargs)
+
+        wrapper.__repro_holds__ = lock_attrs
+        return wrapper
+
+    return decorate
+
+
+# -- guarded-attribute proxies ------------------------------------------------
+
+
+def _assert_held(lock: InstrumentedLock, label: str) -> None:
+    if not lock.held_by_current_thread():
+        raise GuardViolation(
+            f"unguarded access to {label}: {lock.name!r} is not held by "
+            f"thread {threading.current_thread().name!r}"
+        )
+
+
+def _checking(name):
+    """Build a method that asserts the guard lock before delegating."""
+
+    def method(self, *args, **kwargs):
+        _assert_held(self.__guard_lock__, self.__guard_label__)
+        return getattr(self.__guard_base__, name)(self, *args, **kwargs)
+
+    method.__name__ = name
+    return method
+
+
+_DICT_METHODS = (
+    "__getitem__", "__setitem__", "__delitem__", "__contains__", "__iter__",
+    "__len__", "get", "setdefault", "pop", "popitem", "update", "clear",
+    "keys", "values", "items",
+)
+_LIST_METHODS = (
+    "__getitem__", "__setitem__", "__delitem__", "__contains__", "__iter__",
+    "__len__", "append", "extend", "insert", "pop", "remove", "clear",
+    "sort", "reverse", "index", "count",
+)
+_SET_METHODS = (
+    "__contains__", "__iter__", "__len__", "add", "discard", "remove",
+    "pop", "clear", "update",
+)
+
+
+def _build_proxy(base: type, methods: tuple[str, ...]) -> type:
+    namespace = {
+        "__guard_base__": base,
+        "__slots__": ("__guard_lock__", "__guard_label__"),
+    }
+    for name in methods:
+        namespace[name] = _checking(name)
+    return type(f"Guarded{base.__name__.capitalize()}", (base,), namespace)
+
+
+_GuardedDict = _build_proxy(dict, _DICT_METHODS)
+_GuardedList = _build_proxy(list, _LIST_METHODS)
+_GuardedSet = _build_proxy(set, _SET_METHODS)
+
+_PROXY_TYPES = {dict: _GuardedDict, list: _GuardedList, set: _GuardedSet}
+
+
+class SharedStateSanitizer:
+    """Wraps a class's declared guarded attributes in checking proxies.
+
+    Reads the instance's ``GUARDED_BY`` class mapping
+    (``{"<attr>": "<lock-attr>"}``) and replaces each dict/list/set valued
+    attribute with a proxy asserting the owning :class:`InstrumentedLock`
+    is held on every access.  Non-collection attributes (ints, enums) are
+    covered by the static rule and by ``@holds`` only.  Idempotent:
+    re-applying after an attribute was rebound re-wraps only raw values.
+    """
+
+    @staticmethod
+    def instrument(obj) -> object:
+        spec: dict[str, str] = getattr(type(obj), "GUARDED_BY", None) or {}
+        label_prefix = type(obj).__name__
+        for attr, lock_attr in spec.items():
+            lock = getattr(obj, lock_attr, None)
+            if not isinstance(lock, InstrumentedLock):
+                continue
+            value = getattr(obj, attr, None)
+            proxy_type = _PROXY_TYPES.get(type(value))
+            if proxy_type is None:
+                continue
+            proxy = proxy_type(value)
+            proxy.__guard_lock__ = lock
+            proxy.__guard_label__ = f"{label_prefix}.{attr}"
+            setattr(obj, attr, proxy)
+        return obj
+
+
+def apply_guards(obj) -> object:
+    """Instrument ``obj``'s ``GUARDED_BY`` attributes when checking is on.
+
+    The call every guarded class makes at the end of ``__init__`` (and
+    again after rebinding a guarded attribute).  A no-op unless
+    ``REPRO_CONCURRENCY=1`` was set when the process started (or a test
+    called :func:`set_enforcement`).
+    """
+    if not _enforced:
+        return obj
+    return SharedStateSanitizer.instrument(obj)
+
+
+def iter_guarded_attrs(cls: type) -> Iterator[tuple[str, str]]:
+    """(attribute, lock-attribute) pairs a class declares via ``GUARDED_BY``."""
+    yield from (getattr(cls, "GUARDED_BY", None) or {}).items()

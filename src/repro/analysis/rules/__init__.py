@@ -10,10 +10,13 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.analysis.linter import Rule
+from repro.analysis.rules.guarded_by import GuardedByRule
 from repro.analysis.rules.lazy_imports import LazyImportCycleRule
+from repro.analysis.rules.lock_order import LockOrderRule
 from repro.analysis.rules.metrics_mutation import MetricsMutationRule
 from repro.analysis.rules.parallel_arrays import ParallelArrayRule
 from repro.analysis.rules.quadratic_ops import QuadraticListOpRule
+from repro.analysis.rules.shared_state import SharedStateEscapeRule
 from repro.analysis.rules.stats_accounting import StatsAccountingRule
 from repro.analysis.rules.wall_clock import WallClockRule
 from repro.errors import InvalidParameterError
@@ -25,6 +28,9 @@ _RULE_FACTORIES: dict[str, Callable[[], Rule]] = {
     WallClockRule.rule_id: WallClockRule,
     QuadraticListOpRule.rule_id: QuadraticListOpRule,
     MetricsMutationRule.rule_id: MetricsMutationRule,
+    GuardedByRule.rule_id: GuardedByRule,
+    LockOrderRule.rule_id: LockOrderRule,
+    SharedStateEscapeRule.rule_id: SharedStateEscapeRule,
 }
 
 

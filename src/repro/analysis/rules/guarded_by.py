@@ -1,0 +1,182 @@
+"""Rule ``guarded-by``: declared shared attributes are accessed under their lock.
+
+The concurrency annotation vocabulary (shared with the runtime layer in
+:mod:`repro.analysis.concurrency`):
+
+* a class declares its lock discipline with a ``GUARDED_BY`` class
+  attribute — ``GUARDED_BY = {"_chunks": "_lock"}`` reads "``self._chunks``
+  may only be touched while ``self._lock`` is held";
+* or, per attribute, with a trailing pragma on the initialising assignment —
+  ``self._next_id = 1  # repro: guarded_by(_lock)``;
+* a helper that is *always* called with the lock already held is annotated
+  ``@holds("_lock")`` instead of re-acquiring.
+
+The rule walks every method of a declaring class and flags each read or
+write of a guarded attribute that is not syntactically inside a
+``with self.<lock>:`` block (or an ``@holds``-annotated method).
+``__init__`` / ``__new__`` / ``__post_init__`` are exempt: the object is
+not yet shared while it is being constructed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+
+#: Attribute-level pragma: ``self._x = ...  # repro: guarded_by(_lock)``.
+_GUARDED_PRAGMA = re.compile(r"#\s*repro:\s*guarded_by\(\s*(\w+)\s*\)")
+
+#: Methods where the instance is still private to the constructing thread.
+_CONSTRUCTORS = frozenset({"__init__", "__new__", "__post_init__", "__del__"})
+
+
+def _class_guard_map(cls: ast.ClassDef, module: LintModule) -> dict[str, str]:
+    """``{attr: lock_attr}`` from GUARDED_BY and guarded_by() pragmas."""
+    guards: dict[str, str] = {}
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "GUARDED_BY"
+                and isinstance(value, ast.Dict)
+            ):
+                for key, val in zip(value.keys, value.values):
+                    if isinstance(key, ast.Constant) and isinstance(
+                        val, ast.Constant
+                    ):
+                        guards[str(key.value)] = str(val.value)
+    lines = module.source.splitlines()
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign):
+            continue
+        if node.lineno > len(lines):
+            continue
+        match = _GUARDED_PRAGMA.search(lines[node.lineno - 1])
+        if match is None:
+            continue
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                guards[target.attr] = match.group(1)
+    return guards
+
+
+def _held_via_decorators(method: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Lock attrs a ``@holds("_lock")`` decorator declares as already held."""
+    held: set[str] = set()
+    for decorator in method.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "holds":
+            continue
+        for arg in decorator.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                held.add(arg.value)
+    return held
+
+
+def _with_lock_attrs(node: ast.With | ast.AsyncWith) -> set[str]:
+    """Lock attributes acquired by ``with self.<attr>:`` items."""
+    attrs: set[str] = set()
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            attrs.add(expr.attr)
+    return attrs
+
+
+class GuardedByRule(Rule):
+    rule_id = "guarded-by"
+    description = (
+        "attributes declared in GUARDED_BY (or via '# repro: guarded_by(lock)') "
+        "must be accessed inside 'with self.<lock>:' or an @holds method"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: LintModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guards = _class_guard_map(cls, module)
+        if not guards:
+            return
+        lock_attrs = set(guards.values())
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in _CONSTRUCTORS:
+                continue
+            held = _held_via_decorators(stmt)
+            for child in stmt.body:
+                yield from self._check_node(
+                    module, cls, guards, lock_attrs, child, held
+                )
+
+    def _check_node(
+        self,
+        module: LintModule,
+        cls: ast.ClassDef,
+        guards: dict[str, str],
+        lock_attrs: set[str],
+        node: ast.AST,
+        held: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested scope may run after the with-block exits; its lock
+            # state is out of static reach — the runtime proxies cover it.
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                yield from self._check_node(
+                    module, cls, guards, lock_attrs, item.context_expr, held
+                )
+            inner = held | (_with_lock_attrs(node) & lock_attrs)
+            for child in node.body:
+                yield from self._check_node(
+                    module, cls, guards, lock_attrs, child, inner
+                )
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guards
+            and guards[node.attr] not in held
+        ):
+            access = "write to" if isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ) else "read of"
+            yield self.finding(
+                module,
+                node.lineno,
+                f"{access} guarded attribute {cls.name}.{node.attr} outside "
+                f"'with self.{guards[node.attr]}:' (declare @holds"
+                f"({guards[node.attr]!r}) if the caller always holds it)",
+            )
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_node(
+                module, cls, guards, lock_attrs, child, held
+            )

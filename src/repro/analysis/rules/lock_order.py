@@ -1,0 +1,166 @@
+"""Rule ``lock-order``: the static lock-acquisition graph must be acyclic.
+
+A deadlock needs a cycle in the order locks are acquired: thread 1 takes A
+then B, thread 2 takes B then A.  The runtime layer
+(:class:`repro.analysis.concurrency.InstrumentedLock`) catches the orders a
+test actually executes; this rule catches the ones the *source* admits.  It
+scans every function in the project for syntactically nested ``with``
+statements whose context expressions look like locks (the expression text
+mentions ``lock``/``mutex``), labels them — ``self._lock`` inside class
+``MemTable`` becomes ``MemTable._lock``, a module-level lock becomes
+``<module>.<name>`` — records an edge outer → inner for every nesting, and
+fails when the project-wide graph has a cycle.
+
+The granularity is the lock *class*, matching the runtime graph: a
+consistent global order must hold between, say, every engine lock and every
+memtable lock, regardless of instance.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.analysis.linter import Finding, LintModule, Rule
+
+#: Substrings that mark a with-context expression as a lock acquisition.
+_LOCK_WORDS = ("lock", "mutex")
+
+
+def _looks_like_lock(expr: ast.expr) -> bool:
+    text = ast.unparse(expr).lower()
+    return any(word in text for word in _LOCK_WORDS)
+
+
+def _lock_label(expr: ast.expr, module: LintModule, class_name: str | None) -> str:
+    """Stable lock-class label for a with-context expression."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and class_name is not None
+    ):
+        return f"{class_name}.{expr.attr}"
+    if isinstance(expr, ast.Name):
+        return f"{module.name}.{expr.id}"
+    return f"{module.name}.{ast.unparse(expr)}"
+
+
+@dataclass(frozen=True)
+class _LockEdge:
+    """One observed outer → inner nesting of lock acquisitions."""
+
+    source: str
+    target: str
+    path: str
+    line: int
+
+
+class LockOrderRule(Rule):
+    rule_id = "lock-order"
+    description = (
+        "nested 'with <lock>:' statements across the project must form an "
+        "acyclic acquisition graph (a cycle is a latent ABBA deadlock)"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        edges: dict[tuple[str, str], _LockEdge] = {}
+        for module in modules:
+            for edge in self._module_edges(module):
+                edges.setdefault((edge.source, edge.target), edge)
+
+        adjacency: dict[str, list[str]] = {}
+        for source, target in edges:
+            adjacency.setdefault(source, []).append(target)
+
+        reported: set[frozenset[str]] = set()
+        for (source, target), edge in sorted(edges.items()):
+            path = self._find_path(adjacency, target, source)
+            if path is None:
+                continue
+            cycle_nodes = frozenset(path) | {source, target}
+            if cycle_nodes in reported:
+                continue
+            reported.add(cycle_nodes)
+            cycle = " -> ".join([source, target] + path[1:] + [source])
+            back = edges.get((path[-2] if len(path) > 1 else target, source))
+            where = f" (opposite order at {back.path}:{back.line})" if back else ""
+            yield Finding(
+                rule_id=self.rule_id,
+                path=edge.path,
+                line=edge.line,
+                message=(
+                    f"lock-order cycle {cycle}: acquiring {target!r} while "
+                    f"holding {source!r} here, but the reverse order also "
+                    f"exists{where}"
+                ),
+            )
+
+    # -- edge collection ---------------------------------------------------
+
+    def _module_edges(self, module: LintModule) -> Iterator[_LockEdge]:
+        yield from self._walk(module, module.tree.body, class_name=None, stack=[])
+
+    def _walk(
+        self,
+        module: LintModule,
+        stmts: Sequence[ast.stmt],
+        class_name: str | None,
+        stack: list[str],
+    ) -> Iterator[_LockEdge]:
+        for stmt in stmts:
+            if isinstance(stmt, ast.ClassDef):
+                yield from self._walk(module, stmt.body, stmt.name, [])
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Each function body is a fresh acquisition context: nesting
+                # across a call boundary is the runtime graph's job.
+                yield from self._walk(module, stmt.body, class_name, [])
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                labels = [
+                    _lock_label(item.context_expr, module, class_name)
+                    for item in stmt.items
+                    if _looks_like_lock(item.context_expr)
+                ]
+                for label in labels:
+                    for outer in stack:
+                        if outer != label:
+                            yield _LockEdge(
+                                outer, label, str(module.path), stmt.lineno
+                            )
+                yield from self._walk(
+                    module, stmt.body, class_name, stack + labels
+                )
+            else:
+                yield from self._walk_nested(module, stmt, class_name, stack)
+
+    def _walk_nested(
+        self,
+        module: LintModule,
+        stmt: ast.stmt,
+        class_name: str | None,
+        stack: list[str],
+    ) -> Iterator[_LockEdge]:
+        """Recurse into compound statements (if/for/try…) preserving stack."""
+        for field_value in ast.iter_child_nodes(stmt):
+            if isinstance(field_value, ast.stmt):
+                yield from self._walk(module, [field_value], class_name, stack)
+
+    # -- cycle detection ---------------------------------------------------
+
+    @staticmethod
+    def _find_path(
+        adjacency: dict[str, list[str]], start: str, goal: str
+    ) -> list[str] | None:
+        """Node path from ``start`` to ``goal`` (inclusive), if any."""
+        frontier: list[tuple[str, list[str]]] = [(start, [start])]
+        visited = {start}
+        while frontier:
+            node, path = frontier.pop()
+            if node == goal:
+                return path
+            for neighbour in adjacency.get(node, ()):
+                if neighbour not in visited:
+                    visited.add(neighbour)
+                    frontier.append((neighbour, path + [neighbour]))
+        return None

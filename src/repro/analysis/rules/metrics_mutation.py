@@ -1,15 +1,14 @@
 """Rule ``no-direct-metrics-mutation``: engine metrics mutate via the registry.
 
-``EngineMetrics`` is a deprecated façade over the metrics registry
-(:mod:`repro.iotdb.engine_metrics`); code that writes
-``engine.metrics.points_written += 1`` (or appends to
-``engine.metrics.flush_reports``) bypasses the instruments, so the numbers
-silently diverge from what the exporters publish.  All mutation goes
-through registry instruments (``registry.counter(...).inc()``) or the
-engine's own pre-resolved children; the façade exists only so old *reads*
-keep working during the deprecation window.
+Engine metrics live in the metrics registry
+(:class:`repro.obs.MetricsRegistry`); code that writes
+``engine.metrics.points_written += 1`` (the removed ``EngineMetrics``
+façade's attribute API) bypasses the instruments, so the numbers silently
+diverge from what the exporters publish.  All mutation goes through
+registry instruments (``registry.counter(...).inc()``) or the engine's own
+pre-resolved children.
 
-The rule flags, in any linted module except the façade itself:
+The rule flags, in any linted module:
 
 * assignments / augmented assignments whose target is
   ``<expr>.metrics.<field>``;
@@ -24,9 +23,6 @@ from typing import Iterator
 
 from repro.analysis.linter import Finding, LintModule, Rule
 from repro.analysis.rules.common import MUTATING_METHODS
-
-#: The façade module itself is the one place allowed to touch the fields.
-_FACADE_MODULE = "repro.iotdb.engine_metrics"
 
 
 def _metrics_field(node: ast.AST) -> str | None:
@@ -48,8 +44,6 @@ class MetricsMutationRule(Rule):
     )
 
     def check_module(self, module: LintModule) -> Iterator[Finding]:
-        if module.name == _FACADE_MODULE:
-            return
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.Assign, ast.AugAssign)):
                 targets = (
@@ -62,8 +56,8 @@ class MetricsMutationRule(Rule):
                             module,
                             node.lineno,
                             f"direct write to .metrics.{field}; increment the "
-                            "registry instrument instead (EngineMetrics is a "
-                            "deprecated read-only façade)",
+                            "registry instrument instead (the EngineMetrics "
+                            "attribute API has been removed)",
                         )
             elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
                 if node.func.attr not in MUTATING_METHODS:
@@ -73,7 +67,7 @@ class MetricsMutationRule(Rule):
                     yield self.finding(
                         module,
                         node.lineno,
-                        f".metrics.{field}.{node.func.attr}(...) mutates the "
-                        "deprecated façade; record through the registry (or "
-                        "StorageEngine.flush_reports) instead",
+                        f".metrics.{field}.{node.func.attr}(...) mutates "
+                        "engine metrics directly; record through the registry "
+                        "(or StorageEngine.flush_reports) instead",
                     )

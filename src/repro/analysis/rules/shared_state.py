@@ -1,0 +1,249 @@
+"""Rule ``shared-state-escape``: shared mutable state must not leak unguarded.
+
+Three shapes that are benign single-threaded and data races the moment a
+second thread appears (exactly what the sharded-engine refactor will add):
+
+1. **Module-level mutable globals** — a dict/list/set bound at module scope
+   is process-wide shared state.  Constant-case names (``_FACTORIES``) are
+   treated as frozen lookup tables and allowed *unless* the module itself
+   mutates them; lowercase module globals and mutated tables are flagged.
+   Functions that rebind a module global via ``global x`` are flagged too —
+   that is a read-modify-write race (use ``threading.local`` or a lock).
+2. **Mutable class attributes** — ``class C: cache = {}`` shares one dict
+   across every instance (and thread).  Constant-case lookup tables and the
+   ``GUARDED_BY`` declaration itself are exempt.
+3. **Escaping owned collections** — a method that ``return``\\ s or
+   ``yield``\\ s a ``self``-owned mutable collection (assigned a fresh
+   dict/list/set in ``__init__``, or declared in ``GUARDED_BY``) hands the
+   caller an unsynchronised alias into the object's guarded state.  Return
+   a copy (``list(self._x)``) or waive with a documented reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, LintModule, Rule
+from repro.analysis.rules.common import MUTATING_METHODS
+
+#: Constructor names whose call result is a fresh mutable collection.
+_MUTABLE_CTORS = frozenset(
+    {"dict", "list", "set", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+#: Class attributes that are declarations, not shared state.
+_DECLARATION_ATTRS = frozenset({"GUARDED_BY"})
+
+
+def _is_mutable_value(node: ast.expr | None) -> bool:
+    """True when ``node`` evaluates to a fresh mutable collection."""
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CTORS
+    return False
+
+
+def _is_constant_case(name: str) -> bool:
+    return name == name.upper() and any(c.isalpha() for c in name)
+
+
+def _mutated_names(tree: ast.Module) -> set[str]:
+    """Names the module stores through / calls mutating methods on, anywhere."""
+    mutated: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Delete)):
+            targets = (
+                node.targets
+                if isinstance(node, (ast.Assign, ast.Delete))
+                else [node.target]
+            )
+            for target in targets:
+                inner = target
+                while isinstance(inner, ast.Subscript):
+                    inner = inner.value
+                if isinstance(inner, ast.Name) and inner is not target:
+                    mutated.add(inner.id)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATING_METHODS | {"setdefault", "update", "add"}:
+                if isinstance(node.func.value, ast.Name):
+                    mutated.add(node.func.value.id)
+    return mutated
+
+
+def _owned_mutable_attrs(cls: ast.ClassDef) -> dict[str, int]:
+    """``self``-owned mutable collection attrs: ``{attr: declaring line}``."""
+    # What __init__/__post_init__ visibly assigns: attr -> (line, is_mutable).
+    assigned: dict[str, tuple[int, bool]] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if stmt.name not in ("__init__", "__post_init__"):
+            continue
+        for node in ast.walk(stmt):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    assigned.setdefault(
+                        target.attr, (node.lineno, _is_mutable_value(value))
+                    )
+    owned: dict[str, int] = {
+        attr: line for attr, (line, mutable) in assigned.items() if mutable
+    }
+    for stmt in cls.body:
+        # GUARDED_BY keys are owned state by declaration — unless __init__
+        # visibly binds them to something immutable (an int counter, an enum
+        # state field): guarded, but not an aliasable collection.
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id == "GUARDED_BY"
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                for key in stmt.value.keys:
+                    if not isinstance(key, ast.Constant):
+                        continue
+                    attr = str(key.value)
+                    if attr in assigned and not assigned[attr][1]:
+                        continue
+                    owned.setdefault(attr, stmt.lineno)
+    return owned
+
+
+class SharedStateEscapeRule(Rule):
+    rule_id = "shared-state-escape"
+    description = (
+        "module-level mutable globals, mutable class attributes, and methods "
+        "leaking self-owned collections are data races under threads"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        yield from self._check_globals(module)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class_attrs(module, node)
+                yield from self._check_escapes(module, node)
+        yield from self._check_global_rebinds(module)
+
+    # -- module globals ----------------------------------------------------
+
+    def _check_globals(self, module: LintModule) -> Iterator[Finding]:
+        mutated = _mutated_names(module.tree)
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _is_mutable_value(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue  # module metadata (__all__ and friends)
+                if _is_constant_case(name) and name not in mutated:
+                    continue  # frozen-by-convention lookup table
+                reason = (
+                    "is mutated in this module"
+                    if name in mutated
+                    else "is not constant-cased"
+                )
+                yield self.finding(
+                    module,
+                    stmt.lineno,
+                    f"module-level mutable global {name!r} {reason}; "
+                    "process-wide shared state needs a lock, threading.local, "
+                    "or an immutable type (tuple/frozenset/MappingProxyType)",
+                )
+
+    def _check_global_rebinds(self, module: LintModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"'global {names}' rebinds module state from a function — "
+                    "a read-modify-write race under threads; use "
+                    "threading.local, an instance attribute, or guard with a "
+                    "lock and waive",
+                )
+
+    # -- class attributes --------------------------------------------------
+
+    def _check_class_attrs(
+        self, module: LintModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for stmt in cls.body:
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _is_mutable_value(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name in _DECLARATION_ATTRS or _is_constant_case(name):
+                    continue
+                yield self.finding(
+                    module,
+                    stmt.lineno,
+                    f"mutable class attribute {cls.name}.{name} is shared by "
+                    "every instance (and thread); initialise it per-instance "
+                    "in __init__",
+                )
+
+    # -- escaping owned collections ----------------------------------------
+
+    def _check_escapes(
+        self, module: LintModule, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        owned = _owned_mutable_attrs(cls)
+        if not owned:
+            return
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(stmt):
+                value: ast.expr | None
+                if isinstance(node, ast.Return):
+                    value, verb = node.value, "returns"
+                elif isinstance(node, ast.Yield):
+                    value, verb = node.value, "yields"
+                else:
+                    continue
+                if (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "self"
+                    and value.attr in owned
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"{cls.name}.{stmt.name} {verb} the internal mutable "
+                        f"collection self.{value.attr} without copying; the "
+                        "caller gets an unsynchronised alias — return "
+                        f"list(...)/dict(...) of it instead",
+                    )

@@ -25,6 +25,7 @@ directly.  Violations raise :class:`SanitizerViolation`.
 from __future__ import annotations
 
 import os
+import threading
 from collections import Counter
 from dataclasses import fields
 
@@ -35,10 +36,19 @@ SANITIZE_ENV = "REPRO_SANITIZE"
 
 _TRUTHY = frozenset({"1", "true", "yes", "on"})
 
-#: Non-zero while a sanitized sort is running, so sorters that internally
-#: call other sorters (Backward-Sort's tim block sort, for example) are not
-#: re-wrapped: one sanitizer layer per top-level sort call.
-_depth = 0
+class _SanitizeDepth(threading.local):
+    """Per-thread nesting depth of sanitized sorts.
+
+    Non-zero while a sanitized sort is running, so sorters that internally
+    call other sorters (Backward-Sort's tim block sort, for example) are not
+    re-wrapped: one sanitizer layer per top-level sort call.  Thread-local so
+    concurrent sorts on different threads each get their own layer.
+    """
+
+    value = 0
+
+
+_DEPTH = _SanitizeDepth()
 
 
 class SanitizerViolation(SortError):
@@ -135,8 +145,7 @@ def run_sanitized(sorter, ts: list, vs: list, stats) -> None:
     Raises:
         SanitizerViolation: on any broken post-condition.
     """
-    global _depth
-    if _depth > 0:
+    if _DEPTH.value > 0:
         sorter._sort(ts, vs, stats)
         return
 
@@ -147,11 +156,11 @@ def run_sanitized(sorter, ts: list, vs: list, stats) -> None:
     proxy_t = TracingList(ts)
     proxy_v = TracingList(vs)
 
-    _depth += 1
+    _DEPTH.value += 1
     try:
         sorter._sort(proxy_t, proxy_v, stats)
     finally:
-        _depth -= 1
+        _DEPTH.value -= 1
     ts[:] = proxy_t
     vs[:] = proxy_v
 

@@ -1,0 +1,179 @@
+"""Deterministic sorter-ops baseline: ``BENCH_sorter.json`` and its checker.
+
+Wall-clock timing is too noisy to gate CI on, but the *operation counts* a
+sorter performs on a fixed input are exactly reproducible: same stream,
+same algorithm, same comparisons and moves.  This module pins those counts
+for every paper algorithm on the three synthetic delay models (§VI-A3) and
+fails when a change inflates any cell past a ratio — an algorithmic
+regression (say, a cutoff change that degrades backward-sort to quadratic
+behaviour) caught without ever measuring time.
+
+Usage::
+
+    python -m repro.bench.baseline --write             # refresh the baseline
+    python -m repro.bench.baseline --check BENCH_sorter.json --max-ratio 2.0
+
+Exit status: 0 when within budget, 1 on a regression or a baseline/current
+cell mismatch, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.sorting import PAPER_ALGORITHMS, get_sorter
+from repro.theory.distributions import (
+    AbsNormalDelay,
+    DelayDistribution,
+    ExponentialDelay,
+    LogNormalDelay,
+)
+from repro.workloads import TimeSeriesGenerator
+
+#: The synthetic delay models of the paper's evaluation (§VI-A3).
+DELAY_MODELS: tuple[tuple[str, DelayDistribution], ...] = (
+    ("exponential", ExponentialDelay(lam=1.0)),
+    ("absnormal", AbsNormalDelay(mu=1.0, sigma=1.0)),
+    ("lognormal", LogNormalDelay(mu=1.0, sigma=1.0)),
+)
+
+DEFAULT_N = 4000
+DEFAULT_SEED = 42
+DEFAULT_PATH = "BENCH_sorter.json"
+DEFAULT_MAX_RATIO = 2.0
+
+
+def collect_baseline(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> dict:
+    """Sorter op counts for every (algorithm, delay model) cell.
+
+    Deterministic: the stream is seeded and the sorters count operations,
+    not time, so two runs on any machine produce identical numbers.
+    """
+    cells: dict[str, dict[str, int]] = {}
+    for model_name, delay in DELAY_MODELS:
+        stream = TimeSeriesGenerator(delay).generate(n, seed=seed)
+        for algorithm in PAPER_ALGORITHMS:
+            ts, vs = stream.sort_input()
+            stats = get_sorter(algorithm).sort(ts, vs)
+            cells[f"{algorithm}/{model_name}"] = {
+                "comparisons": stats.comparisons,
+                "moves": stats.moves,
+            }
+    return {"n": n, "seed": seed, "cells": cells}
+
+
+def _total(cell: dict[str, int]) -> int:
+    return int(cell["comparisons"]) + int(cell["moves"])
+
+
+def check_baseline(
+    baseline: dict, current: dict, max_ratio: float
+) -> list[str]:
+    """Human-readable regression messages; empty when within budget."""
+    problems: list[str] = []
+    base_cells = baseline.get("cells", {})
+    cur_cells = current.get("cells", {})
+    if set(base_cells) != set(cur_cells):
+        missing = sorted(set(base_cells) - set(cur_cells))
+        extra = sorted(set(cur_cells) - set(base_cells))
+        problems.append(
+            f"cell sets differ (missing={missing}, extra={extra}); "
+            "refresh the baseline with --write"
+        )
+        return problems
+    for key in sorted(base_cells):
+        base_total = _total(base_cells[key])
+        cur_total = _total(cur_cells[key])
+        if base_total <= 0:
+            problems.append(f"{key}: baseline total is {base_total}")
+            continue
+        ratio = cur_total / base_total
+        if ratio > max_ratio:
+            problems.append(
+                f"{key}: {cur_total} ops vs baseline {base_total} "
+                f"({ratio:.2f}x > {max_ratio:.2f}x budget)"
+            )
+    return problems
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench-baseline",
+        description="Pin / check deterministic sorter operation counts.",
+    )
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write",
+        action="store_true",
+        help="collect the counts and write the baseline file",
+    )
+    mode.add_argument(
+        "--check",
+        metavar="BASELINE",
+        help="collect the counts and compare against BASELINE",
+    )
+    parser.add_argument(
+        "--path",
+        default=DEFAULT_PATH,
+        help=f"baseline file to write (default: {DEFAULT_PATH})",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=DEFAULT_MAX_RATIO,
+        help=f"fail when any cell exceeds baseline × ratio (default: {DEFAULT_MAX_RATIO})",
+    )
+    parser.add_argument("--n", type=int, default=DEFAULT_N, help="stream length")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED, help="stream seed")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.max_ratio <= 0:
+        print("repro-bench-baseline: --max-ratio must be > 0", file=sys.stderr)
+        return 2
+
+    current = collect_baseline(n=args.n, seed=args.seed)
+
+    if args.write:
+        Path(args.path).write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"repro-bench-baseline: wrote {len(current['cells'])} cells to {args.path}")
+        return 0
+
+    baseline_path = Path(args.check)
+    if not baseline_path.exists():
+        print(
+            f"repro-bench-baseline: no such baseline: {baseline_path}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if baseline.get("n") != current["n"] or baseline.get("seed") != current["seed"]:
+        print(
+            "repro-bench-baseline: baseline was collected with "
+            f"n={baseline.get('n')} seed={baseline.get('seed')}, current run "
+            f"uses n={current['n']} seed={current['seed']}",
+            file=sys.stderr,
+        )
+        return 2
+    problems = check_baseline(baseline, current, args.max_ratio)
+    if problems:
+        for problem in problems:
+            print(f"repro-bench-baseline: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"repro-bench-baseline: {len(current['cells'])} cells within "
+        f"{args.max_ratio:.2f}x of {baseline_path}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

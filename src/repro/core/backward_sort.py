@@ -18,6 +18,7 @@ Insertion-Sort; ``L = N`` into plain Quicksort.  Both are reachable through
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, ClassVar
 
 from repro.core.block_size import (
@@ -35,19 +36,18 @@ from repro.errors import InvalidParameterError
 BlockSortFn = Callable[[list, list, int, int, SortStats], None]
 
 
-_quicksort_range = None
+@lru_cache(maxsize=1)
+def _resolve_quicksort_range():
+    # Imported lazily (repro.sorting's registry imports this module back)
+    # and cached through lru_cache, which is thread-safe, instead of a
+    # rebindable module global.
+    from repro.sorting.quicksort import quicksort_range
+
+    return quicksort_range
 
 
 def _quick_block_sort(ts: list, vs: list, lo: int, hi: int, stats: SortStats) -> None:
-    # Imported lazily (repro.sorting's registry imports this module back)
-    # and cached: this runs once per block, so per-call import lookups
-    # would dominate on small blocks.
-    global _quicksort_range
-    if _quicksort_range is None:
-        from repro.sorting.quicksort import quicksort_range
-
-        _quicksort_range = quicksort_range
-    _quicksort_range(ts, vs, lo, hi, stats, cutoff=32)
+    _resolve_quicksort_range()(ts, vs, lo, hi, stats, cutoff=32)
 
 
 def _insertion_block_sort(

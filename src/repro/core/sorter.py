@@ -24,43 +24,53 @@ from repro.errors import LengthMismatchError
 # Sanitizer hook (repro.analysis.sanitizer): when set, every Sorter.sort call
 # is routed through runtime post-condition checks.  Resolved lazily on the
 # first sort so importing this module never drags the analysis package in.
-_SANITIZE_HOOK: Callable[["Sorter", list, list, SortStats], None] | None = None
-_SANITIZE_RESOLVED = False
+# State lives in a holder object rebound through single atomic attribute
+# stores — no ``global`` read-modify-write — so concurrent first sorts race
+# only on an idempotent environment lookup.
+_UNRESOLVED = object()
+
+
+class _SanitizeHookState:
+    __slots__ = ("hook",)
+
+    def __init__(self) -> None:
+        self.hook: Any = _UNRESOLVED
+
+
+_HOOK_STATE = _SanitizeHookState()
 
 
 def install_sanitize_hook(
     hook: Callable[["Sorter", list, list, SortStats], None],
 ) -> None:
     """Route every :meth:`Sorter.sort` call through ``hook`` (sanitizer)."""
-    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
-    _SANITIZE_HOOK = hook
-    _SANITIZE_RESOLVED = True
+    _HOOK_STATE.hook = hook
 
 
 def uninstall_sanitize_hook() -> None:
     """Remove the sanitize hook installed by :func:`install_sanitize_hook`."""
-    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
-    _SANITIZE_HOOK = None
-    _SANITIZE_RESOLVED = True
+    _HOOK_STATE.hook = None
 
 
 def _active_sanitize_hook() -> (
     Callable[["Sorter", list, list, SortStats], None] | None
 ):
     """The installed hook, honouring ``REPRO_SANITIZE`` on first use."""
-    global _SANITIZE_HOOK, _SANITIZE_RESOLVED
-    if not _SANITIZE_RESOLVED:
-        _SANITIZE_RESOLVED = True
-        if os.environ.get("REPRO_SANITIZE", "").strip().lower() in {
-            "1",
-            "true",
-            "yes",
-            "on",
-        }:
-            from repro.analysis.sanitizer import run_sanitized
+    hook = _HOOK_STATE.hook
+    if hook is not _UNRESOLVED:
+        return hook
+    hook = None
+    if os.environ.get("REPRO_SANITIZE", "").strip().lower() in {
+        "1",
+        "true",
+        "yes",
+        "on",
+    }:
+        from repro.analysis.sanitizer import run_sanitized
 
-            _SANITIZE_HOOK = run_sanitized
-    return _SANITIZE_HOOK
+        hook = run_sanitized
+    _HOOK_STATE.hook = hook
+    return hook
 
 
 class Sorter(ABC):

@@ -81,6 +81,25 @@ class InjectedCrashError(BaseException):
         self.call = call
 
 
+class ConcurrencyError(ReproError):
+    """Base class for runtime concurrency-discipline violations
+    (:mod:`repro.analysis.concurrency`)."""
+
+
+class LockOrderViolation(ConcurrencyError):
+    """An acquisition closed a cycle in the process lock-order graph.
+
+    Raised deterministically on the *second* ordering of an ABBA pair —
+    before any thread blocks — carrying the acquisition stacks of both
+    orderings.
+    """
+
+
+class GuardViolation(ConcurrencyError):
+    """A ``GUARDED_BY`` attribute was accessed without its owning lock,
+    or a ``@holds``-annotated helper ran without the lock it declares."""
+
+
 class WorkloadError(ReproError):
     """Raised when a workload/dataset generator is configured inconsistently."""
 

@@ -238,7 +238,8 @@ def check_recovery(engine, acked: OracleModel, inflight_op=None) -> list[str]:
     # point at or below its device's watermark.
     from repro.iotdb.separation import Space
 
-    seq_memtable = engine._working[Space.SEQUENCE]
+    with engine._lock:
+        seq_memtable = engine._working[Space.SEQUENCE]
     for device, sensor, tvlist in seq_memtable.iter_chunks():
         watermark = engine.separation.watermark(device)
         if watermark is None:
@@ -269,18 +270,19 @@ def _abandon(engine) -> None:
     Called only *after* the snapshot is taken, so any pending bytes a
     close might flush land in the abandoned directory, never the snapshot.
     """
-    for sealed in engine._sealed:
-        if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
-            try:
-                sealed.buffer.close()
-            except Exception:
-                pass
-    if engine._wals:
-        for wal in engine._wals.values():
-            try:
-                wal.close()
-            except Exception:
-                pass
+    with engine._lock:
+        for sealed in engine._sealed:
+            if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
+                try:
+                    sealed.buffer.close()
+                except Exception:
+                    pass
+        if engine._wals:
+            for wal in engine._wals.values():
+                try:
+                    wal.close()
+                except Exception:
+                    pass
 
 
 def discover_sites(workload: FaultWorkload, root: Path) -> dict[str, int]:

@@ -15,6 +15,7 @@ unchanged, so production paths pay one method call per site.
 
 from __future__ import annotations
 
+from repro.analysis.concurrency import apply_guards, create_lock, holds
 from repro.errors import InjectedCrashError, InjectedFaultError
 from repro.faults.files import FaultyFile
 from repro.faults.plan import FaultPlan, FaultRule, FiredFault
@@ -22,13 +23,22 @@ from repro.obs import NOOP, Observability
 
 
 class FaultInjector:
-    """Evaluates a :class:`FaultPlan` at named sites and injects faults."""
+    """Evaluates a :class:`FaultPlan` at named sites and injects faults.
+
+    Concurrency discipline: ``_lock`` serialises the plan decision and the
+    ``fired`` bookkeeping (``plan.decide`` mutates per-rule counters); it
+    sits below the engine lock in the global order.
+    """
+
+    #: Lock discipline for the ``guarded-by`` rule and runtime sanitizer.
+    GUARDED_BY = {"_fired": "_lock"}
 
     def __init__(self, plan: FaultPlan | None = None, *, obs: Observability = NOOP) -> None:
         self.plan = plan if plan is not None else FaultPlan()
         self.obs = obs
+        self._lock = create_lock("FaultInjector._lock")
         #: Every fault actually injected, in order.
-        self.fired: list[FiredFault] = []
+        self._fired: list[FiredFault] = []
         #: While False every hook is inert (see :meth:`disarm`).
         self.armed = True
         self._counter = obs.registry.counter(
@@ -36,12 +46,20 @@ class FaultInjector:
             "faults injected by repro.faults, by site and kind",
             ("site", "kind"),
         )
+        apply_guards(self)
 
     # -- bookkeeping -------------------------------------------------------
 
+    @property
+    def fired(self) -> list[FiredFault]:
+        """Every fault actually injected, in order (a copy)."""
+        with self._lock:
+            return list(self._fired)
+
+    @holds("_lock")
     def _record(self, site: str, rule: FaultRule) -> int:
         call = self.plan.calls[site]
-        self.fired.append(FiredFault(site=site, call=call, kind=rule.kind, rule=rule))
+        self._fired.append(FiredFault(site=site, call=call, kind=rule.kind, rule=rule))
         self._counter.labels(site=site, kind=rule.kind).inc()
         with self.obs.span("fault.injected", site=site, call=call, kind=rule.kind):
             pass
@@ -67,53 +85,57 @@ class FaultInjector:
         """A place the process can die; fires only ``crash`` rules."""
         if not self.armed:
             return
-        rule = self.plan.decide(site, context)
-        if rule is not None and rule.kind in ("crash", "torn"):
-            call = self._record(site, rule)
-            raise InjectedCrashError(site, call)
+        with self._lock:
+            rule = self.plan.decide(site, context)
+            if rule is not None and rule.kind in ("crash", "torn"):
+                call = self._record(site, rule)
+                raise InjectedCrashError(site, call)
 
     def fail_point(self, site: str, **context) -> None:
         """A place an operation can fail recoverably; ``fail`` rules raise
         :class:`InjectedFaultError`, ``crash`` rules still kill the process."""
         if not self.armed:
             return
-        rule = self.plan.decide(site, context)
-        if rule is None:
-            return
-        call = self._record(site, rule)
-        if rule.kind == "fail":
-            raise InjectedFaultError(
-                f"injected failure at fault site {site!r} (call #{call})"
-            )
-        if rule.kind in ("crash", "torn"):
-            raise InjectedCrashError(site, call)
+        with self._lock:
+            rule = self.plan.decide(site, context)
+            if rule is None:
+                return
+            call = self._record(site, rule)
+            if rule.kind == "fail":
+                raise InjectedFaultError(
+                    f"injected failure at fault site {site!r} (call #{call})"
+                )
+            if rule.kind in ("crash", "torn"):
+                raise InjectedCrashError(site, call)
 
     def on_write(self, site: str, nbytes: int) -> tuple[int, bool]:
         """Decision for one file write: (bytes to keep, crash afterwards?)."""
         if not self.armed:
             return nbytes, False
-        rule = self.plan.decide(site, {"nbytes": nbytes})
-        if rule is None:
-            return nbytes, False
-        call = self._record(site, rule)
-        if rule.kind == "fail":
-            raise InjectedFaultError(
-                f"injected write failure at fault site {site!r} (call #{call})"
-            )
-        if rule.kind == "torn":
-            keep = max(0, min(nbytes - 1, int(nbytes * rule.arg)))
-            return keep, True
-        return 0, True  # crash before any byte lands
+        with self._lock:
+            rule = self.plan.decide(site, {"nbytes": nbytes})
+            if rule is None:
+                return nbytes, False
+            call = self._record(site, rule)
+            if rule.kind == "fail":
+                raise InjectedFaultError(
+                    f"injected write failure at fault site {site!r} (call #{call})"
+                )
+            if rule.kind == "torn":
+                keep = max(0, min(nbytes - 1, int(nbytes * rule.arg)))
+                return keep, True
+            return 0, True  # crash before any byte lands
 
     def clock_offset(self, site: str = "clock") -> float:
         """Extra seconds a fault-aware clock should jump forward right now."""
         if not self.armed:
             return 0.0
-        rule = self.plan.decide(site, None)
-        if rule is None or rule.kind != "jump":
-            return 0.0
-        self._record(site, rule)
-        return rule.arg
+        with self._lock:
+            rule = self.plan.decide(site, None)
+            if rule is None or rule.kind != "jump":
+                return 0.0
+            self._record(site, rule)
+            return rule.arg
 
     # -- wiring helpers ----------------------------------------------------
 
@@ -126,7 +148,11 @@ class FaultInjector:
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<FaultInjector plan=[{self.plan.describe()}] fired={len(self.fired)}>"
+        with self._lock:
+            return (
+                f"<FaultInjector plan=[{self.plan.describe()}] "
+                f"fired={len(self._fired)}>"
+            )
 
 
 class NoopInjector:

@@ -11,7 +11,7 @@ from repro.iotdb.compaction import CompactionReport, compact
 
 from repro.iotdb.config import IoTDBConfig, TSDataType
 from repro.iotdb.encoding import Encoder, get_encoder
-from repro.iotdb.engine import EngineMetrics, StorageEngine
+from repro.iotdb.engine import StorageEngine
 from repro.iotdb.flush import ChunkFlushReport, FlushReport, flush_memtable
 from repro.iotdb.memtable import MemTable, MemTableState
 from repro.iotdb.query import QueryResult, QueryStats, TimeRangeQueryExecutor
@@ -50,7 +50,6 @@ __all__ = [
     "ChunkMetadata",
     "DoubleTVList",
     "Encoder",
-    "EngineMetrics",
     "FloatTVList",
     "FlushReport",
     "IntTVList",

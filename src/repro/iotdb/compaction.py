@@ -41,7 +41,14 @@ def compact(engine) -> CompactionReport:
     from repro.bench.timing import Timer
 
     obs = engine.obs
-    sealed = engine._sealed
+    with engine._lock:
+        return _compact_locked(engine, obs, Timer)
+
+
+def _compact_locked(engine, obs, Timer) -> CompactionReport:
+    # Snapshot: _replace_sealed swaps the engine's list in place, so an
+    # alias would see the post-compaction set.
+    sealed = list(engine._sealed)
     unseq_count = sum(1 for f in sealed if f.space is Space.UNSEQUENCE)
     if len(sealed) <= 1 and unseq_count == 0:
         return CompactionReport(

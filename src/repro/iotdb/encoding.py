@@ -383,7 +383,9 @@ class GorillaDoubleEncoder(Encoder):
         return out
 
 
-_ENCODERS: dict[tuple[str, TSDataType], type[Encoder]] = {}
+# Populated only by the _register calls below, at import time; read-only
+# afterwards, so no lock is needed.  Catalogued in docs/ANALYSIS.md.
+_ENCODERS: dict[tuple[str, TSDataType], type[Encoder]] = {}  # repro: allow(shared-state-escape)
 
 
 def _register(name: str, dtypes: tuple[TSDataType, ...], cls: type[Encoder]) -> None:

@@ -32,11 +32,12 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.analysis.concurrency import apply_guards, create_lock, holds
 from repro.core.sorter import Sorter
 from repro.errors import StorageError
 from repro.faults.injector import NOOP_INJECTOR
 from repro.iotdb.config import IoTDBConfig
-from repro.iotdb.engine_metrics import EngineInstruments, EngineMetrics
+from repro.iotdb.engine_metrics import EngineInstruments
 from repro.iotdb.flush import FlushReport, flush_memtable
 from repro.iotdb.memtable import MemTable
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
@@ -114,7 +115,28 @@ def _combine_aggregates(partials: list):
 
 
 class StorageEngine:
-    """An in-process time-series store with a pluggable TVList sorter."""
+    """An in-process time-series store with a pluggable TVList sorter.
+
+    Concurrency discipline: one coarse re-entrant engine lock serialises the
+    write, flush, query, and compaction paths; ``GUARDED_BY`` declares which
+    attributes it covers (checked statically by the ``guarded-by`` rule and,
+    under ``REPRO_CONCURRENCY=1``, at runtime by access-checking proxies).
+    Lock hierarchy: the engine lock is always acquired *before* any
+    memtable, WAL, injector, or metrics-registry lock, never after.
+    """
+
+    #: Lock discipline for the ``guarded-by`` rule and the runtime
+    #: sanitizer: these attributes may only be touched under ``_lock``.
+    GUARDED_BY = {
+        "_working": "_lock",
+        "_flushing": "_lock",
+        "_sealed": "_lock",
+        "_flush_reports": "_lock",
+        "_recovery_segments": "_lock",
+        "_recovery_holds": "_lock",
+        "_wals": "_lock",
+        "_file_counter": "_lock",
+    }
 
     def __init__(
         self,
@@ -138,6 +160,7 @@ class StorageEngine:
         else:
             self.sorter = get_sorter(self.config.sorter, **self.config.sorter_options)
         self.separation = SeparationPolicy(enabled=self.config.separation_enabled)
+        self._lock = create_lock("StorageEngine._lock")
         self._working: dict[Space, MemTable] = {
             Space.SEQUENCE: MemTable(self.config, obs=self.obs),
             Space.UNSEQUENCE: MemTable(self.config, obs=self.obs),
@@ -148,7 +171,6 @@ class StorageEngine:
         self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
         self._instruments = EngineInstruments(self.obs.registry)
         self._flush_reports: list[FlushReport] = []
-        self.metrics = EngineMetrics(self._instruments, self._flush_reports)
         if self.config.data_dir is not None:
             Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
         # WAL segments recovered by open() that must survive until every
@@ -177,17 +199,15 @@ class StorageEngine:
                     )
                     for space in (Space.SEQUENCE, Space.UNSEQUENCE)
                 }
+        apply_guards(self)
 
     # -- write path ----------------------------------------------------------
 
     @property
     def flush_reports(self) -> list[FlushReport]:
-        """Reports of every completed flush, in completion order.
-
-        The supported replacement for the deprecated
-        ``engine.metrics.flush_reports``.
-        """
-        return self._flush_reports
+        """Reports of every completed flush, in completion order (a copy)."""
+        with self._lock:
+            return list(self._flush_reports)
 
     def write(self, device: str, sensor: str, timestamp: int, value) -> None:
         """Ingest one point; may trigger a synchronous flush.
@@ -197,13 +217,14 @@ class StorageEngine:
         """
         space = self.separation.route(device, timestamp)
         with self.obs.span("engine.write", space=space.value):
-            if self._wals is not None:
-                self._wals[space].append(device, sensor, timestamp, value)
-            memtable = self._working[space]
-            memtable.write(device, sensor, timestamp, value)
-            self._instruments.points_written.inc()
-            if memtable.should_flush():
-                self._flush_space(space)
+            with self._lock:
+                if self._wals is not None:
+                    self._wals[space].append(device, sensor, timestamp, value)
+                memtable = self._working[space]
+                memtable.write(device, sensor, timestamp, value)
+                self._instruments.points_written.inc()
+                if memtable.should_flush():
+                    self._flush_space(space)
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
         """Ingest a batch (the IoTDB-benchmark client's unit of work)."""
@@ -218,6 +239,7 @@ class StorageEngine:
 
     # -- flushing --------------------------------------------------------------
 
+    @holds("_lock")
     def _new_sink(self, space: Space) -> tuple[TsFileWriter, _SealedFile]:
         """A fresh sink; on disk it is written under a ``.part`` name until
         sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
@@ -252,6 +274,7 @@ class StorageEngine:
         if sealed.part_path is not None:
             sealed.part_path.unlink(missing_ok=True)
 
+    @holds("_lock")
     def _retire_working(self, space: Space) -> _FlushTask | None:
         """WORKING → FLUSHING: swap in a fresh memtable, enqueue the old one.
 
@@ -283,6 +306,7 @@ class StorageEngine:
                     self.separation.update_watermark(device, tvlist.max_time)
         return task
 
+    @holds("_lock")
     def _perform_flush(self, task: _FlushTask) -> FlushReport:
         """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
         space, memtable = task.space, task.memtable
@@ -319,6 +343,7 @@ class StorageEngine:
         report.emit(self.obs, space=space.value, instruments=self._instruments)
         return report
 
+    @holds("_lock")
     def _drop_recovery_segments(self) -> None:
         """Delete replayed WAL segments once their points are all sealed."""
         if self._wals is None:
@@ -329,8 +354,10 @@ class StorageEngine:
                     "wal.drop", space=space.value, segment=segment_id
                 )
                 self._wals[space].drop(segment_id)
-        self._recovery_segments = {}
+        # Cleared in place: rebinding would shed the runtime guard proxy.
+        self._recovery_segments.clear()
 
+    @holds("_lock")
     def _flush_space(self, space: Space) -> FlushReport | None:
         task = self._retire_working(space)
         if task is None:
@@ -343,14 +370,16 @@ class StorageEngine:
 
     def drain_flushes(self) -> list[FlushReport]:
         """Flush every queued FLUSHING memtable (the async worker's job)."""
-        reports = []
-        for task in list(self._flushing):
-            reports.append(self._perform_flush(task))
-        return reports
+        with self._lock:
+            reports = []
+            for task in list(self._flushing):
+                reports.append(self._perform_flush(task))
+            return reports
 
     def pending_flushes(self) -> int:
         """How many memtables are queued in the FLUSHING state."""
-        return len(self._flushing)
+        with self._lock:
+            return len(self._flushing)
 
     def flush_all(self) -> list[FlushReport]:
         """Retire and flush both working memtables (shutdown / checkpoint).
@@ -358,16 +387,17 @@ class StorageEngine:
         Also drains any deferred FLUSHING memtables, so after this call no
         live memtable holds data in either mode.
         """
-        reports: list[FlushReport] = []
-        for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-            if self.config.deferred_flush:
-                self._retire_working(space)
-            else:
-                report = self._flush_space(space)
-                if report is not None:
-                    reports.append(report)
-        reports.extend(self.drain_flushes())
-        return reports
+        with self._lock:
+            reports: list[FlushReport] = []
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                if self.config.deferred_flush:
+                    self._retire_working(space)
+                else:
+                    report = self._flush_space(space)
+                    if report is not None:
+                        reports.append(report)
+            reports.extend(self.drain_flushes())
+            return reports
 
     # -- query path ------------------------------------------------------------
 
@@ -387,33 +417,38 @@ class StorageEngine:
         latest event time minus the TTL) are excluded.
         """
         with self.obs.span("engine.query", device=device, sensor=sensor) as span:
-            floor = self._ttl_floor(device, sensor)
-            if floor is not None and floor > start:
-                if floor >= end:
-                    from repro.iotdb.query import QueryStats
+            with self._lock:
+                floor = self._ttl_floor(device, sensor)
+                if floor is not None and floor > start:
+                    if floor >= end:
+                        from repro.iotdb.query import QueryStats
 
-                    self._record_query(0.0)
-                    return QueryResult(timestamps=[], values=[], stats=QueryStats())
-                start = floor
-            seq_readers = [f.reader for f in self._sealed if f.space is Space.SEQUENCE]
-            unseq_readers = [
-                f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
-            ]
-            flushing = [task.memtable for task in self._flushing]
-            # Both working memtables can hold in-range points; merge order makes
-            # the sequence table freshest-but-one, the unsequence table holds
-            # late rewrites of old timestamps.
-            result = self._executor.execute(
-                device,
-                sensor,
-                start,
-                end,
-                seq_readers=seq_readers,
-                unseq_readers=unseq_readers,
-                flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
-                working_memtable=self._working[Space.SEQUENCE],
-            )
-            self._record_query(result.stats.total_seconds)
+                        self._record_query(0.0)
+                        return QueryResult(
+                            timestamps=[], values=[], stats=QueryStats()
+                        )
+                    start = floor
+                seq_readers = [
+                    f.reader for f in self._sealed if f.space is Space.SEQUENCE
+                ]
+                unseq_readers = [
+                    f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
+                ]
+                flushing = [task.memtable for task in self._flushing]
+                # Both working memtables can hold in-range points; merge order
+                # makes the sequence table freshest-but-one, the unsequence
+                # table holds late rewrites of old timestamps.
+                result = self._executor.execute(
+                    device,
+                    sensor,
+                    start,
+                    end,
+                    seq_readers=seq_readers,
+                    unseq_readers=unseq_readers,
+                    flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
+                    working_memtable=self._working[Space.SEQUENCE],
+                )
+                self._record_query(result.stats.total_seconds)
             span.set(points=len(result))
         return result
 
@@ -449,20 +484,27 @@ class StorageEngine:
                 )
             start = floor
         with self.obs.span("engine.aggregate", device=device, sensor=sensor):
-            if self._fast_aggregation_safe(device, sensor, start, end):
-                partials = []
-                for sealed in self._sealed:
-                    if sealed.space is not Space.SEQUENCE:
-                        continue
-                    meta = sealed.reader.chunk_metadata(device, sensor)
-                    if meta is None or meta.max_time < start or meta.min_time >= end:
-                        continue
-                    partials.append(
-                        aggregate_sealed_chunk(sealed.reader, device, sensor, start, end)
-                    )
-                self._record_query(0.0)
-                return _combine_aggregates(partials)
-            return aggregate_from_points(self.query(device, sensor, start, end))
+            with self._lock:
+                if self._fast_aggregation_safe(device, sensor, start, end):
+                    partials = []
+                    for sealed in self._sealed:
+                        if sealed.space is not Space.SEQUENCE:
+                            continue
+                        meta = sealed.reader.chunk_metadata(device, sensor)
+                        if (
+                            meta is None
+                            or meta.max_time < start
+                            or meta.min_time >= end
+                        ):
+                            continue
+                        partials.append(
+                            aggregate_sealed_chunk(
+                                sealed.reader, device, sensor, start, end
+                            )
+                        )
+                    self._record_query(0.0)
+                    return _combine_aggregates(partials)
+                return aggregate_from_points(self.query(device, sensor, start, end))
 
     def aggregate_windows(
         self, device: str, sensor: str, start: int, end: int, window: int
@@ -479,6 +521,7 @@ class StorageEngine:
             self.query(device, sensor, start, end), start, end, window
         )
 
+    @holds("_lock")
     def _fast_aggregation_safe(
         self, device: str, sensor: str, start: int, end: int
     ) -> bool:
@@ -513,19 +556,24 @@ class StorageEngine:
 
     def latest_time(self, device: str, sensor: str) -> int | None:
         """Largest timestamp ever written for a column (benchmark helper)."""
-        best: int | None = None
-        live_memtables = list(self._working.values()) + [
-            task.memtable for task in self._flushing
-        ]
-        for memtable in live_memtables:
-            tvlist = memtable.chunk(device, sensor)
-            if tvlist is not None and tvlist.max_time is not None:
-                best = tvlist.max_time if best is None else max(best, tvlist.max_time)
-        for sealed in self._sealed:
-            meta = sealed.reader.chunk_metadata(device, sensor)
-            if meta is not None and meta.max_time is not None:
-                best = meta.max_time if best is None else max(best, meta.max_time)
-        return best
+        with self._lock:
+            best: int | None = None
+            live_memtables = list(self._working.values()) + [
+                task.memtable for task in self._flushing
+            ]
+            for memtable in live_memtables:
+                tvlist = memtable.chunk(device, sensor)
+                if tvlist is not None and tvlist.max_time is not None:
+                    best = (
+                        tvlist.max_time
+                        if best is None
+                        else max(best, tvlist.max_time)
+                    )
+            for sealed in self._sealed:
+                meta = sealed.reader.chunk_metadata(device, sensor)
+                if meta is not None and meta.max_time is not None:
+                    best = meta.max_time if best is None else max(best, meta.max_time)
+            return best
 
     # -- compaction ----------------------------------------------------------
 
@@ -535,7 +583,8 @@ class StorageEngine:
         from repro.iotdb.compaction import compact
 
         with self.obs.span("engine.compact") as span:
-            report = compact(self)
+            with self._lock:
+                report = compact(self)
             span.set(
                 files_before=report.files_before,
                 files_after=report.files_after,
@@ -543,6 +592,7 @@ class StorageEngine:
             )
         return report
 
+    @holds("_lock")
     def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
         """Swap the sealed-file set after a compaction, closing old handles.
 
@@ -557,15 +607,17 @@ class StorageEngine:
             if old.path is not None:
                 self.faults.crash_point("compact.unlink", file=old.path.name)
                 old.path.unlink(missing_ok=True)
-        self._sealed = new_sealed
+        # Replaced in place: rebinding would shed the runtime guard proxy.
+        self._sealed[:] = new_sealed
 
     # -- lifecycle ---------------------------------------------------------------
 
     def sealed_file_count(self) -> dict[Space, int]:
-        counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
-        for f in self._sealed:
-            counts[f.space] += 1
-        return counts
+        with self._lock:
+            counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
+            for f in self._sealed:
+                counts[f.space] += 1
+            return counts
 
     def describe(self) -> dict:
         """Operator-facing snapshot of the whole engine's state.
@@ -574,13 +626,14 @@ class StorageEngine:
         legacy keys are kept stable); the full registry snapshot rides along
         under ``"metrics"``.
         """
-        working = {
-            space.value: self._working[space].total_points
-            for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-        }
-        sealed = [
-            {"space": f.space.value, **f.reader.describe()} for f in self._sealed
-        ]
+        with self._lock:
+            working = {
+                space.value: self._working[space].total_points
+                for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+            }
+            sealed = [
+                {"space": f.space.value, **f.reader.describe()} for f in self._sealed
+            ]
         flush_hist = self._instruments.flush_seconds
         flush_count = sum(child.count for _, child in flush_hist.children())
         flush_sum = sum(child.sum for _, child in flush_hist.children())
@@ -603,13 +656,16 @@ class StorageEngine:
     def close(self) -> None:
         """Flush everything and release on-disk file handles."""
         self.flush_all()
-        if self.config.data_dir is not None:
-            for sealed in self._sealed:
-                if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
-                    sealed.buffer.close()
-        if self._wals is not None:
-            for wal in self._wals.values():
-                wal.close()
+        with self._lock:
+            if self.config.data_dir is not None:
+                for sealed in self._sealed:
+                    if sealed.buffer is not None and not isinstance(
+                        sealed.buffer, io.BytesIO
+                    ):
+                        sealed.buffer.close()
+            if self._wals is not None:
+                for wal in self._wals.values():
+                    wal.close()
 
     def recover_from_wal(self) -> int:
         """Replay WALs into the working memtables (crash-recovery path).
@@ -619,16 +675,17 @@ class StorageEngine:
         routed through the separation policy, so the sequence memtable
         invariant (no point at or below the watermark) holds afterwards.
         """
-        if self._wals is None:
-            raise StorageError("WAL is disabled in this configuration")
-        replayed = 0
-        with self.obs.span("engine.wal_replay") as span:
-            for _space, wal in self._wals.items():
-                for device, sensor, timestamp, value in wal.replay():
-                    target = self.separation.route(device, timestamp)
-                    self._working[target].write(device, sensor, timestamp, value)
-                    replayed += 1
-            span.set(points=replayed)
+        with self._lock:
+            if self._wals is None:
+                raise StorageError("WAL is disabled in this configuration")
+            replayed = 0
+            with self.obs.span("engine.wal_replay") as span:
+                for _space, wal in self._wals.items():
+                    for device, sensor, timestamp, value in wal.replay():
+                        target = self.separation.route(device, timestamp)
+                        self._working[target].write(device, sensor, timestamp, value)
+                        replayed += 1
+                span.set(points=replayed)
         self._instruments.points_written.inc(replayed)
         self._instruments.wal_replayed.inc(replayed)
         return replayed
@@ -673,64 +730,73 @@ class StorageEngine:
         for leftover in sorted(data_dir.glob("*.tsfile.part")):
             leftover.unlink()
 
-        for path in sorted(data_dir.glob("*.tsfile")):
-            prefix, _, counter = path.stem.partition("-")
-            try:
-                space = Space(prefix)
-                file_number = int(counter)
-            except (ValueError, KeyError):
-                raise StorageError(f"unrecognised TsFile name {path.name!r}") from None
-            handle = open(path, "rb+")
-            sealed = _SealedFile(
-                space=space, reader=TsFileReader(handle), path=path, buffer=handle
-            )
-            engine._sealed.append(sealed)
-            engine._file_counter = max(engine._file_counter, file_number)
+        with engine._lock:
+            for path in sorted(data_dir.glob("*.tsfile")):
+                prefix, _, counter = path.stem.partition("-")
+                try:
+                    space = Space(prefix)
+                    file_number = int(counter)
+                except (ValueError, KeyError):
+                    raise StorageError(
+                        f"unrecognised TsFile name {path.name!r}"
+                    ) from None
+                handle = open(path, "rb+")
+                sealed = _SealedFile(
+                    space=space, reader=TsFileReader(handle), path=path, buffer=handle
+                )
+                engine._sealed.append(sealed)
+                engine._file_counter = max(engine._file_counter, file_number)
 
-        # Watermarks: the largest sequence-space time per device.
-        for sealed in engine._sealed:
-            if sealed.space is not Space.SEQUENCE:
-                continue
-            for device in sealed.reader.devices():
-                for sensor in sealed.reader.sensors(device):
-                    meta = sealed.reader.chunk_metadata(device, sensor)
-                    if meta is not None and meta.max_time is not None:
-                        engine.separation.update_watermark(device, meta.max_time)
+            # Watermarks: the largest sequence-space time per device.
+            for sealed in engine._sealed:
+                if sealed.space is not Space.SEQUENCE:
+                    continue
+                for device in sealed.reader.devices():
+                    for sensor in sealed.reader.sensors(device):
+                        meta = sealed.reader.chunk_metadata(device, sensor)
+                        if meta is not None and meta.max_time is not None:
+                            engine.separation.update_watermark(device, meta.max_time)
 
-        # WAL replay: unflushed writes come back into the working memtables.
-        if config.wal_enabled:
-            engine._wals = {}
-            with engine.obs.span("engine.wal_replay") as span:
-                replayed = 0
-                for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                    wal = SegmentedWal.on_disk(
-                        data_dir,
-                        space.value,
-                        fresh=False,
-                        wrap=engine.faults.wrap_file,
-                    )
-                    engine._wals[space] = wal
-                    recovered_ids = wal.sealed_segment_ids()
-                    if recovered_ids:
-                        engine._recovery_segments[space] = recovered_ids
-                    for device, sensor, timestamp, value in wal.replay():
-                        # Route through the rebuilt watermarks: a record
-                        # whose point is already sealed in sequence space
-                        # re-lands in the unsequence memtable, where the
-                        # overwrite rule makes the duplicate harmless.
-                        target = engine.separation.route(device, timestamp)
-                        engine._working[target].write(device, sensor, timestamp, value)
-                        replayed += 1
-                span.set(points=replayed)
-            engine._recovery_holds = {
-                space
-                for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-                if engine._working[space].total_points > 0
-            }
-            if not engine._recovery_holds:
-                # Nothing replayed survives only in the WAL; the recovered
-                # segments are already covered by sealed files.
-                engine._drop_recovery_segments()
-            engine._instruments.points_written.inc(replayed)
-            engine._instruments.wal_replayed.inc(replayed)
+            # WAL replay: unflushed writes come back into the working
+            # memtables.
+            if config.wal_enabled:
+                engine._wals = {}
+                with engine.obs.span("engine.wal_replay") as span:
+                    replayed = 0
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                        wal = SegmentedWal.on_disk(
+                            data_dir,
+                            space.value,
+                            fresh=False,
+                            wrap=engine.faults.wrap_file,
+                        )
+                        engine._wals[space] = wal
+                        recovered_ids = wal.sealed_segment_ids()
+                        if recovered_ids:
+                            engine._recovery_segments[space] = recovered_ids
+                        for device, sensor, timestamp, value in wal.replay():
+                            # Route through the rebuilt watermarks: a record
+                            # whose point is already sealed in sequence space
+                            # re-lands in the unsequence memtable, where the
+                            # overwrite rule makes the duplicate harmless.
+                            target = engine.separation.route(device, timestamp)
+                            engine._working[target].write(
+                                device, sensor, timestamp, value
+                            )
+                            replayed += 1
+                    span.set(points=replayed)
+                engine._recovery_holds = {
+                    space
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                    if engine._working[space].total_points > 0
+                }
+                # _wals and _recovery_holds were rebound above, which sheds
+                # the runtime guard proxies — re-wrap before the lock drops.
+                apply_guards(engine)
+                if not engine._recovery_holds:
+                    # Nothing replayed survives only in the WAL; the
+                    # recovered segments are already covered by sealed files.
+                    engine._drop_recovery_segments()
+                engine._instruments.points_written.inc(replayed)
+                engine._instruments.wal_replayed.inc(replayed)
         return engine

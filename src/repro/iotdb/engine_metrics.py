@@ -1,18 +1,12 @@
-"""Engine instruments + the deprecated ``EngineMetrics`` façade.
+"""The storage engine's registered metrics instruments.
 
-The storage engine's server-side metrics live in a
-:class:`repro.obs.MetricsRegistry`; this module owns both sides of that
-move:
-
-* :class:`EngineInstruments` — registers the engine's instruments once and
-  pre-resolves the per-space children, so the hot path pays one method call
-  per event (no label hashing per write);
-* :class:`EngineMetrics` — the old mutable-dataclass API, now a thin façade
-  over those instruments.  Every attribute still reads (and writes) the
-  same numbers, but emits a :class:`DeprecationWarning` pointing at the
-  registry replacement.  Direct mutation of ``engine.metrics.<field>`` from
-  outside this module is additionally flagged by the
-  ``no-direct-metrics-mutation`` lint rule.
+The engine's server-side metrics live in a
+:class:`repro.obs.MetricsRegistry`; :class:`EngineInstruments` registers
+them once and pre-resolves the per-space children, so the hot path pays one
+method call per event (no label hashing per write).  The deprecated
+``EngineMetrics`` attribute façade that used to live here has been removed —
+read the registry (``engine.obs.registry``), the exporters, or
+``engine.flush_reports`` instead.
 
 Instrument catalogue (see docs/OBSERVABILITY.md):
 
@@ -31,12 +25,6 @@ name                                    kind       labels
 """
 
 from __future__ import annotations
-
-import warnings
-from typing import TYPE_CHECKING
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.iotdb.flush import FlushReport
 
 _SPACE_LABEL = ("space",)
 
@@ -83,108 +71,3 @@ class EngineInstruments:
         self.flush_sort_seconds_by_space = {
             s: self.flush_sort_seconds.labels(space=s) for s in SPACES
         }
-
-
-def _warn(field: str, replacement: str) -> None:
-    warnings.warn(
-        f"EngineMetrics.{field} is deprecated; {replacement}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-class EngineMetrics:
-    """Deprecated façade: the old attribute API over the metrics registry.
-
-    Kept so existing harnesses keep reading correct numbers; every access
-    emits a :class:`DeprecationWarning`.  New code reads the registry
-    (``engine.obs.registry``), the exporters, or ``engine.flush_reports``.
-    """
-
-    def __init__(
-        self, instruments: EngineInstruments, flush_reports: "list[FlushReport]"
-    ) -> None:
-        self._instruments = instruments
-        self._flush_reports = flush_reports
-
-    # -- counters ----------------------------------------------------------
-
-    @property
-    def points_written(self) -> int:
-        _warn("points_written", "read the engine_points_written_total counter")
-        return int(self._instruments.points_written.value)
-
-    @points_written.setter
-    def points_written(self, value: int) -> None:
-        _warn("points_written", "increment counters through the registry")
-        inst = self._instruments.points_written
-        inst._add(value - inst.value)
-
-    @property
-    def queries_executed(self) -> int:
-        _warn("queries_executed", "read the engine_queries_total counter")
-        return int(self._instruments.queries.value)
-
-    @queries_executed.setter
-    def queries_executed(self, value: int) -> None:
-        _warn("queries_executed", "increment counters through the registry")
-        inst = self._instruments.queries
-        inst._add(value - inst.value)
-
-    @property
-    def seq_flushes(self) -> int:
-        _warn("seq_flushes", 'read engine_flushes_total{space="seq"}')
-        return int(self._instruments.flushes_by_space["seq"].value)
-
-    @seq_flushes.setter
-    def seq_flushes(self, value: int) -> None:
-        _warn("seq_flushes", "increment counters through the registry")
-        inst = self._instruments.flushes_by_space["seq"]
-        inst._add(value - inst.value)
-
-    @property
-    def unseq_flushes(self) -> int:
-        _warn("unseq_flushes", 'read engine_flushes_total{space="unseq"}')
-        return int(self._instruments.flushes_by_space["unseq"].value)
-
-    @unseq_flushes.setter
-    def unseq_flushes(self, value: int) -> None:
-        _warn("unseq_flushes", "increment counters through the registry")
-        inst = self._instruments.flushes_by_space["unseq"]
-        inst._add(value - inst.value)
-
-    # -- flush reports -----------------------------------------------------
-
-    @property
-    def flush_reports(self) -> "list[FlushReport]":
-        _warn("flush_reports", "use StorageEngine.flush_reports")
-        return self._flush_reports
-
-    @flush_reports.setter
-    def flush_reports(self, value) -> None:
-        _warn("flush_reports", "use StorageEngine.flush_reports")
-        self._flush_reports[:] = value
-
-    @property
-    def mean_flush_seconds(self) -> float:
-        _warn("mean_flush_seconds", "read the engine_flush_seconds histogram")
-        if not self._flush_reports:
-            return 0.0
-        return sum(r.total_seconds for r in self._flush_reports) / len(
-            self._flush_reports
-        )
-
-    @property
-    def mean_flush_sort_seconds(self) -> float:
-        _warn(
-            "mean_flush_sort_seconds",
-            "read the engine_flush_sort_seconds histogram",
-        )
-        if not self._flush_reports:
-            return 0.0
-        return sum(r.sort_seconds for r in self._flush_reports) / len(
-            self._flush_reports
-        )
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "<EngineMetrics (deprecated façade over the metrics registry)>"

@@ -12,6 +12,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterator
 
+from repro.analysis.concurrency import apply_guards, create_lock
 from repro.errors import InvalidParameterError, MemTableFlushedError
 from repro.iotdb.config import IoTDBConfig, TSDataType
 from repro.iotdb.tvlist import TVList
@@ -31,13 +32,21 @@ class MemTable:
     Schema is per-column and sticky: the first value written to a
     (device, sensor) pins its :class:`TSDataType`; later writes of another
     type are rejected at ingestion (the typed-TVList validation of §V-A).
+
+    Concurrency discipline: ``_lock`` serialises writes and state
+    transitions; the lock sits *below* the engine lock in the global order
+    (the engine may call in holding its own lock, never the reverse).
     """
+
+    #: Lock discipline for the ``guarded-by`` rule and runtime sanitizer.
+    GUARDED_BY = {"_chunks": "_lock", "_total_points": "_lock", "state": "_lock"}
 
     def __init__(
         self, config: IoTDBConfig | None = None, *, obs: Observability = NOOP
     ) -> None:
         self.config = config if config is not None else IoTDBConfig()
         self.obs = obs
+        self._lock = create_lock("MemTable._lock")
         self.state = MemTableState.WORKING
         self._chunks: dict[tuple[str, str], TVList] = {}
         self._total_points = 0
@@ -46,28 +55,30 @@ class MemTable:
         self._writes_counter = obs.registry.counter(
             "memtable_writes_total", "points accepted by any memtable"
         )
+        apply_guards(self)
 
     # -- writes ------------------------------------------------------------
 
     def write(self, device: str, sensor: str, timestamp: int, value) -> None:
         """Ingest one point into the column's TVList."""
-        if self.state is not MemTableState.WORKING:
-            raise MemTableFlushedError(
-                f"memtable is {self.state.value}; writes are rejected"
-            )
-        if not isinstance(timestamp, int) or isinstance(timestamp, bool):
-            raise InvalidParameterError(
-                f"timestamp must be int, got {type(timestamp).__name__}"
-            )
-        key = (device, sensor)
-        tvlist = self._chunks.get(key)
-        if tvlist is None:
-            dtype = infer_dtype(value)
-            tvlist = tvlist_for(dtype, array_size=self.config.array_size)
-            self._chunks[key] = tvlist
-        tvlist.put(timestamp, value)
-        self._total_points += 1
-        self._writes_counter.inc()
+        with self._lock:
+            if self.state is not MemTableState.WORKING:
+                raise MemTableFlushedError(
+                    f"memtable is {self.state.value}; writes are rejected"
+                )
+            if not isinstance(timestamp, int) or isinstance(timestamp, bool):
+                raise InvalidParameterError(
+                    f"timestamp must be int, got {type(timestamp).__name__}"
+                )
+            key = (device, sensor)
+            tvlist = self._chunks.get(key)
+            if tvlist is None:
+                dtype = infer_dtype(value)
+                tvlist = tvlist_for(dtype, array_size=self.config.array_size)
+                self._chunks[key] = tvlist
+            tvlist.put(timestamp, value)
+            self._total_points += 1
+            self._writes_counter.inc()
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
         if len(timestamps) != len(values):
@@ -79,44 +90,65 @@ class MemTable:
 
     @property
     def total_points(self) -> int:
-        return self._total_points
+        with self._lock:
+            return self._total_points
 
     def should_flush(self) -> bool:
         """True once the configured point threshold is reached."""
-        return self._total_points >= self.config.memtable_flush_threshold
+        with self._lock:
+            return self._total_points >= self.config.memtable_flush_threshold
 
     def mark_flushing(self) -> None:
         """WORKING → FLUSHING: the table becomes immutable."""
-        if self.state is not MemTableState.WORKING:
-            raise MemTableFlushedError(f"cannot mark {self.state.value} memtable flushing")
-        self.state = MemTableState.FLUSHING
+        with self._lock:
+            if self.state is not MemTableState.WORKING:
+                raise MemTableFlushedError(
+                    f"cannot mark {self.state.value} memtable flushing"
+                )
+            self.state = MemTableState.FLUSHING
 
     def mark_flushed(self) -> None:
         """FLUSHING → FLUSHED: data is durable in a sealed TsFile."""
-        if self.state is not MemTableState.FLUSHING:
-            raise MemTableFlushedError(f"cannot mark {self.state.value} memtable flushed")
-        self.state = MemTableState.FLUSHED
+        with self._lock:
+            if self.state is not MemTableState.FLUSHING:
+                raise MemTableFlushedError(
+                    f"cannot mark {self.state.value} memtable flushed"
+                )
+            self.state = MemTableState.FLUSHED
 
     # -- access ------------------------------------------------------------
 
     def chunk(self, device: str, sensor: str) -> TVList | None:
-        return self._chunks.get((device, sensor))
+        with self._lock:
+            return self._chunks.get((device, sensor))
 
     def chunk_dtype(self, device: str, sensor: str) -> TSDataType | None:
-        tvlist = self._chunks.get((device, sensor))
-        return tvlist.dtype if tvlist is not None else None
+        with self._lock:
+            tvlist = self._chunks.get((device, sensor))
+            return tvlist.dtype if tvlist is not None else None
 
     def iter_chunks(self) -> Iterator[tuple[str, str, TVList]]:
-        """Yield (device, sensor, tvlist) in deterministic order."""
-        for (device, sensor) in sorted(self._chunks):
-            yield device, sensor, self._chunks[(device, sensor)]
+        """Yield (device, sensor, tvlist) in deterministic order.
+
+        The key set is snapshotted under the lock before yielding, so a
+        FLUSHING table can be iterated while a WORKING sibling ingests.
+        """
+        with self._lock:
+            snapshot = [
+                (device, sensor, self._chunks[(device, sensor)])
+                for (device, sensor) in sorted(self._chunks)
+            ]
+        yield from snapshot
 
     def devices(self) -> list[str]:
-        return sorted({d for d, _ in self._chunks})
+        with self._lock:
+            return sorted({d for d, _ in self._chunks})
 
     def __len__(self) -> int:
-        return self._total_points
+        with self._lock:
+            return self._total_points
 
     def memory_slots(self) -> int:
         """Total allocated TVList slots across all chunks."""
-        return sum(tv.memory_slots() for tv in self._chunks.values())
+        with self._lock:
+            return sum(tv.memory_slots() for tv in self._chunks.values())

@@ -34,6 +34,7 @@ import zlib
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.analysis.concurrency import apply_guards, create_lock, holds
 from repro.errors import StorageError, WalCorruptionError
 
 _HEADER = struct.Struct("<I")
@@ -146,7 +147,13 @@ class SegmentedWal:
     a TsFile.  :meth:`replay` iterates every live segment in id order —
     after a crash that is precisely the set of acknowledged-but-unsealed
     points.
+
+    Concurrency discipline: ``_lock`` serialises segment lifecycle and
+    appends; it sits below the engine lock in the global order.
     """
+
+    #: Lock discipline for the ``guarded-by`` rule and runtime sanitizer.
+    GUARDED_BY = {"_segments": "_lock"}
 
     def __init__(
         self,
@@ -160,16 +167,19 @@ class SegmentedWal:
         # ``wrap(fileobj, site=...)`` lets the fault injector interpose on
         # every byte written; identity when fault injection is off.
         self._wrap = wrap if wrap is not None else (lambda fileobj, site: fileobj)
+        self._lock = create_lock("SegmentedWal._lock")
         self._segments: list[_Segment] = []
-        self._active: _Segment | None = None
-        self._next_id = 1
+        self._active: _Segment | None = None  # repro: guarded_by(_lock)
+        self._next_id = 1  # repro: guarded_by(_lock)
+        apply_guards(self)
 
     # -- constructors ------------------------------------------------------
 
     @classmethod
     def in_memory(cls, space: str, *, wrap: Callable | None = None) -> "SegmentedWal":
         wal = cls(directory=None, space=space, wrap=wrap)
-        wal._start_active()
+        with wal._lock:
+            wal._start_active()
         return wal
 
     @classmethod
@@ -189,23 +199,29 @@ class SegmentedWal:
         the engine drops them once the replayed points are sealed.
         """
         wal = cls(directory=directory, space=space, wrap=wrap)
-        for path in sorted(directory.glob(f"wal-{space}-*.log")):
-            try:
-                segment_id = int(path.stem.rsplit("-", 1)[-1])
-            except ValueError:
-                raise StorageError(f"unrecognised WAL segment name {path.name!r}") from None
-            if fresh:
-                path.unlink()
-                continue
-            handle = open(path, "rb")
-            wal._segments.append(_Segment(segment_id, WriteAheadLog(handle), path))
-            wal._next_id = max(wal._next_id, segment_id + 1)
-        wal._segments.sort(key=lambda s: s.segment_id)
-        wal._start_active()
+        with wal._lock:
+            for path in sorted(directory.glob(f"wal-{space}-*.log")):
+                try:
+                    segment_id = int(path.stem.rsplit("-", 1)[-1])
+                except ValueError:
+                    raise StorageError(
+                        f"unrecognised WAL segment name {path.name!r}"
+                    ) from None
+                if fresh:
+                    path.unlink()
+                    continue
+                handle = open(path, "rb")
+                wal._segments.append(
+                    _Segment(segment_id, WriteAheadLog(handle), path)
+                )
+                wal._next_id = max(wal._next_id, segment_id + 1)
+            wal._segments.sort(key=lambda s: s.segment_id)
+            wal._start_active()
         return wal
 
     # -- segment lifecycle -------------------------------------------------
 
+    @holds("_lock")
     def _start_active(self) -> None:
         segment_id = self._next_id
         self._next_id += 1
@@ -220,47 +236,60 @@ class SegmentedWal:
 
     def rotate(self) -> int:
         """Seal the active segment, start a fresh one; returns the sealed id."""
-        sealed = self._active
-        self._start_active()
-        return sealed.segment_id
+        with self._lock:
+            sealed = self._active
+            self._start_active()
+            return sealed.segment_id
 
     def drop(self, segment_id: int) -> None:
         """Delete a sealed segment whose points are durable in a TsFile."""
-        for segment in self._segments:
-            if segment.segment_id == segment_id:
-                if segment is self._active:
-                    raise StorageError(
-                        f"cannot drop the active WAL segment {segment_id}"
-                    )
-                segment.wal.close()
-                if segment.path is not None:
-                    segment.path.unlink(missing_ok=True)
-                self._segments.remove(segment)
-                return
-        raise StorageError(f"unknown WAL segment {segment_id}")
+        with self._lock:
+            for segment in self._segments:
+                if segment.segment_id == segment_id:
+                    if segment is self._active:
+                        raise StorageError(
+                            f"cannot drop the active WAL segment {segment_id}"
+                        )
+                    segment.wal.close()
+                    if segment.path is not None:
+                        segment.path.unlink(missing_ok=True)
+                    self._segments.remove(segment)
+                    return
+            raise StorageError(f"unknown WAL segment {segment_id}")
 
     # -- record API --------------------------------------------------------
 
     def append(self, device: str, sensor: str, timestamp: int, value) -> None:
-        self._active.wal.append(device, sensor, timestamp, value)
+        with self._lock:
+            self._active.wal.append(device, sensor, timestamp, value)
 
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
-        """Every intact record across all live segments, in segment order."""
-        for segment in list(self._segments):
+        """Every intact record across all live segments, in segment order.
+
+        The segment list is snapshotted under the lock; record iteration
+        itself runs unlocked (the sealed segments are immutable).
+        """
+        with self._lock:
+            segments = list(self._segments)
+        for segment in segments:
             yield from segment.wal.replay(strict=strict)
 
     # -- introspection -----------------------------------------------------
 
     def segment_ids(self) -> list[int]:
         """Ids of every live segment, active last."""
-        return [s.segment_id for s in self._segments]
+        with self._lock:
+            return [s.segment_id for s in self._segments]
 
     def sealed_segment_ids(self) -> list[int]:
-        return [s.segment_id for s in self._segments if s is not self._active]
+        with self._lock:
+            return [s.segment_id for s in self._segments if s is not self._active]
 
     def size_bytes(self) -> int:
-        return sum(s.wal.size_bytes() for s in self._segments)
+        with self._lock:
+            return sum(s.wal.size_bytes() for s in self._segments)
 
     def close(self) -> None:
-        for segment in self._segments:
-            segment.wal.close()
+        with self._lock:
+            for segment in self._segments:
+                segment.wal.close()

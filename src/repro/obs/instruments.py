@@ -88,10 +88,6 @@ class Counter(Instrument):
             )
         self._value += amount
 
-    def _add(self, delta: float) -> None:
-        """Signed adjustment — reserved for the deprecated EngineMetrics setters."""
-        self._value += delta
-
     @property
     def value(self) -> float:
         return self._value
@@ -229,9 +225,6 @@ class _NoopInstrument:
         pass
 
     def observe(self, value: float) -> None:
-        pass
-
-    def _add(self, delta: float) -> None:
         pass
 
     def bucket_counts(self) -> list[tuple[float, int]]:

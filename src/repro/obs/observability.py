@@ -10,8 +10,8 @@ Three configurations cover every use:
 
 * ``Observability()`` — everything on (metrics + tracing);
 * ``Observability(tracing=False)`` — metrics only; what the engine builds
-  for itself by default, so ``EngineMetrics``/``describe()`` always have a
-  live registry behind them;
+  for itself by default, so ``describe()`` always has a live registry
+  behind it;
 * :data:`NOOP` — the shared all-off instance; the default for the
   standalone sorter/flush/query entry points, costing one no-op method call
   per event (the <5% hot-path bound is tested against it).

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Iterator, Sequence
 
+from repro.analysis.concurrency import apply_guards, create_lock, holds
 from repro.errors import InvalidParameterError
 from repro.obs.instruments import (
     DEFAULT_TIME_BUCKETS,
@@ -27,12 +28,24 @@ from repro.obs.instruments import (
 
 
 class MetricsRegistry:
-    """Name-keyed store of :class:`~repro.obs.instruments.Instrument` objects."""
+    """Name-keyed store of :class:`~repro.obs.instruments.Instrument` objects.
+
+    Concurrency discipline: ``_lock`` guards the name → instrument map (a
+    leaf lock — nothing else is acquired while it is held).  Instrument
+    *values* are updated without it; counter drift under contention is an
+    accepted metrics-grade tolerance, the map itself is not.
+    """
+
+    #: Lock discipline for the ``guarded-by`` rule and runtime sanitizer.
+    GUARDED_BY = {"_instruments": "_lock"}
 
     def __init__(self) -> None:
+        self._lock = create_lock("MetricsRegistry._lock")
         self._instruments: dict[str, Instrument] = {}
+        apply_guards(self)
 
-    def _get_or_create(
+    @holds("_lock")
+    def _get_or_create_locked(
         self,
         cls: type,
         name: str,
@@ -57,6 +70,17 @@ class MetricsRegistry:
         self._instruments[name] = instrument
         return instrument
 
+    def _get_or_create(
+        self,
+        cls: type,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        **kwargs,
+    ) -> Instrument:
+        with self._lock:
+            return self._get_or_create_locked(cls, name, help, labelnames, **kwargs)
+
     def counter(
         self, name: str, help: str = "", labelnames: Sequence[str] = ()
     ) -> Counter:
@@ -78,15 +102,22 @@ class MetricsRegistry:
 
     def get(self, name: str) -> Instrument | None:
         """The registered instrument, or None (read-only lookup)."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def instruments(self) -> Iterator[Instrument]:
-        """All instruments in registration-name order."""
-        for name in sorted(self._instruments):
-            yield self._instruments[name]
+        """All instruments in registration-name order.
+
+        Snapshotted under the lock before yielding: exporters iterate this
+        without holding any lock of their own.
+        """
+        with self._lock:
+            snapshot = [self._instruments[name] for name in sorted(self._instruments)]
+        yield from snapshot
 
     def as_dict(self) -> dict:
         """Nested snapshot: ``{name: {kind, help, samples: [...]}}``.

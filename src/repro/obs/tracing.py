@@ -195,8 +195,15 @@ class _NoopSpan:
     start = 0.0
     end = 0.0
     duration = 0.0
-    attributes: dict = {}
-    children: list = []
+    @property
+    def attributes(self) -> dict:
+        # Fresh per access: the no-op span is a shared singleton, so a
+        # class-level dict would be cross-thread mutable state.
+        return {}
+
+    @property
+    def children(self) -> list:
+        return []
 
     def __enter__(self) -> "_NoopSpan":
         return self

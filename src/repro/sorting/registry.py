@@ -24,7 +24,9 @@ from repro.sorting.smoothsort import SmoothSorter
 from repro.sorting.timsort import TimSorter
 from repro.sorting.ysort import YSorter
 
-_FACTORIES: dict[str, Callable[[], Sorter]] = {
+# Mutated only by register_sorter (a config-time extension hook expected to
+# run before threads start).  Catalogued in docs/ANALYSIS.md.
+_FACTORIES: dict[str, Callable[[], Sorter]] = {  # repro: allow(shared-state-escape)
     BackwardSorter.name: BackwardSorter,
     QuickSorter.name: QuickSorter,
     TimSorter.name: TimSorter,

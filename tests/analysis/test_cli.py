@@ -63,6 +63,58 @@ def test_unknown_rule_is_a_usage_error(tmp_path, capsys):
     assert "unknown rule" in capsys.readouterr().err
 
 
+def test_exclude_rule_skips_the_named_rule(tmp_path, capsys):
+    write_fixture(tmp_path)
+    # The fixture violates wall-clock; excluding that rule leaves a clean run.
+    assert main(["--exclude-rule", "wall-clock", str(tmp_path)]) == 0
+    assert main(["--exclude-rule", "quadratic-list-op", str(tmp_path)]) == 1
+    capsys.readouterr()
+
+
+def test_exclude_rule_composes_with_rules(tmp_path, capsys):
+    write_fixture(tmp_path)
+    assert (
+        main(
+            [
+                "--rules",
+                "wall-clock,quadratic-list-op",
+                "--exclude-rule",
+                "wall-clock",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+def test_exclude_rule_is_repeatable_and_comma_separated(tmp_path, capsys):
+    write_fixture(tmp_path)
+    assert (
+        main(
+            [
+                "--exclude-rule",
+                "wall-clock,quadratic-list-op",
+                "--exclude-rule",
+                "parallel-arrays",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    payload_rules = None
+    capsys.readouterr()
+    assert main(["--format", "json", "--exclude-rule", "wall-clock", str(tmp_path)]) == 0
+    payload_rules = json.loads(capsys.readouterr().out)["rules"]
+    assert "wall-clock" not in payload_rules
+    assert set(payload_rules) == set(available_rules()) - {"wall-clock"}
+
+
+def test_exclude_unknown_rule_is_a_usage_error(tmp_path, capsys):
+    assert main(["--exclude-rule", "bogus", str(tmp_path)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
 def test_missing_path_is_a_usage_error(tmp_path, capsys):
     assert main([str(tmp_path / "nope")]) == 2
     assert "no such file" in capsys.readouterr().err

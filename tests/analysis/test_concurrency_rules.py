@@ -1,0 +1,264 @@
+"""Static concurrency rules: guarded-by, lock-order, shared-state-escape.
+
+Each fixture seeds one deliberate discipline violation plus a compliant
+twin, mirroring the retrofit idioms the real tree uses (GUARDED_BY maps,
+``# repro: guarded_by(...)`` pragmas, ``@holds`` helpers, with-nesting).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.linter import run_linter
+from repro.analysis.rules import get_rules
+
+
+def write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rule_ids(findings) -> set[str]:
+    return {finding.rule_id for finding in findings}
+
+
+# -------------------------------------------------------------- guarded-by
+
+
+_UNGUARDED_READ = """
+class Table:
+    GUARDED_BY = {"_chunks": "_lock"}
+
+    def __init__(self):
+        self._lock = object()
+        self._chunks = {}
+
+    def size(self):
+        return len(self._chunks)
+
+    def reset(self):
+        with self._lock:
+            self._chunks.clear()
+"""
+
+_HOLDS_HELPER = """
+from repro.analysis.concurrency import holds
+
+
+class Table:
+    GUARDED_BY = {"_chunks": "_lock"}
+
+    def __init__(self):
+        self._lock = object()
+        self._chunks = {}
+
+    @holds("_lock")
+    def _merge_locked(self, other):
+        self._chunks.update(other)
+
+    def merge(self, other):
+        with self._lock:
+            self._merge_locked(other)
+"""
+
+_PRAGMA_DECLARED = """
+class Wal:
+    def __init__(self):
+        self._lock = object()
+        self._next_id = 1  # repro: guarded_by(_lock)
+
+    def bump(self):
+        self._next_id += 1
+
+    def bump_safely(self):
+        with self._lock:
+            self._next_id += 1
+"""
+
+
+def test_guarded_by_flags_access_outside_the_lock(tmp_path):
+    path = write(tmp_path, "iotdb/table.py", _UNGUARDED_READ)
+    findings = run_linter([path], get_rules(["guarded-by"]))
+    assert len(findings) == 1
+    assert findings[0].rule_id == "guarded-by"
+    assert "Table._chunks" in findings[0].message
+    assert "with self._lock" in findings[0].message
+
+
+def test_guarded_by_accepts_holds_annotated_helpers(tmp_path):
+    path = write(tmp_path, "iotdb/holds.py", _HOLDS_HELPER)
+    assert run_linter([path], get_rules(["guarded-by"])) == []
+
+
+def test_guarded_by_honours_the_attribute_pragma(tmp_path):
+    path = write(tmp_path, "iotdb/wal.py", _PRAGMA_DECLARED)
+    findings = run_linter([path], get_rules(["guarded-by"]))
+    assert len(findings) == 1
+    assert "Wal._next_id" in findings[0].message
+    # bump_safely (same mutation, under the lock) produced no finding.
+    assert all("bump_safely" not in f.message for f in findings)
+
+
+def test_guarded_by_exempts_constructors(tmp_path):
+    # The fixtures assign guarded attrs in __init__ freely; a clean run of
+    # the compliant twin is the explicit form of that guarantee.
+    path = write(tmp_path, "iotdb/ctor.py", _HOLDS_HELPER)
+    assert run_linter([path], get_rules(["guarded-by"])) == []
+
+
+# -------------------------------------------------------------- lock-order
+
+
+_AB_ORDER = """
+class Engine:
+    def seal(self):
+        with self._table_lock:
+            with self._wal_lock:
+                pass
+"""
+
+_BA_ORDER = """
+class Engine:
+    def replay(self):
+        with self._wal_lock:
+            with self._table_lock:
+                pass
+"""
+
+_NON_LOCK_NESTING = """
+class Engine:
+    def export(self, path):
+        with self._table_lock:
+            with open(path) as handle:
+                return handle.read()
+"""
+
+
+def test_lock_order_detects_a_cross_module_abba_cycle(tmp_path):
+    write(tmp_path, "iotdb/seal.py", _AB_ORDER)
+    write(tmp_path, "iotdb/replay.py", _BA_ORDER)
+    findings = run_linter([tmp_path], get_rules(["lock-order"]))
+    assert len(findings) == 1
+    assert "lock-order cycle" in findings[0].message
+    assert "Engine._table_lock" in findings[0].message
+    assert "Engine._wal_lock" in findings[0].message
+
+
+def test_lock_order_accepts_a_consistent_global_order(tmp_path):
+    write(tmp_path, "iotdb/seal.py", _AB_ORDER)
+    write(tmp_path, "iotdb/seal_again.py", _AB_ORDER.replace("seal", "seal2"))
+    assert run_linter([tmp_path], get_rules(["lock-order"])) == []
+
+
+def test_lock_order_ignores_non_lock_context_managers(tmp_path):
+    write(tmp_path, "iotdb/export.py", _NON_LOCK_NESTING)
+    write(tmp_path, "iotdb/replay.py", _BA_ORDER)
+    # open() nested under _table_lock is not a lock edge; only the single
+    # wal->table edge exists, so there is no cycle.
+    assert run_linter([tmp_path], get_rules(["lock-order"])) == []
+
+
+# ------------------------------------------------------ shared-state-escape
+
+
+def test_escape_flags_lowercase_module_globals(tmp_path):
+    path = write(tmp_path, "core/state.py", "cache = {}\n")
+    findings = run_linter([path], get_rules(["shared-state-escape"]))
+    assert len(findings) == 1
+    assert "cache" in findings[0].message
+
+
+def test_escape_accepts_frozen_constant_tables(tmp_path):
+    path = write(tmp_path, "core/tables.py", "_CODECS = {'plain': None}\n")
+    assert run_linter([path], get_rules(["shared-state-escape"])) == []
+
+
+def test_escape_flags_constant_tables_the_module_mutates(tmp_path):
+    source = "_CODECS = {}\n\ndef register(name, codec):\n    _CODECS[name] = codec\n"
+    path = write(tmp_path, "core/mutable_table.py", source)
+    findings = run_linter([path], get_rules(["shared-state-escape"]))
+    assert len(findings) == 1
+    assert "is mutated in this module" in findings[0].message
+
+
+def test_escape_flags_global_rebinds(tmp_path):
+    source = "_count = 0\n\ndef bump():\n    global _count\n    _count += 1\n"
+    path = write(tmp_path, "core/rebind.py", source)
+    findings = run_linter([path], get_rules(["shared-state-escape"]))
+    assert any("global _count" in f.message for f in findings)
+
+
+def test_escape_flags_mutable_class_attributes(tmp_path):
+    source = "class C:\n    cache = {}\n"
+    path = write(tmp_path, "core/classattr.py", source)
+    findings = run_linter([path], get_rules(["shared-state-escape"]))
+    assert len(findings) == 1
+    assert "C.cache" in findings[0].message
+
+
+def test_escape_exempts_the_guarded_by_declaration(tmp_path):
+    source = "class C:\n    GUARDED_BY = {'_items': '_lock'}\n"
+    path = write(tmp_path, "core/decl.py", source)
+    assert run_linter([path], get_rules(["shared-state-escape"])) == []
+
+
+_LEAKY = """
+class Store:
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = object()
+        self._items = {}
+
+    def items(self):
+        with self._lock:
+            return self._items
+"""
+
+_COPYING = """
+class Store:
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = object()
+        self._items = {}
+
+    def items(self):
+        with self._lock:
+            return dict(self._items)
+"""
+
+_SCALAR_GUARDED = """
+class Counter:
+    GUARDED_BY = {"_total": "_lock"}
+
+    def __init__(self):
+        self._lock = object()
+        self._total = 0
+
+    def total(self):
+        with self._lock:
+            return self._total
+"""
+
+
+def test_escape_flags_methods_leaking_guarded_collections(tmp_path):
+    path = write(tmp_path, "core/leaky.py", _LEAKY)
+    findings = run_linter([path], get_rules(["shared-state-escape"]))
+    assert len(findings) == 1
+    assert "Store.items" in findings[0].message
+    assert "_items" in findings[0].message
+
+
+def test_escape_accepts_copies_of_guarded_collections(tmp_path):
+    path = write(tmp_path, "core/copying.py", _COPYING)
+    assert run_linter([path], get_rules(["shared-state-escape"])) == []
+
+
+def test_escape_ignores_guarded_scalars(tmp_path):
+    # GUARDED_BY may cover ints/enums (guarded, but not aliasable);
+    # returning them is not an escape.
+    path = write(tmp_path, "core/scalar.py", _SCALAR_GUARDED)
+    assert run_linter([path], get_rules(["shared-state-escape"])) == []

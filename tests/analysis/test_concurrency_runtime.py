@@ -1,0 +1,217 @@
+"""Runtime concurrency sanitizer: InstrumentedLock, @holds, guarded proxies.
+
+The static rules catch what the *source* admits; these tests exercise what
+the *process* does — the ABBA that raises deterministically instead of
+deadlocking, and the unguarded dict poke that raises instead of racing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.concurrency import (
+    LOCK_ORDER_GRAPH,
+    InstrumentedLock,
+    apply_guards,
+    create_lock,
+    holds,
+    reset_lock_order_graph,
+    set_enforcement,
+)
+from repro.errors import ConcurrencyError, GuardViolation, LockOrderViolation
+
+
+@pytest.fixture
+def enforced():
+    """Turn runtime checking on, with a clean lock-order graph, for one test."""
+    previous = set_enforcement(True)
+    reset_lock_order_graph()
+    yield
+    set_enforcement(previous)
+    reset_lock_order_graph()
+
+
+# -------------------------------------------------------- lock-order graph
+
+
+def test_abba_raises_instead_of_deadlocking(enforced):
+    a = InstrumentedLock("test.A")
+    b = InstrumentedLock("test.B")
+    with a:
+        with b:
+            pass
+    # The reverse ordering closes the cycle the moment it is *attempted* —
+    # no second thread, no timing, no actual deadlock required.
+    with b:
+        with pytest.raises(LockOrderViolation) as excinfo:
+            a.acquire()
+    message = str(excinfo.value)
+    assert "test.A" in message and "test.B" in message
+    assert "first ordering" in message and "this ordering" in message
+
+
+def test_abba_across_two_threads_is_deterministic(enforced):
+    a = InstrumentedLock("test.A")
+    b = InstrumentedLock("test.B")
+
+    def order_ab():
+        with a:
+            with b:
+                pass
+
+    caught: list[BaseException] = []
+
+    def order_ba():
+        try:
+            with b:
+                with a:
+                    pass
+        except LockOrderViolation as exc:
+            caught.append(exc)
+
+    first = threading.Thread(target=order_ab)
+    first.start()
+    first.join()
+    second = threading.Thread(target=order_ba)
+    second.start()
+    second.join()
+    assert len(caught) == 1
+    assert "test.A" in str(caught[0])
+
+
+def test_consistent_order_and_reentrancy_are_silent(enforced):
+    a = InstrumentedLock("test.A")
+    b = InstrumentedLock("test.B")
+    for _ in range(3):
+        with a:
+            with a:  # re-entrant: no self-edge
+                with b:
+                    pass
+    assert LOCK_ORDER_GRAPH.edges() == [("test.A", "test.B")]
+
+
+def test_transitive_cycles_are_detected(enforced):
+    a = InstrumentedLock("test.A")
+    b = InstrumentedLock("test.B")
+    c = InstrumentedLock("test.C")
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with pytest.raises(LockOrderViolation):
+            a.acquire()
+
+
+def test_release_by_non_owner_raises(enforced):
+    lock = InstrumentedLock("test.A")
+    with pytest.raises(ConcurrencyError):
+        lock.release()
+
+
+def test_create_lock_is_plain_when_enforcement_is_off():
+    previous = set_enforcement(False)
+    try:
+        assert not isinstance(create_lock("test.Off"), InstrumentedLock)
+    finally:
+        set_enforcement(previous)
+
+
+# ------------------------------------------------------------------ @holds
+
+
+class _Holder:
+    GUARDED_BY = {"_items": "_lock"}
+
+    def __init__(self):
+        self._lock = create_lock("test.Holder._lock")
+        self._items: dict = {}
+        apply_guards(self)
+
+    @holds("_lock")
+    def _merge_locked(self, other):
+        self._items.update(other)
+
+    def merge(self, other):
+        with self._lock:
+            self._merge_locked(other)
+
+
+def test_holds_asserts_the_lock_is_held(enforced):
+    holder = _Holder()
+    with pytest.raises(GuardViolation, match="_merge_locked"):
+        holder._merge_locked({"a": 1})
+    holder.merge({"a": 1})  # the locked path is fine
+    with holder._lock:
+        assert holder._items == {"a": 1}
+
+
+# ------------------------------------------------------- guarded proxies
+
+
+def test_unguarded_dict_access_raises(enforced):
+    holder = _Holder()
+    with pytest.raises(GuardViolation, match="Holder._items"):
+        holder._items["a"] = 1
+    with pytest.raises(GuardViolation):
+        len(holder._items)
+    with holder._lock:
+        holder._items["a"] = 1
+        assert holder._items["a"] == 1
+
+
+def test_apply_guards_is_idempotent_and_rewraps_rebinds(enforced):
+    holder = _Holder()
+    wrapped = type(holder.__dict__["_items"])
+    apply_guards(holder)
+    assert type(holder.__dict__["_items"]) is wrapped  # not double-wrapped
+    with holder._lock:
+        holder._items = {"fresh": True}  # rebind drops the proxy
+    apply_guards(holder)
+    with pytest.raises(GuardViolation):
+        holder._items["fresh"]
+
+
+def test_apply_guards_is_a_noop_when_enforcement_is_off():
+    previous = set_enforcement(False)
+    try:
+        holder = _Holder()
+        holder._items["a"] = 1  # plain dict, no assertion
+        assert holder._items == {"a": 1}
+    finally:
+        set_enforcement(previous)
+
+
+# ----------------------------------------------------- engine smoke test
+
+
+def test_engine_survives_two_writer_threads_under_enforcement(enforced):
+    from repro.iotdb import IoTDBConfig, StorageEngine
+
+    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=200))
+    errors: list[BaseException] = []
+
+    def writer(device: str) -> None:
+        try:
+            for t in range(300):
+                engine.write(device, "s", t, float(t))
+        except BaseException as exc:  # noqa: BLE001 - surface to the test
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(f"d{i}",), name=f"writer-{i}")
+        for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    engine.flush_all()
+    for i in range(2):
+        result = engine.query(f"d{i}", "s", 0, 300)
+        assert result.timestamps == list(range(300))

@@ -40,6 +40,9 @@ def test_available_rules_cover_the_documented_set():
         "wall-clock",
         "quadratic-list-op",
         "no-direct-metrics-mutation",
+        "guarded-by",
+        "lock-order",
+        "shared-state-escape",
     }
 
 
@@ -356,11 +359,13 @@ def test_metrics_mutation_allows_registry_instruments(tmp_path):
     assert run_linter([path], get_rules(["no-direct-metrics-mutation"])) == []
 
 
-def test_metrics_mutation_exempts_the_facade_module(tmp_path):
+def test_metrics_mutation_flags_the_old_facade_module_too(tmp_path):
+    # The EngineMetrics façade is gone; nothing is exempt by module name.
     write(tmp_path, "repro/__init__.py", "")
     write(tmp_path, "repro/iotdb/__init__.py", "")
     path = write(tmp_path, "repro/iotdb/engine_metrics.py", _METRICS_WRITES)
-    assert run_linter([path], get_rules(["no-direct-metrics-mutation"])) == []
+    findings = run_linter([path], get_rules(["no-direct-metrics-mutation"]))
+    assert len(findings) == 3
 
 
 # ------------------------------------------------------------------ pragma

@@ -29,9 +29,9 @@ from repro.sorting.registry import get_sorter
 @pytest.fixture
 def hook_state():
     """Snapshot and restore the global sanitize-hook state around a test."""
-    saved = (sorter_module._SANITIZE_HOOK, sorter_module._SANITIZE_RESOLVED)
+    saved = sorter_module._HOOK_STATE.hook
     yield
-    sorter_module._SANITIZE_HOOK, sorter_module._SANITIZE_RESOLVED = saved
+    sorter_module._HOOK_STATE.hook = saved
 
 
 class HonestSorter(Sorter):
@@ -188,8 +188,7 @@ def test_install_routes_sorter_sort_through_sanitizer(hook_state):
 
 def test_env_var_activates_hook_on_first_sort(hook_state, monkeypatch):
     monkeypatch.setenv("REPRO_SANITIZE", "1")
-    sorter_module._SANITIZE_HOOK = None
-    sorter_module._SANITIZE_RESOLVED = False
+    sorter_module._HOOK_STATE.hook = sorter_module._UNRESOLVED
     with pytest.raises(SanitizerViolation):
         DesyncSorter().sort(*unsorted_input())
 

@@ -1,0 +1,158 @@
+"""Per-rule pragma coverage: ``# repro: allow(<id>)`` suppresses exactly
+the named rule, for EVERY registered rule.
+
+The fixtures below seed one violation per rule; the tests run the rule,
+append the pragma to each reported line, and require (a) the named pragma
+silences the rule and (b) a pragma naming a *different* rule does not.
+A final test pins the fixture map to the registry, so adding a rule
+without a suppression fixture fails here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.linter import run_linter
+from repro.analysis.rules import available_rules, get_rules
+
+#: rule id -> [(relative path, source)] seeding at least one finding.
+FIXTURES: dict[str, list[tuple[str, str]]] = {
+    "parallel-arrays": [
+        (
+            "sorting/desync.py",
+            "def shift_left(ts, vs, stats):\n"
+            "    moves = 0\n"
+            "    for i in range(1, len(ts)):\n"
+            "        ts[i - 1] = ts[i]\n"
+            "        moves += 1\n"
+            "    stats.moves += moves\n",
+        )
+    ],
+    "stats-accounting": [
+        (
+            "sorting/uncounted.py",
+            "def reverse_pairs(ts, vs):\n"
+            "    for i in range(len(ts) // 2):\n"
+            "        j = len(ts) - 1 - i\n"
+            "        ts[i], ts[j] = ts[j], ts[i]\n"
+            "        vs[i], vs[j] = vs[j], vs[i]\n",
+        )
+    ],
+    "lazy-import-cycle": [
+        ("pkg/__init__.py", ""),
+        ("pkg/core/__init__.py", ""),
+        (
+            "pkg/core/alg.py",
+            "from pkg.sorting.reg import REG\n\n\ndef run():\n    return REG\n",
+        ),
+        ("pkg/sorting/__init__.py", ""),
+        (
+            "pkg/sorting/reg.py",
+            "from pkg.core.alg import run\n\nREG = {'run': run}\n",
+        ),
+    ],
+    "wall-clock": [
+        (
+            "core/clocked.py",
+            "import time\n\n\ndef timed(ts):\n    return time.perf_counter()\n",
+        )
+    ],
+    "quadratic-list-op": [
+        (
+            "sorting/quadratic.py",
+            "def drain(piles):\n"
+            "    while piles:\n"
+            "        piles.pop(0)\n"
+            "    return piles\n",
+        )
+    ],
+    "no-direct-metrics-mutation": [
+        (
+            "iotdb/poke.py",
+            "def record(engine):\n    engine.metrics.points_written += 10\n",
+        )
+    ],
+    "guarded-by": [
+        (
+            "iotdb/table.py",
+            "class Table:\n"
+            "    GUARDED_BY = {'_chunks': '_lock'}\n"
+            "\n"
+            "    def __init__(self):\n"
+            "        self._lock = object()\n"
+            "        self._chunks = {}\n"
+            "\n"
+            "    def size(self):\n"
+            "        return len(self._chunks)\n",
+        )
+    ],
+    "lock-order": [
+        (
+            "iotdb/abba.py",
+            "class Engine:\n"
+            "    def seal(self):\n"
+            "        with self._table_lock:\n"
+            "            with self._wal_lock:\n"
+            "                pass\n"
+            "\n"
+            "    def replay(self):\n"
+            "        with self._wal_lock:\n"
+            "            with self._table_lock:\n"
+            "                pass\n",
+        )
+    ],
+    "shared-state-escape": [("core/state.py", "cache = {}\n")],
+}
+
+
+def _materialise(tmp_path: Path, files: list[tuple[str, str]]) -> Path:
+    for relpath, source in files:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def _annotate(findings, pragma: str) -> None:
+    """Append ``pragma`` to every (file, line) a finding points at."""
+    seen: set[tuple[str, int]] = set()
+    for finding in findings:
+        key = (finding.path, finding.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        path = Path(finding.path)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[finding.line - 1] = f"{lines[finding.line - 1]}  {pragma}"
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_allow_pragma_suppresses_the_named_rule(rule_id, tmp_path):
+    root = _materialise(tmp_path, FIXTURES[rule_id])
+    rules = get_rules([rule_id])
+    findings = run_linter([root], rules)
+    assert findings, f"fixture for {rule_id} seeded no finding"
+    assert {f.rule_id for f in findings} == {rule_id}
+    _annotate(findings, f"# repro: allow({rule_id})")
+    assert run_linter([root], rules) == []
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_allow_pragma_for_another_rule_does_not_suppress(rule_id, tmp_path):
+    root = _materialise(tmp_path, FIXTURES[rule_id])
+    rules = get_rules([rule_id])
+    findings = run_linter([root], rules)
+    assert findings
+    other = next(r for r in sorted(available_rules()) if r != rule_id)
+    _annotate(findings, f"# repro: allow({other})")
+    still = run_linter([root], rules)
+    assert len(still) == len(findings), (
+        f"allow({other}) must not silence {rule_id}"
+    )
+
+
+def test_every_registered_rule_has_a_suppression_fixture():
+    assert set(FIXTURES) == set(available_rules())

@@ -1,0 +1,81 @@
+"""Sorter-ops baseline: determinism, write/check roundtrip, regression gate."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.baseline import (
+    DELAY_MODELS,
+    check_baseline,
+    collect_baseline,
+    main,
+)
+from repro.sorting import PAPER_ALGORITHMS
+
+_N = 400  # small streams keep the test fast; determinism is size-independent
+
+
+def test_collect_is_deterministic():
+    first = collect_baseline(n=_N, seed=7)
+    second = collect_baseline(n=_N, seed=7)
+    assert first == second
+    assert set(first["cells"]) == {
+        f"{algorithm}/{model}"
+        for algorithm in PAPER_ALGORITHMS
+        for model, _ in DELAY_MODELS
+    }
+    assert all(
+        cell["comparisons"] > 0 and cell["moves"] > 0
+        for cell in first["cells"].values()
+    )
+
+
+def test_write_then_check_roundtrip(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert main(["--write", "--path", str(path), "--n", str(_N)]) == 0
+    assert main(["--check", str(path), "--n", str(_N)]) == 0
+    assert "within" in capsys.readouterr().out
+
+
+def test_check_fails_on_an_ops_regression(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert main(["--write", "--path", str(path), "--n", str(_N)]) == 0
+    baseline = json.loads(path.read_text(encoding="utf-8"))
+    # Shrink every pinned cell: the (unchanged) current counts now look
+    # like a >2x regression against the doctored baseline.
+    for cell in baseline["cells"].values():
+        cell["comparisons"] //= 3
+        cell["moves"] //= 3
+    path.write_text(json.dumps(baseline), encoding="utf-8")
+    capsys.readouterr()
+    assert main(["--check", str(path), "--n", str(_N)]) == 1
+    err = capsys.readouterr().err
+    assert "budget" in err
+
+
+def test_check_rejects_mismatched_parameters(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    assert main(["--write", "--path", str(path), "--n", str(_N)]) == 0
+    assert main(["--check", str(path), "--n", str(_N * 2)]) == 2
+    assert "baseline was collected with" in capsys.readouterr().err
+
+
+def test_check_rejects_missing_baseline(tmp_path, capsys):
+    assert main(["--check", str(tmp_path / "nope.json"), "--n", str(_N)]) == 2
+    assert "no such baseline" in capsys.readouterr().err
+
+
+def test_check_reports_cell_set_drift():
+    baseline = {"cells": {"backward/exponential": {"comparisons": 1, "moves": 1}}}
+    current = {"cells": {"quick/exponential": {"comparisons": 1, "moves": 1}}}
+    problems = check_baseline(baseline, current, max_ratio=2.0)
+    assert len(problems) == 1
+    assert "cell sets differ" in problems[0]
+
+
+def test_committed_baseline_matches_the_current_tree():
+    committed = Path(__file__).resolve().parents[2] / "BENCH_sorter.json"
+    baseline = json.loads(committed.read_text(encoding="utf-8"))
+    current = collect_baseline(n=baseline["n"], seed=baseline["seed"])
+    assert check_baseline(baseline, current, max_ratio=2.0) == []

@@ -78,7 +78,9 @@ class TestAckedWritesSurvive:
         for t in range(50, 80):
             engine.write("d", "s", t, float(t))  # acked into the new memtable
         engine.drain_flushes()  # seals the first memtable, drops ITS segment
-        replayable = list(engine._wals[Space.SEQUENCE].replay())
+        with engine._lock:
+            seq_wal = engine._wals[Space.SEQUENCE]
+        replayable = list(seq_wal.replay())
         assert [r[2] for r in replayable] == list(range(50, 80)), (
             "WAL no longer covers writes acknowledged after the retire"
         )

@@ -76,9 +76,9 @@ class TestDeferredFlush:
         engine = _engine()
         for t in range(250):
             engine.write("d", "s", t, float(t))
-        assert all(
-            task.memtable.state is MemTableState.FLUSHING for task in engine._flushing
-        )
+        with engine._lock:
+            flushing = list(engine._flushing)
+        assert all(task.memtable.state is MemTableState.FLUSHING for task in flushing)
 
     def test_equivalence_inline_vs_deferred(self):
         stream = make_delayed_stream(1_000, lam=0.2, seed=2)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.concurrency import apply_guards
 from repro.errors import QueryError, StorageError
 from repro.iotdb import IoTDBConfig, Space, StorageEngine
 from repro.sorting import PAPER_ALGORITHMS
@@ -154,7 +155,9 @@ class TestWalRecovery:
         _fill(engine, make_delayed_stream(200, seed=9))
         # Simulate a crash: rebuild a fresh engine over the same WAL buffers.
         reborn = StorageEngine(config)
-        reborn._wals = engine._wals
+        with engine._lock, reborn._lock:
+            reborn._wals = dict(engine._wals)
+        apply_guards(reborn)  # re-wrap the transplanted dict under reborn's lock
         replayed = reborn.recover_from_wal()
         assert replayed == 200
         result = reborn.query("root.d1", "s1", 0, 200)
@@ -164,7 +167,9 @@ class TestWalRecovery:
         config = IoTDBConfig(wal_enabled=True, memtable_flush_threshold=100)
         engine = StorageEngine(config)
         _fill(engine, make_delayed_stream(100, seed=10))
-        assert engine._wals[Space.SEQUENCE].size_bytes() == 0
+        with engine._lock:
+            wal = engine._wals[Space.SEQUENCE]
+        assert wal.size_bytes() == 0
 
     def test_recover_requires_wal_enabled(self):
         engine = StorageEngine(IoTDBConfig(wal_enabled=False))

@@ -32,7 +32,8 @@ _ops = st.lists(
 
 
 def _seq_memtable_respects_watermark(engine) -> bool:
-    seq = engine._working[Space.SEQUENCE]
+    with engine._lock:
+        seq = engine._working[Space.SEQUENCE]
     for device, _sensor, tvlist in seq.iter_chunks():
         watermark = engine.separation.watermark(device)
         if watermark is None:

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import json
-import warnings
 
 import pytest
 
@@ -128,7 +127,7 @@ class TestDefaults:
         assert b.describe()["points_written"] == 0
 
 
-class TestDeprecatedFacade:
+class TestFacadeRemoved:
     def make_engine(self):
         engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=50))
         stream = make_delayed_stream(120, seed=19)
@@ -137,36 +136,26 @@ class TestDeprecatedFacade:
         engine.query("d", "s", 0, 120)
         return engine
 
-    def test_reads_still_work_but_warn(self):
+    def test_engine_metrics_facade_is_gone(self):
         engine = self.make_engine()
-        with pytest.warns(DeprecationWarning):
-            assert engine.metrics.points_written == 120
-        with pytest.warns(DeprecationWarning):
-            assert engine.metrics.queries_executed == 1
-        with pytest.warns(DeprecationWarning):
-            assert engine.metrics.seq_flushes == 2
-        with pytest.warns(DeprecationWarning):
-            assert engine.metrics.unseq_flushes == 0
-        with pytest.warns(DeprecationWarning):
-            assert len(engine.metrics.flush_reports) == 2
-        with pytest.warns(DeprecationWarning):
-            assert engine.metrics.mean_flush_seconds > 0
+        assert not hasattr(engine, "metrics")
+        import repro.iotdb as iotdb
 
-    def test_facade_reads_match_the_registry(self):
-        engine = self.make_engine()
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert engine.metrics.points_written == engine.describe()["points_written"]
-            assert engine.metrics.flush_reports == engine.flush_reports
+        assert not hasattr(iotdb, "EngineMetrics")
 
-    def test_deprecated_setter_adjusts_the_instrument(self):
+    def test_registry_carries_the_old_facade_numbers(self):
         engine = self.make_engine()
-        with pytest.warns(DeprecationWarning):
-            engine.metrics.points_written = 500
-        assert engine.describe()["points_written"] == 500
+        snap = engine.describe()
+        assert snap["points_written"] == 120
+        assert snap["flushes"]["seq"] == 2
+        assert snap["flushes"]["unseq"] == 0
+        queries = snap["metrics"]["engine_queries_total"]["samples"]
+        assert queries == [{"labels": {}, "value": 1}]
 
-    def test_flush_reports_property_is_the_undeprecated_read(self):
+    def test_flush_reports_property_is_the_supported_read(self):
         engine = self.make_engine()
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            assert len(engine.flush_reports) == 2
+        reports = engine.flush_reports
+        assert len(reports) == 2
+        # A copy, not an alias into engine internals.
+        reports.clear()
+        assert len(engine.flush_reports) == 2
