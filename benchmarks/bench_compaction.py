@@ -16,7 +16,7 @@ _N = 8_000
 
 
 def _fragmented_engine() -> StorageEngine:
-    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=_N // 8, page_size=256))
+    engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=_N // 8, page_size=256))
     stream = log_normal(_N, mu=1.0, sigma=1.0, seed=23)
     engine.write_batch("d", "s", stream.timestamps, stream.values)
     # Rewrite an early slice so unsequence files exist.

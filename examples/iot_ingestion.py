@@ -55,7 +55,7 @@ def main() -> None:
         wal_enabled=True,
     )
     obs = Observability() if args.obs else None
-    engine = StorageEngine(config, obs=obs)
+    engine = StorageEngine.create(config, obs=obs)
 
     print("ingesting out-of-order streams from 3 devices...")
     for device, delay in FLEET.items():

@@ -1,6 +1,11 @@
 """IoTDB-benchmark analogue: workloads, client, sweeps, timing, reporting."""
 
-from repro.bench.client import SystemBenchResult, run_system_benchmark
+from repro.bench.client import (
+    IngestBenchResult,
+    SystemBenchResult,
+    run_ingest_benchmark,
+    run_system_benchmark,
+)
 from repro.bench.harness import SweepConfig, result_rows, run_sweep
 from repro.bench.reporting import (
     format_table,
@@ -19,6 +24,7 @@ from repro.bench.workload import (
 )
 
 __all__ = [
+    "IngestBenchResult",
     "PAPER_WRITE_PERCENTAGES",
     "QueryOp",
     "SweepConfig",
@@ -33,6 +39,7 @@ __all__ = [
     "measure",
     "print_table",
     "result_rows",
+    "run_ingest_benchmark",
     "run_system_benchmark",
     "run_sweep",
     "series_by_key",

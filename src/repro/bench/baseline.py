@@ -46,12 +46,89 @@ DEFAULT_SEED = 42
 DEFAULT_PATH = "BENCH_sorter.json"
 DEFAULT_MAX_RATIO = 2.0
 
+#: Shard counts pinned by the ingest-throughput cells.
+INGEST_SHARD_COUNTS = (1, 4)
+#: Devices of the ingest workload (spread over the shards by the router).
+INGEST_DEVICES = 8
+
+
+def _ingest_shard_ops(n: int, seed: int, shards: int) -> dict[int, int]:
+    """Per-shard work of one deterministic batched ingest run.
+
+    A shard's work is the points it accepted (route + memtable insert)
+    plus the comparisons and moves its flush sorts performed — all
+    operation counts, never time, so the numbers are machine-independent.
+    The ingest is driven single-threaded: shard totals depend only on the
+    device→shard routing and each device's seeded arrival stream.
+    """
+    from repro.bench.workload import (
+        SystemWorkloadConfig,
+        WriteOp,
+        build_operations,
+    )
+    from repro.iotdb import IoTDBConfig, StorageEngine
+
+    workload = SystemWorkloadConfig(
+        dataset="lognormal",
+        total_points=n,
+        batch_size=max(1, n // 40),
+        write_percentage=1.0,
+        device="root.baseline.d",
+        n_devices=INGEST_DEVICES,
+        seed=seed,
+    )
+    engine = StorageEngine.create(
+        IoTDBConfig(
+            sorter="backward",
+            shards=shards,
+            memtable_flush_threshold=max(2, n // 16),
+        )
+    )
+    for op in build_operations(workload):
+        if isinstance(op, WriteOp):
+            engine.write_batch(op.device, workload.sensor, op.timestamps, op.values)
+    engine.flush_all()
+    per_shard: dict[int, int] = {}
+    for shard in engine.shards:
+        sort_ops = sum(
+            chunk.sort_stats.comparisons + chunk.sort_stats.moves
+            for report in shard.flush_reports
+            for chunk in report.chunks
+        )
+        points = int(shard.snapshot()["points_written"])
+        per_shard[shard.shard_id] = points + sort_ops
+    engine.close()
+    return per_shard
+
+
+def collect_ingest_cells(
+    n: int = DEFAULT_N, seed: int = DEFAULT_SEED
+) -> dict[str, dict[str, int]]:
+    """Ingest-throughput cells: critical-path op counts per shard count.
+
+    ``critical_path_ops`` is the busiest shard's work — the run's length
+    under perfect parallelism, the deterministic proxy for ingest
+    throughput (lower = faster).  By construction the sharded cell's
+    critical path cannot exceed the unsharded one, which pins "a sharded
+    engine ingests at least as fast" without measuring wall-clock.
+    ``total_ops`` guards against sharding inflating the *aggregate* work.
+    """
+    cells: dict[str, dict[str, int]] = {}
+    for shards in INGEST_SHARD_COUNTS:
+        per_shard = _ingest_shard_ops(n, seed, shards)
+        cells[f"ingest/shards={shards}"] = {
+            "critical_path_ops": max(per_shard.values()),
+            "total_ops": sum(per_shard.values()),
+        }
+    return cells
+
 
 def collect_baseline(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> dict:
-    """Sorter op counts for every (algorithm, delay model) cell.
+    """Op counts for every (algorithm, delay model) and ingest cell.
 
-    Deterministic: the stream is seeded and the sorters count operations,
-    not time, so two runs on any machine produce identical numbers.
+    Deterministic: the streams are seeded and both the sorters and the
+    ingest engine count operations, not time, so two runs on any machine
+    produce identical numbers.
     """
     cells: dict[str, dict[str, int]] = {}
     for model_name, delay in DELAY_MODELS:
@@ -63,11 +140,13 @@ def collect_baseline(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> dict:
                 "comparisons": stats.comparisons,
                 "moves": stats.moves,
             }
+    cells.update(collect_ingest_cells(n=n, seed=seed))
     return {"n": n, "seed": seed, "cells": cells}
 
 
 def _total(cell: dict[str, int]) -> int:
-    return int(cell["comparisons"]) + int(cell["moves"])
+    """One scalar per cell: the sum of its operation counters."""
+    return sum(int(value) for value in cell.values())
 
 
 def check_baseline(

@@ -13,9 +13,11 @@ Three metrics, matching §VI-A1:
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.bench.workload import SystemWorkloadConfig, WriteOp, build_operations
+from repro.errors import BenchmarkError
 from repro.iotdb import IoTDBConfig, StorageEngine
 from repro.obs import Observability
 
@@ -87,7 +89,7 @@ def run_system_benchmark(
         engine_config = IoTDBConfig(sorter=sorter)
     else:
         engine_config.sorter = sorter
-    engine = StorageEngine(engine_config, obs=obs)
+    engine = StorageEngine.create(engine_config, obs=obs)
     clock = engine.obs.clock
     ops = build_operations(config)
 
@@ -126,4 +128,136 @@ def run_system_benchmark(
     result.extra["routed"] = {
         space.value: count for space, count in engine.separation.routed_counts().items()
     }
+    return result
+
+
+@dataclass
+class IngestBenchResult:
+    """Client- and server-side metrics of one concurrent ingestion run."""
+
+    sorter: str
+    shards: int
+    writers: int
+    batch_size: int
+    total_points: int
+    elapsed_seconds: float = 0.0
+    batches_written: int = 0
+    flush_count: int = 0
+    #: ``shard_id -> {"points_written": ..., "flushes": ...}``; the shard
+    #: totals depend only on the device→shard routing and each device's
+    #: arrival stream, so they are identical across thread schedules.
+    per_shard: dict = field(default_factory=dict)
+
+    @property
+    def points_per_second(self) -> float:
+        """Ingested points per second of wall-clock (0 when instantaneous)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.total_points / self.elapsed_seconds
+
+    def row(self) -> dict:
+        """Flat dict for reporting tables / CSV export."""
+        return {
+            "sorter": self.sorter,
+            "shards": self.shards,
+            "writers": self.writers,
+            "batch_size": self.batch_size,
+            "total_points": self.total_points,
+            "elapsed_s": self.elapsed_seconds,
+            "points_per_second": self.points_per_second,
+            "flushes": self.flush_count,
+        }
+
+
+def run_ingest_benchmark(
+    config: SystemWorkloadConfig,
+    sorter: str = "backward",
+    engine_config: IoTDBConfig | None = None,
+    *,
+    writers: int = 4,
+    obs: Observability | None = None,
+) -> IngestBenchResult:
+    """Drive a fresh engine with ``writers`` concurrent batched ingest threads.
+
+    The workload's devices are partitioned across the writer threads
+    (device ``i`` belongs to writer ``i % writers``), so each device's
+    batches are sent in arrival order by exactly one thread — the per-device
+    seq/unseq routing, and therefore every per-shard total, is independent
+    of thread scheduling.  Only write operations are issued; interleaved
+    queries belong to :func:`run_system_benchmark`.
+
+    This is the client that makes ``config.shards > 1`` observable: with one
+    shard every thread contends on the same shard lock, while a sharded
+    engine lets batches for different storage groups proceed in parallel.
+
+    A caveat on wall-clock numbers: sorting and encoding are pure Python,
+    so under CPython's GIL sharding removes lock contention but cannot add
+    CPU parallelism — expect wall-clock parity, not speedup, from this
+    client on CPython.  The machine-independent form of the throughput
+    guarantee is the deterministic ``ingest/shards=N`` baseline cells
+    (:func:`repro.bench.baseline.collect_ingest_cells`): the sharded
+    critical path in accounted operations is bounded by the unsharded one
+    by construction, and CI enforces it.
+    """
+    if writers < 1:
+        raise BenchmarkError(f"writers must be >= 1, got {writers}")
+    if engine_config is None:
+        engine_config = IoTDBConfig(sorter=sorter)
+    else:
+        engine_config.sorter = sorter
+    engine = StorageEngine.create(engine_config, obs=obs)
+    clock = engine.obs.clock
+
+    write_ops = [op for op in build_operations(config) if isinstance(op, WriteOp)]
+    devices = config.devices()
+    writer_index = {device: i % writers for i, device in enumerate(devices)}
+    lanes: list[list[WriteOp]] = [[] for _ in range(writers)]
+    for op in write_ops:
+        lanes[writer_index[op.device]].append(op)
+
+    result = IngestBenchResult(
+        sorter=engine_config.sorter,
+        shards=engine_config.shards,
+        writers=writers,
+        batch_size=config.batch_size,
+        total_points=sum(len(op.timestamps) for op in write_ops),
+        batches_written=len(write_ops),
+    )
+
+    errors: list[BaseException] = []
+    start_gate = threading.Barrier(writers + 1)
+
+    def drain(lane: list[WriteOp]) -> None:
+        start_gate.wait()
+        try:
+            for op in lane:
+                engine.write_batch(
+                    op.device, config.sensor, op.timestamps, op.values
+                )
+        except BaseException as exc:  # surfaced to the caller after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=drain, args=(lane,), name=f"repro-ingest-{i}")
+        for i, lane in enumerate(lanes)
+    ]
+    for thread in threads:
+        thread.start()
+    start_gate.wait()
+    run_start = clock.now()
+    for thread in threads:
+        thread.join()
+    engine.flush_all()
+    result.elapsed_seconds = clock.now() - run_start
+    if errors:
+        raise errors[0]
+
+    result.flush_count = len(engine.flush_reports)
+    for shard in engine.shards:
+        snapshot = shard.snapshot()
+        result.per_shard[shard.shard_id] = {
+            "points_written": snapshot["points_written"],
+            "flushes": len(shard.flush_reports),
+        }
+    engine.close()
     return result

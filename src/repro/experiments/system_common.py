@@ -11,9 +11,11 @@ from dataclasses import dataclass
 
 from repro.bench import (
     PAPER_WRITE_PERCENTAGES,
+    IngestBenchResult,
     SweepConfig,
     SystemBenchResult,
     SystemWorkloadConfig,
+    run_ingest_benchmark,
     run_sweep,
 )
 from repro.errors import InvalidParameterError
@@ -102,6 +104,68 @@ def run_family(
             rows.append(_to_row(panel, result))
     if obs.enabled:
         print(obs.export_text())
+    return rows
+
+
+def run_concurrent_ingest(
+    family: str,
+    scale: str = "small",
+    sorter: str = "backward",
+    shard_counts: tuple[int, ...] = (1, 4),
+    writers: int = 4,
+    seed: int = 0,
+    obs=None,
+) -> list[tuple[str, IngestBenchResult]]:
+    """Concurrent ingest rows: one per (panel, shard count).
+
+    The threaded client (:func:`repro.bench.run_ingest_benchmark`) drives
+    ``writers`` parallel batch streams into a sharded engine, so the
+    system experiments can report real write concurrency: the shards=1
+    rows show the single-pipeline ceiling, the shards=4 rows what the
+    per-shard locks buy.
+    """
+    from repro.iotdb import IoTDBConfig
+
+    if family not in SYSTEM_PANELS:
+        raise InvalidParameterError(
+            f"unknown family {family!r}; choose one of {sorted(SYSTEM_PANELS)}"
+        )
+    if obs is None:
+        from repro.obs import from_env
+
+        obs = from_env()
+    total_points = scale_points(scale, SYSTEM_SCALE_POINTS)
+    rows: list[tuple[str, IngestBenchResult]] = []
+    for dataset, params in SYSTEM_PANELS[family]:
+        workload = SystemWorkloadConfig(
+            dataset=dataset,
+            dataset_params=params,
+            total_points=total_points,
+            write_percentage=1.0,
+            device="root.bench.d",
+            n_devices=8,
+            seed=seed,
+        )
+        panel = _panel_label(dataset, params)
+        for shards in shard_counts:
+            engine_config = IoTDBConfig(
+                sorter=sorter,
+                shards=shards,
+                flush_workers=2 if shards > 1 else 0,
+                memtable_flush_threshold=max(total_points // 8, 500),
+            )
+            rows.append(
+                (
+                    panel,
+                    run_ingest_benchmark(
+                        workload,
+                        sorter=sorter,
+                        engine_config=engine_config,
+                        writers=writers,
+                        obs=obs,
+                    ),
+                )
+            )
     return rows
 
 

@@ -10,13 +10,22 @@ least.
 from __future__ import annotations
 
 from repro.bench.reporting import print_table
-from repro.experiments.system_common import SystemExperimentRow, run_family
+from repro.experiments.system_common import (
+    SystemExperimentRow,
+    run_concurrent_ingest,
+    run_family,
+)
 
 FAMILIES = (("absnormal", "Figure 19"), ("lognormal", "Figure 20"), ("realworld", "Figure 21"))
 
 
 def run(family: str = "realworld", scale: str = "small", seed: int = 0) -> list[SystemExperimentRow]:
     return run_family(family, scale=scale, seed=seed)
+
+
+def run_ingest(family: str = "realworld", scale: str = "small", seed: int = 0):
+    """Concurrent ingest wall-clock per (panel, shard count)."""
+    return run_concurrent_ingest(family, scale=scale, seed=seed)
 
 
 def main(scale: str = "small") -> None:
@@ -27,6 +36,15 @@ def main(scale: str = "small") -> None:
             [(r.panel, r.sorter, r.write_percentage, r.total_seconds) for r in rows],
             title=f"{figure} — total test latency for {family} datasets",
         )
+    ingest_rows = run_ingest("lognormal", scale=scale)
+    print_table(
+        ("panel", "shards", "writers", "ingest_latency_s"),
+        [
+            (panel, r.shards, r.writers, r.elapsed_seconds)
+            for panel, r in ingest_rows
+        ],
+        title="Concurrent ingest — end-to-end latency, sharded vs single-pipeline",
+    )
 
 
 if __name__ == "__main__":

@@ -10,13 +10,22 @@ Figure 13, LogNormal → Figure 14, real-world → Figure 15).
 from __future__ import annotations
 
 from repro.bench.reporting import print_table
-from repro.experiments.system_common import SystemExperimentRow, run_family
+from repro.experiments.system_common import (
+    SystemExperimentRow,
+    run_concurrent_ingest,
+    run_family,
+)
 
 FAMILIES = (("absnormal", "Figure 13"), ("lognormal", "Figure 14"), ("realworld", "Figure 15"))
 
 
 def run(family: str = "realworld", scale: str = "small", seed: int = 0) -> list[SystemExperimentRow]:
     return run_family(family, scale=scale, seed=seed)
+
+
+def run_ingest(family: str = "realworld", scale: str = "small", seed: int = 0):
+    """Concurrent ingest throughput per (panel, shard count)."""
+    return run_concurrent_ingest(family, scale=scale, seed=seed)
 
 
 def main(scale: str = "small") -> None:
@@ -30,6 +39,15 @@ def main(scale: str = "small") -> None:
             ],
             title=f"{figure} — query throughput for {family} datasets",
         )
+    ingest_rows = run_ingest("lognormal", scale=scale)
+    print_table(
+        ("panel", "shards", "writers", "ingest_pts_per_s", "flushes"),
+        [
+            (panel, r.shards, r.writers, r.points_per_second, r.flush_count)
+            for panel, r in ingest_rows
+        ],
+        title="Concurrent ingest — sharded vs single-pipeline throughput",
+    )
 
 
 if __name__ == "__main__":

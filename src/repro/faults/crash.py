@@ -29,13 +29,23 @@ class CrashSimulator:
         self.snapshot_dir = Path(snapshot_dir)
 
     def snapshot(self) -> Path:
-        """Copy the current on-disk state; returns the snapshot directory."""
+        """Copy the current on-disk state; returns the snapshot directory.
+
+        The copy is recursive: a sharded engine keeps each storage group's
+        files under its own ``shard-NN/`` subdirectory, and all of them are
+        part of the crashed process's durable state.
+        """
         if self.snapshot_dir.exists():
             shutil.rmtree(self.snapshot_dir)
         self.snapshot_dir.mkdir(parents=True)
-        for path in sorted(self.data_dir.iterdir()):
-            if path.is_file():
-                shutil.copyfile(path, self.snapshot_dir / path.name)
+        for path in sorted(self.data_dir.rglob("*")):
+            relative = path.relative_to(self.data_dir)
+            if path.is_dir():
+                (self.snapshot_dir / relative).mkdir(parents=True, exist_ok=True)
+            elif path.is_file():
+                target = self.snapshot_dir / relative
+                target.parent.mkdir(parents=True, exist_ok=True)
+                shutil.copyfile(path, target)
         return self.snapshot_dir
 
     def reopen(self, config, *, sorter=None, obs=None, faults=None):

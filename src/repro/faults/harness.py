@@ -55,6 +55,11 @@ class FaultWorkload:
     compact_every: int = 0
     #: Issue a drain op after every N writes (0 = never; deferred mode).
     drain_every: int = 0
+    #: Storage groups inside the engine; each shard's pipeline is swept
+    #: independently (a crash in one shard's flush must not corrupt the
+    #: others' recovery).  Flushes stay inline (``flush_workers=0``) so
+    #: the sweep's (site, nth) enumeration is deterministic.
+    shards: int = 1
     seed: int = 7
 
     def config(self, data_dir):
@@ -65,6 +70,7 @@ class FaultWorkload:
             wal_enabled=True,
             memtable_flush_threshold=self.flush_threshold,
             deferred_flush=self.deferred,
+            shards=self.shards,
         )
 
     def ops(self) -> list[tuple]:
@@ -234,22 +240,24 @@ def check_recovery(engine, acked: OracleModel, inflight_op=None) -> list[str]:
             for v in check_points(recovered, acked_col, allowed)
         )
 
-    # Watermark coherence: the recovered sequence memtable must hold no
-    # point at or below its device's watermark.
+    # Watermark coherence: every shard's recovered sequence memtable must
+    # hold no point at or below its device's watermark.
     from repro.iotdb.separation import Space
 
-    with engine._lock:
-        seq_memtable = engine._working[Space.SEQUENCE]
-    for device, sensor, tvlist in seq_memtable.iter_chunks():
-        watermark = engine.separation.watermark(device)
-        if watermark is None:
-            continue
-        min_time = min(tvlist.timestamps())
-        if min_time <= watermark:
-            violations.append(
-                f"{device}.{sensor}: sequence memtable holds t={min_time} "
-                f"at or below watermark {watermark}"
-            )
+    for shard in engine.shards:
+        with shard._lock:
+            seq_memtable = shard._working[Space.SEQUENCE]
+        for device, sensor, tvlist in seq_memtable.iter_chunks():
+            watermark = shard.separation.watermark(device)
+            if watermark is None:
+                continue
+            min_time = min(tvlist.timestamps())
+            if min_time <= watermark:
+                violations.append(
+                    f"{device}.{sensor} (shard {shard.shard_id}): sequence "
+                    f"memtable holds t={min_time} at or below watermark "
+                    f"{watermark}"
+                )
     return violations
 
 
@@ -270,19 +278,22 @@ def _abandon(engine) -> None:
     Called only *after* the snapshot is taken, so any pending bytes a
     close might flush land in the abandoned directory, never the snapshot.
     """
-    with engine._lock:
-        for sealed in engine._sealed:
-            if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
-                try:
-                    sealed.buffer.close()
-                except Exception:
-                    pass
-        if engine._wals:
-            for wal in engine._wals.values():
-                try:
-                    wal.close()
-                except Exception:
-                    pass
+    for shard in engine.shards:
+        with shard._lock:
+            for sealed in shard._sealed:
+                if sealed.buffer is not None and not isinstance(
+                    sealed.buffer, io.BytesIO
+                ):
+                    try:
+                        sealed.buffer.close()
+                    except Exception:
+                        pass
+            if shard._wals:
+                for wal in shard._wals.values():
+                    try:
+                        wal.close()
+                    except Exception:
+                        pass
 
 
 def discover_sites(workload: FaultWorkload, root: Path) -> dict[str, int]:
@@ -292,7 +303,7 @@ def discover_sites(workload: FaultWorkload, root: Path) -> dict[str, int]:
     root = Path(root)
     data_dir = root / "discover"
     injector = FaultInjector(FaultPlan())
-    engine = StorageEngine(workload.config(data_dir), faults=injector)
+    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
     run_ops(engine, workload.ops())
     engine.close()
     return dict(injector.plan.calls)
@@ -322,7 +333,7 @@ def run_crash_case(
         [FaultRule(site=site, kind=kind, nth=nth, arg=arg)], seed=workload.seed
     )
     injector = FaultInjector(plan)
-    engine = StorageEngine(workload.config(data_dir), faults=injector)
+    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
     acked, inflight = run_ops(engine, workload.ops())
 
     if not injector.fired:
@@ -424,7 +435,7 @@ def run_fault_plan(
     data_dir = case_dir / "data"
 
     injector = FaultInjector(plan)
-    engine = StorageEngine(workload.config(data_dir), faults=injector)
+    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
     acked = OracleModel()
     inflight = None
     crashed = False
@@ -495,6 +506,7 @@ def main(argv=None) -> int:
     parser.add_argument("--deferred", action="store_true")
     parser.add_argument("--compact-every", type=int, default=0)
     parser.add_argument("--drain-every", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=1)
     parser.add_argument("--root", type=Path, default=None,
                         help="work directory (default: a fresh temp dir)")
     args = parser.parse_args(argv)
@@ -506,6 +518,7 @@ def main(argv=None) -> int:
         deferred=args.deferred,
         compact_every=args.compact_every,
         drain_every=args.drain_every,
+        shards=args.shards,
     )
     root = args.root if args.root is not None else Path(tempfile.mkdtemp(prefix="repro-faults-"))
     report = run_crash_sweep(workload, root, max_nth=args.max_nth)

@@ -17,6 +17,7 @@ from repro.iotdb.memtable import MemTable, MemTableState
 from repro.iotdb.query import QueryResult, QueryStats, TimeRangeQueryExecutor
 from repro.iotdb.separation import SeparationPolicy, Space
 from repro.iotdb.session import ParsedQuery, Session
+from repro.iotdb.shard import StorageShard
 from repro.iotdb.tsfile import (
     ChunkMetadata,
     PageMetadata,
@@ -67,6 +68,7 @@ __all__ = [
     "Space",
     "SegmentedWal",
     "StorageEngine",
+    "StorageShard",
     "TSDataType",
     "TVList",
     "TextTVList",

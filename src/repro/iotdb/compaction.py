@@ -32,23 +32,27 @@ class CompactionReport:
     seconds: float
 
 
-def compact(engine) -> CompactionReport:
-    """Merge all sealed files of ``engine`` into one sequence file.
+def compact(shard) -> CompactionReport:
+    """Merge all sealed files of one shard into one sequence file.
 
     Live memtables are untouched (IoTDB compacts sealed files only).  A
     no-op when there is at most one sealed file and nothing unsequence.
+    Compaction is a per-shard operation: each storage group compacts its
+    own sealed-file list under its own lock
+    (:meth:`repro.iotdb.engine.StorageEngine.compact` fans out and
+    aggregates the reports).
     """
     from repro.bench.timing import Timer
 
-    obs = engine.obs
-    with engine._lock:
-        return _compact_locked(engine, obs, Timer)
+    obs = shard.obs
+    with shard._lock:
+        return _compact_locked(shard, obs, Timer)
 
 
-def _compact_locked(engine, obs, Timer) -> CompactionReport:
-    # Snapshot: _replace_sealed swaps the engine's list in place, so an
+def _compact_locked(shard, obs, Timer) -> CompactionReport:
+    # Snapshot: _replace_sealed swaps the shard's list in place, so an
     # alias would see the post-compaction set.
-    sealed = list(engine._sealed)
+    sealed = list(shard._sealed)
     unseq_count = sum(1 for f in sealed if f.space is Space.UNSEQUENCE)
     if len(sealed) <= 1 and unseq_count == 0:
         return CompactionReport(
@@ -77,7 +81,7 @@ def _compact_locked(engine, obs, Timer) -> CompactionReport:
                         merged[t] = v
                     dtypes[(device, sensor)] = reader.chunk_metadata(device, sensor).dtype
 
-        writer, new_sealed = engine._new_sink(Space.SEQUENCE)
+        writer, new_sealed = shard._new_sink(Space.SEQUENCE)
         points = 0
         for (device, sensor) in sorted(columns):
             merged = columns[(device, sensor)]
@@ -91,10 +95,10 @@ def _compact_locked(engine, obs, Timer) -> CompactionReport:
                 dtypes[(device, sensor)],
                 ts,
                 vs,
-                time_encoding=engine.config.time_encoding,
-                value_encoding=engine.config.value_encoding_for(dtypes[(device, sensor)]),
-                page_size=engine.config.page_size,
-                compression=engine.config.compression,
+                time_encoding=shard.config.time_encoding,
+                value_encoding=shard.config.value_encoding_for(dtypes[(device, sensor)]),
+                page_size=shard.config.page_size,
+                compression=shard.config.compression,
             )
             points += len(ts)
         writer.close()
@@ -104,13 +108,13 @@ def _compact_locked(engine, obs, Timer) -> CompactionReport:
             # between the two leaves overlapping sequence files, which the
             # query merge tolerates (later file wins) and the aggregation
             # fast path detects — duplicated work, never lost data.
-            engine._seal_sink(new_sealed)
-            engine.faults.crash_point("compact.swap")
-            engine._replace_sealed([new_sealed])
+            shard._seal_sink(new_sealed)
+            shard.faults.crash_point("compact.swap", shard=shard.shard_id)
+            shard._replace_sealed([new_sealed])
         else:
-            engine._discard_sink(new_sealed)
-            engine._replace_sealed([])
-    engine._instruments.compaction_seconds.observe(timer.seconds)
+            shard._discard_sink(new_sealed)
+            shard._replace_sealed([])
+    shard._instruments.compaction_seconds.observe(timer.seconds)
     return CompactionReport(
         files_before=len(sealed),
         files_after=1 if points else 0,

@@ -67,6 +67,17 @@ class IoTDBConfig:
             substrate has no wall clock).  Expired points are invisible to
             queries/aggregations and dropped when a memtable flushes.
             ``None`` (default) disables expiry.
+        shards: number of storage groups inside the engine (IoTDB's storage
+            groups).  Each shard owns its own WAL pair, memtable pair,
+            separation watermarks, and sealed-file list under its own lock;
+            devices are routed by a stable hash of the device id, so a
+            series always lands in the same shard across restarts.  On
+            disk each shard keeps its files under ``data_dir/shard-NN/``.
+        flush_workers: size of the shared flush/compaction thread pool.
+            ``0`` (default) keeps every flush inline on the calling thread
+            (fully deterministic — the crash harness relies on this);
+            ``> 0`` lets ``drain_flushes``/``flush_all``/``compact`` fan
+            out across shards concurrently.
     """
 
     array_size: int = 32
@@ -83,8 +94,16 @@ class IoTDBConfig:
     separation_enabled: bool = True
     deferred_flush: bool = False
     ttl: int | None = None
+    shards: int = 1
+    flush_workers: int = 0
 
     def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise InvalidParameterError(f"shards must be >= 1, got {self.shards}")
+        if self.flush_workers < 0:
+            raise InvalidParameterError(
+                f"flush_workers must be >= 0, got {self.flush_workers}"
+            )
         if self.array_size < 1:
             raise InvalidParameterError(f"array_size must be >= 1, got {self.array_size}")
         if self.memtable_flush_threshold < 1:

@@ -1,142 +1,120 @@
-"""StorageEngine: the front door tying the whole write path together.
+"""StorageEngine: the sharded front door tying the whole write path together.
 
-Write path (§V): a point is routed by the separation policy to the sequence
-or unsequence *working* memtable (optionally after a WAL append); when a
-memtable crosses the flush threshold it transitions to *flushing*, is
-sorted chunk-by-chunk with the configured sorter, encoded, and sealed into
-an immutable TsFile (in memory by default, on disk when ``data_dir`` is
-set).  Sequence flushes advance the per-device watermark that drives the
-separation policy.
+The engine is a facade over a fixed set of storage groups — *shards*
+(:class:`repro.iotdb.shard.StorageShard`).  Each shard owns a complete
+write pipeline: its own :class:`SegmentedWal` pair, working/flushing
+memtables, separation watermarks, and sealed-file list under its own lock.
+A stable hash router (CRC-32 of the device id, modulo ``config.shards``)
+dispatches every series to exactly one shard, so writes to different
+devices proceed concurrently and a series always lands in the same shard
+across restarts.
 
-Query path: a time-range query merges sealed files and live memtables; the
-working memtable must be sorted first, putting the sorter on the query's
-critical path — the effect the paper's system experiments measure.
+Write path (§V): a point is routed by its shard's separation policy to the
+sequence or unsequence *working* memtable (optionally after a WAL append);
+when a memtable crosses the flush threshold it transitions to *flushing*,
+is sorted chunk-by-chunk with the configured sorter, encoded, and sealed
+into an immutable TsFile (in memory by default, on disk under the shard's
+``shard-NN/`` directory when ``data_dir`` is set).
 
-Crash consistency (exercised by the ``repro.faults`` harness): every
-operation that can die mid-way leaves a recoverable disk state.  Sinks are
-written under a ``.tsfile.part`` name and renamed into place only after
-their bytes are flushed (a torn flush leaves garbage ``open()`` discards,
-never a torn TsFile); each retired memtable is covered by its own WAL
-segment(s), dropped only once that memtable is sealed (truncating a shared
-log lost acknowledged writes); a failed flush keeps its memtable queued
-and retryable.  Named fault sites (``wal.write``, ``sink.write``,
-``flush.perform``, ``flush.seal``, ``flush.sealed``, ``wal.rotate``,
-``wal.drop``, ``compact.swap``, ``compact.unlink``) thread through these
-steps via the injected :class:`repro.faults.FaultInjector`.
+Query path: a time-range query is answered by the single shard that owns
+the device (series-hash routing makes the per-shard merge degenerate); the
+shard merges its sealed files and live memtables, putting the sorter on
+the query's critical path — the effect the paper's system experiments
+measure.
+
+Front door: construct engines through the two keyword-only factories —
+:meth:`StorageEngine.create` for a fresh start (deletes any leftover WAL
+segments) and :meth:`StorageEngine.open` to recover an on-disk engine
+after a restart or crash (each shard directory recovers independently).
+The plain constructor survives as a deprecated shim of ``create``.
+
+Flush/compaction concurrency: with ``config.flush_workers > 0`` the
+engine owns a shared :class:`~concurrent.futures.ThreadPoolExecutor` and
+``drain_flushes``/``flush_all``/``compact`` fan out across shards on it,
+so flushes of different shards overlap.  With the default ``0`` every
+flush stays inline on the calling thread — fully deterministic, which the
+``repro.faults`` crash harness relies on.
+
+Lock hierarchy: ``StorageEngine._lock`` → ``StorageShard._lock`` →
+{``MemTable._lock``, ``SegmentedWal._lock``, ``FaultInjector._lock``,
+``MetricsRegistry._lock``}.  The engine lock only serialises whole-engine
+fan-out operations (flush_all / drain / compact / close / recovery); the
+write and query hot paths take only the owning shard's lock.
 """
 
 from __future__ import annotations
 
-import io
-import os
-from dataclasses import dataclass, field
+import warnings
+import zlib
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from repro.analysis.concurrency import apply_guards, create_lock, holds
+from repro.analysis.concurrency import create_lock
 from repro.core.sorter import Sorter
 from repro.errors import StorageError
 from repro.faults.injector import NOOP_INJECTOR
 from repro.iotdb.config import IoTDBConfig
 from repro.iotdb.engine_metrics import EngineInstruments
-from repro.iotdb.flush import FlushReport, flush_memtable
-from repro.iotdb.memtable import MemTable
+from repro.iotdb.flush import FlushReport
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
-from repro.iotdb.separation import SeparationPolicy, Space
-from repro.iotdb.tsfile import TsFileReader, TsFileWriter
-from repro.iotdb.wal import SegmentedWal
+from repro.iotdb.separation import Space
+from repro.iotdb.shard import StorageShard, shard_directory
 from repro.obs import Observability, metrics_only
 from repro.sorting.registry import get_sorter
 
 
-@dataclass
-class _SealedFile:
-    """One immutable TsFile plus where its bytes live."""
+class _SeparationView:
+    """Engine-wide view over the per-shard separation policies.
 
-    space: Space
-    reader: TsFileReader
-    path: Path | None = None
-    buffer: io.BytesIO | None = None
-    #: Temporary name the sink is written under until sealed (on-disk only).
-    part_path: Path | None = None
+    Each shard routes with its own :class:`SeparationPolicy` (devices
+    partition cleanly across shards, so per-shard watermarks are exactly
+    the engine-wide watermarks restricted to that shard's devices).  This
+    view keeps the old single-policy surface working: per-device calls
+    delegate to the owning shard's policy, counters aggregate across all
+    shards.
+    """
 
+    def __init__(self, engine: "StorageEngine") -> None:
+        self._engine = engine
 
-@dataclass
-class _FlushTask:
-    """One FLUSHING memtable queued for the flush pipeline."""
+    @property
+    def enabled(self) -> bool:
+        return self._engine.config.separation_enabled
 
-    space: Space
-    memtable: MemTable
-    #: WAL segment ids covering exactly this memtable's points; dropped
-    #: only after the memtable is sealed into a TsFile.
-    wal_segments: list[int] = field(default_factory=list)
-    #: True when sealing this memtable releases a crash-recovery hold on
-    #: the replayed WAL segments (see ``StorageEngine.open``).
-    releases_recovery_hold: bool = False
+    def route(self, device: str, timestamp: int) -> Space:
+        return self._engine.shard_for(device).separation.route(device, timestamp)
 
+    def watermark(self, device: str) -> int | None:
+        return self._engine.shard_for(device).separation.watermark(device)
 
-def _combine_aggregates(partials: list):
-    """Merge per-file aggregates of non-overlapping, time-ordered chunks."""
-    from repro.iotdb.aggregation import AggregationResult
+    def update_watermark(self, device: str, max_flushed_time: int) -> None:
+        self._engine.shard_for(device).separation.update_watermark(
+            device, max_flushed_time
+        )
 
-    combined = AggregationResult(
-        count=0, sum=None, avg=None, min_value=None, max_value=None,
-        first=None, last=None,
-    )
-    total: float | None = 0.0
-    for p in partials:
-        if p.count == 0:
-            continue
-        combined.count += p.count
-        if p.sum is None:
-            total = None
-        elif total is not None:
-            total += p.sum
-        if p.min_value is not None:
-            combined.min_value = (
-                p.min_value
-                if combined.min_value is None
-                else min(combined.min_value, p.min_value)
-            )
-        if p.max_value is not None:
-            combined.max_value = (
-                p.max_value
-                if combined.max_value is None
-                else max(combined.max_value, p.max_value)
-            )
-        if combined.first is None:
-            combined.first = p.first
-        combined.last = p.last
-        combined.pages_skipped += p.pages_skipped
-        combined.pages_decoded += p.pages_decoded
-    if combined.count:
-        combined.sum = total
-        combined.avg = total / combined.count if total is not None else None
-    return combined
+    def routed_counts(self) -> dict[Space, int]:
+        totals = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
+        for shard in self._engine.shards:
+            for space, count in shard.separation.routed_counts().items():
+                totals[space] += count
+        return totals
+
+    @property
+    def _watermarks(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for shard in self._engine.shards:
+            merged.update(shard.separation._watermarks)
+        return merged
 
 
 class StorageEngine:
-    """An in-process time-series store with a pluggable TVList sorter.
+    """An in-process, sharded time-series store with a pluggable TVList sorter.
 
-    Concurrency discipline: one coarse re-entrant engine lock serialises the
-    write, flush, query, and compaction paths; ``GUARDED_BY`` declares which
-    attributes it covers (checked statically by the ``guarded-by`` rule and,
-    under ``REPRO_CONCURRENCY=1``, at runtime by access-checking proxies).
-    Lock hierarchy: the engine lock is always acquired *before* any
-    memtable, WAL, injector, or metrics-registry lock, never after.
+    Concurrency discipline: every series belongs to exactly one shard and
+    each shard serialises its own write/flush/query/compaction paths under
+    its shard lock; the engine lock above it only serialises whole-engine
+    fan-out operations.  See the module docstring for the lock hierarchy.
     """
-
-    #: Lock discipline for the ``guarded-by`` rule and the runtime
-    #: sanitizer: these attributes may only be touched under ``_lock``.
-    GUARDED_BY = {
-        "_working": "_lock",
-        "_flushing": "_lock",
-        "_sealed": "_lock",
-        "_flush_reports": "_lock",
-        "_recovery_segments": "_lock",
-        "_recovery_holds": "_lock",
-        "_wals": "_lock",
-        "_file_counter": "_lock",
-    }
 
     def __init__(
         self,
@@ -145,12 +123,21 @@ class StorageEngine:
         *,
         obs: Observability | None = None,
         faults=None,
+        _from_factory: bool = False,
+        _fresh: bool = True,
     ) -> None:
+        if not _from_factory:
+            warnings.warn(
+                "constructing StorageEngine(...) directly is deprecated; use "
+                "StorageEngine.create(...) for a fresh engine or "
+                "StorageEngine.open(...) to recover an on-disk one",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         self.config = config if config is not None else IoTDBConfig()
-        # Default: a per-engine metrics-only Observability, so the metrics
-        # façade and describe() always sit over a live registry.  Inject
-        # Observability() for tracing too, or repro.obs.NOOP to disable
-        # metrics entirely.
+        # Default: a per-engine metrics-only Observability, so describe()
+        # always sits over a live registry.  Inject Observability() for
+        # tracing too, or repro.obs.NOOP to disable metrics entirely.
         self.obs = obs if obs is not None else metrics_only()
         # Fault injection seam (repro.faults); the shared no-op costs one
         # method call per site.
@@ -159,55 +146,143 @@ class StorageEngine:
             self.sorter = sorter
         else:
             self.sorter = get_sorter(self.config.sorter, **self.config.sorter_options)
-        self.separation = SeparationPolicy(enabled=self.config.separation_enabled)
         self._lock = create_lock("StorageEngine._lock")
-        self._working: dict[Space, MemTable] = {
-            Space.SEQUENCE: MemTable(self.config, obs=self.obs),
-            Space.UNSEQUENCE: MemTable(self.config, obs=self.obs),
-        }
-        self._flushing: list[_FlushTask] = []
-        self._sealed: list[_SealedFile] = []
-        self._file_counter = 0
-        self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
         self._instruments = EngineInstruments(self.obs.registry)
-        self._flush_reports: list[FlushReport] = []
+        self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
         if self.config.data_dir is not None:
             Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
-        # WAL segments recovered by open() that must survive until every
-        # memtable holding their replayed points has been sealed.
-        self._recovery_segments: dict[Space, list[int]] = {}
-        self._recovery_holds: set[Space] = set()
-        self._wals: dict[Space, SegmentedWal] | None = None
-        if self.config.wal_enabled:
-            if self.config.data_dir is not None:
-                # Fresh-start semantics: the constructor deletes any WAL
-                # segments left behind; use StorageEngine.open() to recover
-                # them instead.
-                self._wals = {
-                    space: SegmentedWal.on_disk(
-                        Path(self.config.data_dir),
-                        space.value,
-                        fresh=True,
-                        wrap=self.faults.wrap_file,
-                    )
-                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-                }
-            else:
-                self._wals = {
-                    space: SegmentedWal.in_memory(
-                        space.value, wrap=self.faults.wrap_file
-                    )
-                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-                }
-        apply_guards(self)
+        self._shards: tuple[StorageShard, ...] = tuple(
+            StorageShard(
+                shard_id,
+                self.config,
+                self.sorter,
+                obs=self.obs,
+                faults=self.faults,
+                instruments=self._instruments,
+                executor=self._executor,
+                fresh=_fresh,
+            )
+            for shard_id in range(self.config.shards)
+        )
+        self.separation = _SeparationView(self)
+        self._flush_pool: ThreadPoolExecutor | None = None
+        if self.config.flush_workers > 0:
+            self._flush_pool = ThreadPoolExecutor(
+                max_workers=self.config.flush_workers,
+                thread_name_prefix="repro-flush",
+            )
+
+    # -- the front door ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        config: IoTDBConfig | None = None,
+        *,
+        sorter: Sorter | None = None,
+        obs: Observability | None = None,
+        faults=None,
+    ) -> "StorageEngine":
+        """A fresh engine (the fresh-start entry of the front door).
+
+        Fresh-start semantics: any WAL segments left behind under
+        ``config.data_dir`` are deleted — use :meth:`open` to recover them
+        instead.  All dependencies are keyword-only: ``sorter`` overrides
+        the configured sorter instance, ``obs`` injects an
+        :class:`~repro.obs.Observability`, ``faults`` a
+        :class:`~repro.faults.FaultInjector`.
+        """
+        return cls(config, sorter, obs=obs, faults=faults, _from_factory=True)
+
+    @classmethod
+    def open(
+        cls,
+        config: IoTDBConfig,
+        *,
+        sorter: Sorter | None = None,
+        obs: Observability | None = None,
+        faults=None,
+    ) -> "StorageEngine":
+        """Reopen an on-disk engine after a restart (or crash).
+
+        Each shard recovers its own ``shard-NN/`` directory independently
+        (see :meth:`repro.iotdb.shard.StorageShard.recover`): sealed
+        TsFiles are rebuilt, ``.part`` sinks discarded, WAL segments
+        replayed, and separation watermarks re-derived.  The shard count
+        must match what the directory was written with — the series router
+        hashes over ``config.shards``, so reopening with a different count
+        would make recovered series invisible.
+        """
+        if config.data_dir is None:
+            raise StorageError("StorageEngine.open requires a data_dir configuration")
+        data_dir = Path(config.data_dir)
+        if data_dir.exists():
+            existing = sorted(
+                p for p in data_dir.glob("shard-*") if p.is_dir()
+            )
+            if existing and len(existing) != config.shards:
+                raise StorageError(
+                    f"data_dir holds {len(existing)} shard directories but "
+                    f"config.shards={config.shards}; reopen with the shard "
+                    "count the directory was written with"
+                )
+            stray = sorted(data_dir.glob("*.tsfile")) + sorted(
+                data_dir.glob("*.tsfile.part")
+            )
+            if stray:
+                raise StorageError(
+                    f"unrecognised TsFile name {stray[0].name!r}: TsFiles "
+                    "live under per-shard shard-NN/ directories"
+                )
+        engine = cls(
+            config, sorter, obs=obs, faults=faults, _from_factory=True, _fresh=False
+        )
+        with engine._lock:
+            for shard in engine._shards:
+                shard.recover()
+        return engine
+
+    # -- sharding ------------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[StorageShard, ...]:
+        """The engine's storage groups, indexed by shard id (immutable)."""
+        return self._shards
+
+    def shard_for(self, device: str) -> StorageShard:
+        """The shard owning ``device`` (stable series-hash routing).
+
+        CRC-32 rather than the builtin ``hash``: the router must assign
+        the same shard across processes and restarts, and ``hash(str)`` is
+        salted per interpreter.
+        """
+        if len(self._shards) == 1:
+            return self._shards[0]
+        return self._shards[zlib.crc32(device.encode("utf-8")) % len(self._shards)]
+
+    def _map_shards(self, fn) -> list:
+        """Run ``fn(shard)`` over every shard; on the flush pool if one is
+        configured (flushes of different shards overlap), inline otherwise.
+
+        ``Future.result()`` re-raises whatever the worker raised — including
+        :class:`~repro.errors.InjectedCrashError` (a ``BaseException``), so
+        simulated crashes propagate identically in both modes.
+        """
+        if self._flush_pool is None or len(self._shards) == 1:
+            return [fn(shard) for shard in self._shards]
+        futures = [self._flush_pool.submit(fn, shard) for shard in self._shards]
+        return [future.result() for future in futures]
 
     # -- write path ----------------------------------------------------------
 
     @property
     def flush_reports(self) -> list[FlushReport]:
-        """Reports of every completed flush, in completion order (a copy)."""
-        with self._lock:
-            return list(self._flush_reports)
+        """Completed flush reports of every shard (shard-id order; each
+        report carries its ``shard`` label)."""
+        reports: list[FlushReport] = []
+        for shard in self._shards:
+            reports.extend(shard.flush_reports)
+        return reports
 
     def write(self, device: str, sensor: str, timestamp: int, value) -> None:
         """Ingest one point; may trigger a synchronous flush.
@@ -215,296 +290,70 @@ class StorageEngine:
         The WAL append is flushed before the memtable accepts the point,
         so a write is durable by the time this method returns.
         """
-        space = self.separation.route(device, timestamp)
-        with self.obs.span("engine.write", space=space.value):
-            with self._lock:
-                if self._wals is not None:
-                    self._wals[space].append(device, sensor, timestamp, value)
-                memtable = self._working[space]
-                memtable.write(device, sensor, timestamp, value)
-                self._instruments.points_written.inc()
-                if memtable.should_flush():
-                    self._flush_space(space)
+        self.shard_for(device).write(device, sensor, timestamp, value)
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
-        """Ingest a batch (the IoTDB-benchmark client's unit of work)."""
+        """Ingest a batch (the IoTDB-benchmark client's unit of work).
+
+        The batch path: one shard-lock acquisition, one batched WAL append
+        per space, one ``should_flush`` check per space at the end of the
+        batch.  The ``engine.write_batch`` span reports the shard and the
+        number of flushes the batch actually triggered.
+        """
         if len(timestamps) != len(values):
             raise StorageError("timestamps and values lengths differ")
+        shard = self.shard_for(device)
         with self.obs.span(
-            "engine.write_batch", device=device, sensor=sensor,
-            points=len(timestamps),
-        ):
-            for t, v in zip(timestamps, values):
-                self.write(device, sensor, t, v)
+            "engine.write_batch",
+            device=device,
+            sensor=sensor,
+            shard=shard.shard_id,
+        ) as span:
+            points, flushes = shard.write_batch(device, sensor, timestamps, values)
+            span.set(points=points, flushes_triggered=flushes)
 
     # -- flushing --------------------------------------------------------------
 
-    @holds("_lock")
-    def _new_sink(self, space: Space) -> tuple[TsFileWriter, _SealedFile]:
-        """A fresh sink; on disk it is written under a ``.part`` name until
-        sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
-        self._file_counter += 1
-        if self.config.data_dir is None:
-            buffer = io.BytesIO()
-            return TsFileWriter(buffer), _SealedFile(space=space, reader=None, buffer=buffer)
-        path = Path(self.config.data_dir) / f"{space.value}-{self._file_counter:06d}.tsfile"
-        part = path.with_name(path.name + ".part")
-        handle = self.faults.wrap_file(open(part, "wb+"), site="sink.write")
-        return TsFileWriter(handle), _SealedFile(
-            space=space, reader=None, path=path, buffer=handle, part_path=part
-        )
-
-    def _seal_sink(self, sealed: _SealedFile) -> None:
-        """Flush a closed writer's bytes and atomically publish the file."""
-        sealed.buffer.flush()
-        self.faults.crash_point("flush.seal", space=sealed.space.value)
-        if sealed.part_path is not None:
-            os.replace(sealed.part_path, sealed.path)
-            sealed.part_path = None
-            self.faults.crash_point("flush.sealed", space=sealed.space.value)
-        sealed.reader = TsFileReader(sealed.buffer)
-
-    def _discard_sink(self, sealed: _SealedFile) -> None:
-        """Drop a partially written sink after a recoverable failure."""
-        if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
-            try:
-                sealed.buffer.close()
-            except OSError:
-                pass
-        if sealed.part_path is not None:
-            sealed.part_path.unlink(missing_ok=True)
-
-    @holds("_lock")
-    def _retire_working(self, space: Space) -> _FlushTask | None:
-        """WORKING → FLUSHING: swap in a fresh memtable, enqueue the old one.
-
-        The separation watermark advances here — once the memtable is
-        immutable, "the current flushing time" (§II) is fixed, regardless of
-        when the sort-encode-write work actually happens.  The WAL rotates
-        in the same step, so the sealed segment covers exactly the retired
-        memtable's points.
-        """
-        memtable = self._working[space]
-        if memtable.total_points == 0:
-            return None
-        memtable.mark_flushing()
-        self._working[space] = MemTable(self.config, obs=self.obs)
-        segment_ids: list[int] = []
-        if self._wals is not None:
-            self.faults.crash_point("wal.rotate", space=space.value)
-            segment_ids = [self._wals[space].rotate()]
-        task = _FlushTask(
-            space=space,
-            memtable=memtable,
-            wal_segments=segment_ids,
-            releases_recovery_hold=space in self._recovery_holds,
-        )
-        self._flushing.append(task)
-        if space is Space.SEQUENCE:
-            for device, _sensor, tvlist in memtable.iter_chunks():
-                if tvlist.max_time is not None:
-                    self.separation.update_watermark(device, tvlist.max_time)
-        return task
-
-    @holds("_lock")
-    def _perform_flush(self, task: _FlushTask) -> FlushReport:
-        """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
-        space, memtable = task.space, task.memtable
-        self.faults.fail_point("flush.perform", space=space.value)
-        with self.obs.span("engine.flush", space=space.value) as span:
-            writer, sealed = self._new_sink(space)
-            try:
-                report = flush_memtable(
-                    memtable, writer, self.sorter, self.config, obs=self.obs
-                )
-                self._seal_sink(sealed)
-            except Exception:
-                # A failed flush must leave the engine retryable: the
-                # memtable stays queued (still FLUSHING), its WAL segments
-                # stay live, and the partial sink is discarded.  A
-                # simulated crash (BaseException) skips this cleanup — a
-                # dead process cannot tidy up.
-                self._discard_sink(sealed)
-                raise
-            self._sealed.append(sealed)
-            self._flushing.remove(task)
-            if self._wals is not None:
-                for segment_id in task.wal_segments:
-                    self.faults.crash_point(
-                        "wal.drop", space=space.value, segment=segment_id
-                    )
-                    self._wals[space].drop(segment_id)
-            if task.releases_recovery_hold:
-                self._recovery_holds.discard(space)
-                if not self._recovery_holds:
-                    self._drop_recovery_segments()
-            span.set(points=report.total_points, file_bytes=report.file_bytes)
-        self._flush_reports.append(report)
-        report.emit(self.obs, space=space.value, instruments=self._instruments)
-        return report
-
-    @holds("_lock")
-    def _drop_recovery_segments(self) -> None:
-        """Delete replayed WAL segments once their points are all sealed."""
-        if self._wals is None:
-            return
-        for space, segment_ids in self._recovery_segments.items():
-            for segment_id in segment_ids:
-                self.faults.crash_point(
-                    "wal.drop", space=space.value, segment=segment_id
-                )
-                self._wals[space].drop(segment_id)
-        # Cleared in place: rebinding would shed the runtime guard proxy.
-        self._recovery_segments.clear()
-
-    @holds("_lock")
-    def _flush_space(self, space: Space) -> FlushReport | None:
-        task = self._retire_working(space)
-        if task is None:
-            return None
-        if self.config.deferred_flush:
-            # Asynchronous mode: the memtable waits in the flushing queue;
-            # drain_flushes() (or close) pays the cost later.
-            return None
-        return self._perform_flush(task)
-
     def drain_flushes(self) -> list[FlushReport]:
-        """Flush every queued FLUSHING memtable (the async worker's job)."""
-        with self._lock:
-            reports = []
-            for task in list(self._flushing):
-                reports.append(self._perform_flush(task))
-            return reports
+        """Flush every queued FLUSHING memtable across all shards.
 
-    def pending_flushes(self) -> int:
-        """How many memtables are queued in the FLUSHING state."""
-        with self._lock:
-            return len(self._flushing)
-
-    def flush_all(self) -> list[FlushReport]:
-        """Retire and flush both working memtables (shutdown / checkpoint).
-
-        Also drains any deferred FLUSHING memtables, so after this call no
-        live memtable holds data in either mode.
+        With ``flush_workers > 0`` the per-shard drains run concurrently on
+        the shared pool (the asynchronous flush worker's job).
         """
         with self._lock:
             reports: list[FlushReport] = []
-            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                if self.config.deferred_flush:
-                    self._retire_working(space)
-                else:
-                    report = self._flush_space(space)
-                    if report is not None:
-                        reports.append(report)
-            reports.extend(self.drain_flushes())
+            for shard_reports in self._map_shards(lambda s: s.drain_flushes()):
+                reports.extend(shard_reports)
+            return reports
+
+    def pending_flushes(self) -> int:
+        """How many memtables are queued in the FLUSHING state (all shards)."""
+        return sum(shard.pending_flushes() for shard in self._shards)
+
+    def flush_all(self) -> list[FlushReport]:
+        """Retire and flush every shard's working memtables (shutdown /
+        checkpoint).  After this call no live memtable holds data."""
+        with self._lock:
+            reports: list[FlushReport] = []
+            for shard_reports in self._map_shards(lambda s: s.flush_all()):
+                reports.extend(shard_reports)
             return reports
 
     # -- query path ------------------------------------------------------------
 
-    def _ttl_floor(self, device: str, sensor: str) -> int | None:
-        """Smallest live timestamp under the TTL policy (None = no TTL)."""
-        if self.config.ttl is None:
-            return None
-        latest = self.latest_time(device, sensor)
-        if latest is None:
-            return None
-        return latest - self.config.ttl + 1
-
     def query(self, device: str, sensor: str, start: int, end: int) -> QueryResult:
         """``SELECT * FROM device.sensor WHERE start <= time < end``.
 
-        With a TTL configured, expired points (older than the column's
-        latest event time minus the TTL) are excluded.
+        Served by the single shard that owns the device: series-hash
+        routing means no other shard can hold points of this column, so
+        the per-shard ``QueryResult`` merge is degenerate (one source).
         """
-        with self.obs.span("engine.query", device=device, sensor=sensor) as span:
-            with self._lock:
-                floor = self._ttl_floor(device, sensor)
-                if floor is not None and floor > start:
-                    if floor >= end:
-                        from repro.iotdb.query import QueryStats
-
-                        self._record_query(0.0)
-                        return QueryResult(
-                            timestamps=[], values=[], stats=QueryStats()
-                        )
-                    start = floor
-                seq_readers = [
-                    f.reader for f in self._sealed if f.space is Space.SEQUENCE
-                ]
-                unseq_readers = [
-                    f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
-                ]
-                flushing = [task.memtable for task in self._flushing]
-                # Both working memtables can hold in-range points; merge order
-                # makes the sequence table freshest-but-one, the unsequence
-                # table holds late rewrites of old timestamps.
-                result = self._executor.execute(
-                    device,
-                    sensor,
-                    start,
-                    end,
-                    seq_readers=seq_readers,
-                    unseq_readers=unseq_readers,
-                    flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
-                    working_memtable=self._working[Space.SEQUENCE],
-                )
-                self._record_query(result.stats.total_seconds)
-            span.set(points=len(result))
-        return result
-
-    def _record_query(self, seconds: float) -> None:
-        self._instruments.queries.inc()
-        self._instruments.query_seconds.observe(seconds)
+        return self.shard_for(device).query(device, sensor, start, end)
 
     def aggregate(self, device: str, sensor: str, start: int, end: int):
-        """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last.
-
-        When the range is served *only* by sealed sequence files (no live
-        memtable points, no unsequence data in range), fully covered pages
-        are answered from their statistics without decoding — the payoff of
-        the statistics the flush pipeline computes.  Any fresher overlapping
-        source forces the always-correct merged raw scan, because an
-        overwrite could invalidate per-page sums.
-        """
-        from repro.errors import QueryError
-        from repro.iotdb.aggregation import (
-            AggregationResult,
-            aggregate_from_points,
-            aggregate_sealed_chunk,
-        )
-
-        if start >= end:
-            raise QueryError(f"empty time range [{start}, {end})")
-        floor = self._ttl_floor(device, sensor)
-        if floor is not None and floor > start:
-            if floor >= end:
-                return AggregationResult(
-                    count=0, sum=None, avg=None, min_value=None,
-                    max_value=None, first=None, last=None,
-                )
-            start = floor
-        with self.obs.span("engine.aggregate", device=device, sensor=sensor):
-            with self._lock:
-                if self._fast_aggregation_safe(device, sensor, start, end):
-                    partials = []
-                    for sealed in self._sealed:
-                        if sealed.space is not Space.SEQUENCE:
-                            continue
-                        meta = sealed.reader.chunk_metadata(device, sensor)
-                        if (
-                            meta is None
-                            or meta.max_time < start
-                            or meta.min_time >= end
-                        ):
-                            continue
-                        partials.append(
-                            aggregate_sealed_chunk(
-                                sealed.reader, device, sensor, start, end
-                            )
-                        )
-                    self._record_query(0.0)
-                    return _combine_aggregates(partials)
-                return aggregate_from_points(self.query(device, sensor, start, end))
+        """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last
+        (the owning shard's statistics fast path applies unchanged)."""
+        return self.shard_for(device).aggregate(device, sensor, start, end)
 
     def aggregate_windows(
         self, device: str, sensor: str, start: int, end: int, window: int
@@ -521,119 +370,63 @@ class StorageEngine:
             self.query(device, sensor, start, end), start, end, window
         )
 
-    @holds("_lock")
-    def _fast_aggregation_safe(
-        self, device: str, sensor: str, start: int, end: int
-    ) -> bool:
-        """No source fresher than the sealed sequence files overlaps the range,
-        and the sequence files themselves are pairwise disjoint for this
-        column (crash recovery or an interrupted compaction can leave
-        overlapping sequence files whose per-file partial sums would
-        double-count)."""
-        for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-            tvlist = self._working[space].chunk(device, sensor)
-            if tvlist is not None and tvlist.overlaps(start, end):
-                return False
-        for task in self._flushing:
-            tvlist = task.memtable.chunk(device, sensor)
-            if tvlist is not None and tvlist.overlaps(start, end):
-                return False
-        seq_ranges: list[tuple[int, int]] = []
-        for sealed in self._sealed:
-            meta = sealed.reader.chunk_metadata(device, sensor)
-            if meta is None or meta.min_time is None:
-                continue
-            if sealed.space is Space.UNSEQUENCE:
-                if meta.min_time < end and meta.max_time >= start:
-                    return False
-            else:
-                seq_ranges.append((meta.min_time, meta.max_time))
-        seq_ranges.sort()
-        for i in range(1, len(seq_ranges)):
-            if seq_ranges[i][0] <= seq_ranges[i - 1][1]:
-                return False
-        return True
-
     def latest_time(self, device: str, sensor: str) -> int | None:
         """Largest timestamp ever written for a column (benchmark helper)."""
-        with self._lock:
-            best: int | None = None
-            live_memtables = list(self._working.values()) + [
-                task.memtable for task in self._flushing
-            ]
-            for memtable in live_memtables:
-                tvlist = memtable.chunk(device, sensor)
-                if tvlist is not None and tvlist.max_time is not None:
-                    best = (
-                        tvlist.max_time
-                        if best is None
-                        else max(best, tvlist.max_time)
-                    )
-            for sealed in self._sealed:
-                meta = sealed.reader.chunk_metadata(device, sensor)
-                if meta is not None and meta.max_time is not None:
-                    best = meta.max_time if best is None else max(best, meta.max_time)
-            return best
+        return self.shard_for(device).latest_time(device, sensor)
 
     # -- compaction ----------------------------------------------------------
 
     def compact(self):
-        """Full-merge compaction of all sealed files (see
-        :mod:`repro.iotdb.compaction`)."""
-        from repro.iotdb.compaction import compact
+        """Full-merge compaction of every shard's sealed files.
+
+        Each shard compacts independently (concurrently, when a flush pool
+        is configured); the returned :class:`CompactionReport` aggregates
+        the per-shard reports.
+        """
+        from repro.iotdb.compaction import CompactionReport
 
         with self.obs.span("engine.compact") as span:
             with self._lock:
-                report = compact(self)
-            span.set(
-                files_before=report.files_before,
-                files_after=report.files_after,
-                points=report.points_written,
+                reports = self._map_shards(lambda s: s.compact())
+            combined = CompactionReport(
+                files_before=sum(r.files_before for r in reports),
+                files_after=sum(r.files_after for r in reports),
+                unseq_files_merged=sum(r.unseq_files_merged for r in reports),
+                points_written=sum(r.points_written for r in reports),
+                seconds=sum(r.seconds for r in reports),
             )
-        return report
-
-    @holds("_lock")
-    def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
-        """Swap the sealed-file set after a compaction, closing old handles.
-
-        Crash-safe in any prefix: until an old file's unlink happens it
-        remains readable, and the compacted file supersedes it under the
-        query merge rule (later sequence files win), so dying between
-        unlinks leaves duplicated but never lost data.
-        """
-        for old in self._sealed:
-            if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
-                old.buffer.close()
-            if old.path is not None:
-                self.faults.crash_point("compact.unlink", file=old.path.name)
-                old.path.unlink(missing_ok=True)
-        # Replaced in place: rebinding would shed the runtime guard proxy.
-        self._sealed[:] = new_sealed
+            span.set(
+                files_before=combined.files_before,
+                files_after=combined.files_after,
+                points=combined.points_written,
+            )
+        return combined
 
     # -- lifecycle ---------------------------------------------------------------
 
     def sealed_file_count(self) -> dict[Space, int]:
-        with self._lock:
-            counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
-            for f in self._sealed:
-                counts[f.space] += 1
-            return counts
+        counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
+        for shard in self._shards:
+            for space, count in shard.sealed_file_count().items():
+                counts[space] += count
+        return counts
 
     def describe(self) -> dict:
         """Operator-facing snapshot of the whole engine's state.
 
-        The numeric fields are read straight from the metrics registry (the
-        legacy keys are kept stable); the full registry snapshot rides along
-        under ``"metrics"``.
+        The engine-wide numeric fields are read straight from the metrics
+        registry (the legacy keys are kept stable); per-shard snapshots
+        ride along under ``"shards"`` and the full registry snapshot under
+        ``"metrics"``.
         """
-        with self._lock:
-            working = {
-                space.value: self._working[space].total_points
-                for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-            }
-            sealed = [
-                {"space": f.space.value, **f.reader.describe()} for f in self._sealed
-            ]
+        shard_snapshots = [shard.snapshot() for shard in self._shards]
+        working = {
+            space.value: sum(
+                snap["working_points"][space.value] for snap in shard_snapshots
+            )
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+        }
+        sealed = [entry for snap in shard_snapshots for entry in snap["sealed"]]
         flush_hist = self._instruments.flush_seconds
         flush_count = sum(child.count for _, child in flush_hist.children())
         flush_sum = sum(child.sum for _, child in flush_hist.children())
@@ -641,10 +434,13 @@ class StorageEngine:
             "sorter": self.sorter.name,
             "points_written": int(self._instruments.points_written.value),
             "working_points": working,
-            "pending_flushes": self.pending_flushes(),
+            "pending_flushes": sum(
+                snap["pending_flushes"] for snap in shard_snapshots
+            ),
             "sealed_files": len(sealed),
             "sealed": sealed,
             "watermarks": dict(self.separation._watermarks),
+            "shards": shard_snapshots,
             "flushes": {
                 "seq": int(self._instruments.flushes_by_space["seq"].value),
                 "unseq": int(self._instruments.flushes_by_space["unseq"].value),
@@ -654,149 +450,19 @@ class StorageEngine:
         }
 
     def close(self) -> None:
-        """Flush everything and release on-disk file handles."""
-        self.flush_all()
+        """Flush everything, release file handles, stop the flush pool."""
         with self._lock:
-            if self.config.data_dir is not None:
-                for sealed in self._sealed:
-                    if sealed.buffer is not None and not isinstance(
-                        sealed.buffer, io.BytesIO
-                    ):
-                        sealed.buffer.close()
-            if self._wals is not None:
-                for wal in self._wals.values():
-                    wal.close()
+            self._map_shards(lambda s: s.close())
+        if self._flush_pool is not None:
+            self._flush_pool.shutdown(wait=True)
 
     def recover_from_wal(self) -> int:
-        """Replay WALs into the working memtables (crash-recovery path).
+        """Replay every shard's WAL into its working memtables.
 
         Returns the number of replayed points.  Only meaningful on a fresh
-        engine constructed over the same WAL buffers.  Replayed points are
-        routed through the separation policy, so the sequence memtable
-        invariant (no point at or below the watermark) holds afterwards.
+        engine constructed over the same WAL buffers.
         """
+        if not self.config.wal_enabled:
+            raise StorageError("WAL is disabled in this configuration")
         with self._lock:
-            if self._wals is None:
-                raise StorageError("WAL is disabled in this configuration")
-            replayed = 0
-            with self.obs.span("engine.wal_replay") as span:
-                for _space, wal in self._wals.items():
-                    for device, sensor, timestamp, value in wal.replay():
-                        target = self.separation.route(device, timestamp)
-                        self._working[target].write(device, sensor, timestamp, value)
-                        replayed += 1
-                span.set(points=replayed)
-        self._instruments.points_written.inc(replayed)
-        self._instruments.wal_replayed.inc(replayed)
-        return replayed
-
-    @classmethod
-    def open(
-        cls,
-        config: IoTDBConfig,
-        sorter: Sorter | None = None,
-        *,
-        obs: Observability | None = None,
-        faults=None,
-    ) -> "StorageEngine":
-        """Reopen an on-disk engine after a restart (or crash).
-
-        Scans ``config.data_dir`` for sealed TsFiles (space and write order
-        come from the ``<space>-<seq>.tsfile`` naming), discards ``.part``
-        sinks a crash left mid-write (their points are still covered by the
-        surviving WAL segments), rebuilds the sealed readers, replays every
-        on-disk WAL segment into fresh working memtables (torn tails
-        tolerated), and re-derives the per-device separation watermarks
-        from the recovered sequence data so late points keep routing
-        correctly.  Replayed segments are kept on disk until every memtable
-        holding their points has been sealed — only then is it safe to drop
-        them.
-        """
-        if config.data_dir is None:
-            raise StorageError("StorageEngine.open requires a data_dir configuration")
-        from dataclasses import replace
-
-        # Construct without WALs so the fresh-start constructor does not
-        # delete the on-disk segments we are about to replay.
-        engine = cls(
-            replace(config, wal_enabled=False), sorter=sorter, obs=obs, faults=faults
-        )
-        engine.config = config
-        data_dir = Path(config.data_dir)
-
-        # A crash mid-flush or mid-compaction leaves a partially written
-        # sink under its .part name: never sealed, never readable, safe to
-        # discard.
-        for leftover in sorted(data_dir.glob("*.tsfile.part")):
-            leftover.unlink()
-
-        with engine._lock:
-            for path in sorted(data_dir.glob("*.tsfile")):
-                prefix, _, counter = path.stem.partition("-")
-                try:
-                    space = Space(prefix)
-                    file_number = int(counter)
-                except (ValueError, KeyError):
-                    raise StorageError(
-                        f"unrecognised TsFile name {path.name!r}"
-                    ) from None
-                handle = open(path, "rb+")
-                sealed = _SealedFile(
-                    space=space, reader=TsFileReader(handle), path=path, buffer=handle
-                )
-                engine._sealed.append(sealed)
-                engine._file_counter = max(engine._file_counter, file_number)
-
-            # Watermarks: the largest sequence-space time per device.
-            for sealed in engine._sealed:
-                if sealed.space is not Space.SEQUENCE:
-                    continue
-                for device in sealed.reader.devices():
-                    for sensor in sealed.reader.sensors(device):
-                        meta = sealed.reader.chunk_metadata(device, sensor)
-                        if meta is not None and meta.max_time is not None:
-                            engine.separation.update_watermark(device, meta.max_time)
-
-            # WAL replay: unflushed writes come back into the working
-            # memtables.
-            if config.wal_enabled:
-                engine._wals = {}
-                with engine.obs.span("engine.wal_replay") as span:
-                    replayed = 0
-                    for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                        wal = SegmentedWal.on_disk(
-                            data_dir,
-                            space.value,
-                            fresh=False,
-                            wrap=engine.faults.wrap_file,
-                        )
-                        engine._wals[space] = wal
-                        recovered_ids = wal.sealed_segment_ids()
-                        if recovered_ids:
-                            engine._recovery_segments[space] = recovered_ids
-                        for device, sensor, timestamp, value in wal.replay():
-                            # Route through the rebuilt watermarks: a record
-                            # whose point is already sealed in sequence space
-                            # re-lands in the unsequence memtable, where the
-                            # overwrite rule makes the duplicate harmless.
-                            target = engine.separation.route(device, timestamp)
-                            engine._working[target].write(
-                                device, sensor, timestamp, value
-                            )
-                            replayed += 1
-                    span.set(points=replayed)
-                engine._recovery_holds = {
-                    space
-                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
-                    if engine._working[space].total_points > 0
-                }
-                # _wals and _recovery_holds were rebound above, which sheds
-                # the runtime guard proxies — re-wrap before the lock drops.
-                apply_guards(engine)
-                if not engine._recovery_holds:
-                    # Nothing replayed survives only in the WAL; the
-                    # recovered segments are already covered by sealed files.
-                    engine._drop_recovery_segments()
-                engine._instruments.points_written.inc(replayed)
-                engine._instruments.wal_replayed.inc(replayed)
-        return engine
+            return sum(shard.recover_from_wal() for shard in self._shards)

@@ -21,12 +21,16 @@ name                                    kind       labels
 ``engine_query_seconds``                histogram  —
 ``engine_wal_replayed_points_total``    counter    —
 ``engine_compaction_seconds``           histogram  —
+``engine_shard_points_written_total``   counter    ``shard``
+``engine_shard_points_flushed_total``   counter    ``shard``
+``engine_shard_flushes_total``          counter    ``shard``
 ======================================  =========  ==================
 """
 
 from __future__ import annotations
 
 _SPACE_LABEL = ("space",)
+_SHARD_LABEL = ("shard",)
 
 #: Label values of the two memtable spaces (match ``Space.value``).
 SPACES = ("seq", "unseq")
@@ -60,6 +64,21 @@ class EngineInstruments:
         self.compaction_seconds = registry.histogram(
             "engine_compaction_seconds", "duration of full-merge compactions"
         )
+        self._shard_points_written = registry.counter(
+            "engine_shard_points_written_total",
+            "points ingested per storage group",
+            _SHARD_LABEL,
+        )
+        self._shard_points_flushed = registry.counter(
+            "engine_shard_points_flushed_total",
+            "points sealed into TsFiles per storage group",
+            _SHARD_LABEL,
+        )
+        self._shard_flushes = registry.counter(
+            "engine_shard_flushes_total",
+            "memtable flushes per storage group",
+            _SHARD_LABEL,
+        )
         # Resolve the per-space children once: exports always show both
         # spaces (zeros included) and the flush path never hashes labels.
         self.flushes_by_space = {
@@ -71,3 +90,23 @@ class EngineInstruments:
         self.flush_sort_seconds_by_space = {
             s: self.flush_sort_seconds.labels(space=s) for s in SPACES
         }
+        self._shard_children: dict[int, ShardInstruments] = {}
+
+    def for_shard(self, shard_id: int) -> "ShardInstruments":
+        """Pre-resolved shard-labelled children for one storage group."""
+        child = self._shard_children.get(shard_id)
+        if child is None:
+            child = ShardInstruments(self, shard_id)
+            self._shard_children[shard_id] = child
+        return child
+
+
+class ShardInstruments:
+    """One shard's pre-resolved children of the shard-labelled instruments."""
+
+    def __init__(self, instruments: EngineInstruments, shard_id: int) -> None:
+        label = str(shard_id)
+        self.shard_id = shard_id
+        self.points_written = instruments._shard_points_written.labels(shard=label)
+        self.points_flushed = instruments._shard_points_flushed.labels(shard=label)
+        self.flushes = instruments._shard_flushes.labels(shard=label)

@@ -49,6 +49,8 @@ class FlushReport:
     total_seconds: float
     file_bytes: int
     chunks: list[ChunkFlushReport] = field(default_factory=list)
+    #: Storage group the flushed memtable belonged to (0 when unsharded).
+    shard: int = 0
 
     @property
     def sort_fraction(self) -> float:
@@ -57,12 +59,17 @@ class FlushReport:
             return 0.0
         return self.sort_seconds / self.total_seconds
 
-    def emit(self, obs: Observability, *, space: str, instruments=None) -> None:
+    def emit(
+        self, obs: Observability, *, space: str, instruments=None, shard=None
+    ) -> None:
         """Fold this flush into ``obs``'s registry under the ``space`` label.
 
         ``instruments`` may pass a pre-resolved
         :class:`repro.iotdb.engine_metrics.EngineInstruments` (the engine
         does); otherwise the instruments are looked up idempotently.
+        ``shard`` additionally folds the flush into the shard-labelled
+        instruments (``engine_shard_flushes_total{shard=...}``), so a
+        sharded engine's registry shows where the flush load lands.
         """
         if not obs.metrics_enabled:
             return
@@ -73,6 +80,10 @@ class FlushReport:
         instruments.flushes_by_space[space].inc()
         instruments.flush_seconds_by_space[space].observe(self.total_seconds)
         instruments.flush_sort_seconds_by_space[space].observe(self.sort_seconds)
+        if shard is not None:
+            shard_instruments = instruments.for_shard(shard)
+            shard_instruments.flushes.inc()
+            shard_instruments.points_flushed.inc(self.total_points)
 
 
 def flush_memtable(

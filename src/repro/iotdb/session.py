@@ -241,5 +241,9 @@ class Session:
         return result.get(parsed.aggregation)
 
     def insert(self, device: str, sensor: str, timestamp: int, value) -> None:
-        """Convenience passthrough to :meth:`StorageEngine.write`."""
-        self.engine.write(device, sensor, timestamp, value)
+        """Insert one point (a single-point batch through the batch path)."""
+        self.engine.write_batch(device, sensor, [timestamp], [value])
+
+    def insert_batch(self, device: str, sensor: str, timestamps, values) -> None:
+        """Insert a batch of points through the engine's true batch path."""
+        self.engine.write_batch(device, sensor, timestamps, values)

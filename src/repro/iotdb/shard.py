@@ -1,0 +1,829 @@
+"""StorageShard: one storage group's complete write/flush/query pipeline.
+
+A shard is what the whole :class:`~repro.iotdb.engine.StorageEngine` used
+to be: its own :class:`SegmentedWal` pair, working/flushing memtables,
+separation watermarks, and sealed-file list, all serialised by one
+re-entrant shard lock.  The engine facade owns a fixed tuple of shards and
+routes every series to exactly one of them by a stable hash of the device
+id, so shards never share mutable state and writes to different shards
+proceed concurrently.
+
+On disk a shard keeps everything (TsFiles and WAL segments) under its own
+``shard-NN/`` subdirectory of the engine's ``data_dir``, and recovers that
+directory independently of its siblings — a crash that tears one shard's
+flush leaves the other shards' recovery untouched.
+
+Crash consistency (exercised by the ``repro.faults`` harness): every
+operation that can die mid-way leaves a recoverable disk state.  Sinks are
+written under a ``.tsfile.part`` name and renamed into place only after
+their bytes are flushed (a torn flush leaves garbage ``open()`` discards,
+never a torn TsFile); each retired memtable is covered by its own WAL
+segment(s), dropped only once that memtable is sealed (truncating a shared
+log lost acknowledged writes); a failed flush keeps its memtable queued
+and retryable.  Named fault sites (``wal.write``, ``sink.write``,
+``flush.perform``, ``flush.seal``, ``flush.sealed``, ``wal.rotate``,
+``wal.drop``, ``compact.swap``, ``compact.unlink``) thread through these
+steps via the injected :class:`repro.faults.FaultInjector`; every site
+fires with a ``shard`` context key so a fault plan can target one shard's
+pipeline specifically.
+
+Lock hierarchy: ``StorageEngine._lock`` → ``StorageShard._lock`` →
+{``MemTable._lock``, ``SegmentedWal._lock``, ``FaultInjector._lock``,
+``MetricsRegistry._lock``}.  A shard never acquires the engine lock or
+another shard's lock.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.concurrency import apply_guards, create_lock, holds
+from repro.errors import StorageError
+from repro.iotdb.config import IoTDBConfig
+from repro.iotdb.flush import FlushReport, flush_memtable
+from repro.iotdb.memtable import MemTable
+from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
+from repro.iotdb.separation import SeparationPolicy, Space
+from repro.iotdb.tsfile import TsFileReader, TsFileWriter
+from repro.iotdb.wal import SegmentedWal
+
+
+@dataclass
+class _SealedFile:
+    """One immutable TsFile plus where its bytes live."""
+
+    space: Space
+    reader: TsFileReader
+    path: Path | None = None
+    buffer: io.BytesIO | None = None
+    #: Temporary name the sink is written under until sealed (on-disk only).
+    part_path: Path | None = None
+
+
+@dataclass
+class _FlushTask:
+    """One FLUSHING memtable queued for the flush pipeline."""
+
+    space: Space
+    memtable: MemTable
+    #: WAL segment ids covering exactly this memtable's points; dropped
+    #: only after the memtable is sealed into a TsFile.
+    wal_segments: list[int] = field(default_factory=list)
+    #: True when sealing this memtable releases a crash-recovery hold on
+    #: the replayed WAL segments (see ``StorageShard.recover``).
+    releases_recovery_hold: bool = False
+
+
+def shard_directory(data_dir: Path, shard_id: int) -> Path:
+    """Where shard ``shard_id`` keeps its TsFiles and WAL segments."""
+    return Path(data_dir) / f"shard-{shard_id:02d}"
+
+
+class StorageShard:
+    """One storage group: a full write pipeline under one shard lock.
+
+    Concurrency discipline: one coarse re-entrant shard lock serialises
+    this shard's write, flush, query, and compaction paths; ``GUARDED_BY``
+    declares which attributes it covers (checked statically by the
+    ``guarded-by`` rule and, under ``REPRO_CONCURRENCY=1``, at runtime by
+    access-checking proxies).  The shard lock sits *below* the engine lock
+    and *above* the memtable/WAL/injector/registry locks in the global
+    order.
+    """
+
+    #: Lock discipline for the ``guarded-by`` rule and the runtime
+    #: sanitizer: these attributes may only be touched under ``_lock``.
+    GUARDED_BY = {
+        "_working": "_lock",
+        "_flushing": "_lock",
+        "_sealed": "_lock",
+        "_flush_reports": "_lock",
+        "_recovery_segments": "_lock",
+        "_recovery_holds": "_lock",
+        "_wals": "_lock",
+        "_file_counter": "_lock",
+    }
+
+    def __init__(
+        self,
+        shard_id: int,
+        config: IoTDBConfig,
+        sorter,
+        *,
+        obs,
+        faults,
+        instruments,
+        executor: TimeRangeQueryExecutor,
+        fresh: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.config = config
+        self.sorter = sorter
+        self.obs = obs
+        self.faults = faults
+        self.separation = SeparationPolicy(enabled=config.separation_enabled)
+        self._instruments = instruments
+        self._shard_instruments = instruments.for_shard(shard_id)
+        self._executor = executor
+        self.data_dir: Path | None = (
+            shard_directory(config.data_dir, shard_id)
+            if config.data_dir is not None
+            else None
+        )
+        self._lock = create_lock("StorageShard._lock")
+        self._working: dict[Space, MemTable] = {
+            Space.SEQUENCE: MemTable(config, obs=obs),
+            Space.UNSEQUENCE: MemTable(config, obs=obs),
+        }
+        self._flushing: list[_FlushTask] = []
+        self._sealed: list[_SealedFile] = []
+        self._file_counter = 0
+        self._flush_reports: list[FlushReport] = []
+        if self.data_dir is not None:
+            self.data_dir.mkdir(parents=True, exist_ok=True)
+        # WAL segments recovered by recover() that must survive until every
+        # memtable holding their replayed points has been sealed.
+        self._recovery_segments: dict[Space, list[int]] = {}
+        self._recovery_holds: set[Space] = set()
+        self._wals: dict[Space, SegmentedWal] | None = None
+        if config.wal_enabled and fresh:
+            if self.data_dir is not None:
+                # Fresh-start semantics: any WAL segments left behind are
+                # deleted; StorageEngine.open (via recover()) replays them
+                # instead.
+                self._wals = {
+                    space: SegmentedWal.on_disk(
+                        self.data_dir,
+                        space.value,
+                        fresh=True,
+                        wrap=self.faults.wrap_file,
+                    )
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                }
+            else:
+                self._wals = {
+                    space: SegmentedWal.in_memory(
+                        space.value, wrap=self.faults.wrap_file
+                    )
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                }
+        apply_guards(self)
+
+    # -- write path ----------------------------------------------------------
+
+    @property
+    def flush_reports(self) -> list[FlushReport]:
+        """Reports of every completed flush, in completion order (a copy)."""
+        with self._lock:
+            return list(self._flush_reports)
+
+    def write(self, device: str, sensor: str, timestamp: int, value) -> None:
+        """Ingest one point; may trigger a synchronous flush.
+
+        The WAL append is flushed before the memtable accepts the point,
+        so a write is durable by the time this method returns.
+        """
+        with self.obs.span("engine.write", shard=self.shard_id) as span:
+            with self._lock:
+                space = self.separation.route(device, timestamp)
+                span.set(space=space.value)
+                if self._wals is not None:
+                    self._wals[space].append(device, sensor, timestamp, value)
+                memtable = self._working[space]
+                memtable.write(device, sensor, timestamp, value)
+                self._instruments.points_written.inc()
+                self._shard_instruments.points_written.inc()
+                if memtable.should_flush():
+                    self._flush_space(space)
+
+    def write_batch(
+        self, device: str, sensor: str, timestamps, values
+    ) -> tuple[int, int]:
+        """Ingest a whole batch under one shard-lock acquisition.
+
+        The true batch path: every point is routed with the watermark as of
+        the batch's start, each space's records land in the WAL through one
+        batched append (a single flush at the end keeps the whole batch
+        durable on acknowledge), and ``should_flush`` is checked once per
+        space after the batch — a memtable may overshoot its threshold by
+        at most one batch, which is the documented batch semantics.
+
+        Returns ``(points_written, flushes_triggered)`` so the engine's
+        ``engine.write_batch`` span can report what actually happened.
+        """
+        flushes_triggered = 0
+        with self._lock:
+            by_space: dict[Space, tuple[list, list]] = {
+                Space.SEQUENCE: ([], []),
+                Space.UNSEQUENCE: ([], []),
+            }
+            for t, v in zip(timestamps, values):
+                ts, vs = by_space[self.separation.route(device, t)]
+                ts.append(t)  # repro: allow(stats-accounting): space routing, not a sort
+                vs.append(v)
+            if self._wals is not None:
+                for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                    ts, vs = by_space[space]
+                    if ts:
+                        self._wals[space].append_batch(
+                            [(device, sensor, t, v) for t, v in zip(ts, vs)]
+                        )
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                ts, vs = by_space[space]
+                if not ts:
+                    continue
+                self._working[space].write_batch(device, sensor, ts, vs)
+                self._instruments.points_written.inc(len(ts))
+                self._shard_instruments.points_written.inc(len(ts))
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                if by_space[space][0] and self._working[space].should_flush():
+                    self._flush_space(space)
+                    flushes_triggered += 1
+        return len(timestamps), flushes_triggered
+
+    # -- flushing --------------------------------------------------------------
+
+    @holds("_lock")
+    def _new_sink(self, space: Space) -> tuple[TsFileWriter, _SealedFile]:
+        """A fresh sink; on disk it is written under a ``.part`` name until
+        sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
+        self._file_counter += 1
+        if self.data_dir is None:
+            buffer = io.BytesIO()
+            return TsFileWriter(buffer), _SealedFile(space=space, reader=None, buffer=buffer)
+        path = self.data_dir / f"{space.value}-{self._file_counter:06d}.tsfile"
+        part = path.with_name(path.name + ".part")
+        handle = self.faults.wrap_file(open(part, "wb+"), site="sink.write")
+        return TsFileWriter(handle), _SealedFile(
+            space=space, reader=None, path=path, buffer=handle, part_path=part
+        )
+
+    def _seal_sink(self, sealed: _SealedFile) -> None:
+        """Flush a closed writer's bytes and atomically publish the file."""
+        sealed.buffer.flush()
+        self.faults.crash_point(
+            "flush.seal", space=sealed.space.value, shard=self.shard_id
+        )
+        if sealed.part_path is not None:
+            os.replace(sealed.part_path, sealed.path)
+            sealed.part_path = None
+            self.faults.crash_point(
+                "flush.sealed", space=sealed.space.value, shard=self.shard_id
+            )
+        sealed.reader = TsFileReader(sealed.buffer)
+
+    def _discard_sink(self, sealed: _SealedFile) -> None:
+        """Drop a partially written sink after a recoverable failure."""
+        if sealed.buffer is not None and not isinstance(sealed.buffer, io.BytesIO):
+            try:
+                sealed.buffer.close()
+            except OSError:
+                pass
+        if sealed.part_path is not None:
+            sealed.part_path.unlink(missing_ok=True)
+
+    @holds("_lock")
+    def _retire_working(self, space: Space) -> _FlushTask | None:
+        """WORKING → FLUSHING: swap in a fresh memtable, enqueue the old one.
+
+        The separation watermark advances here — once the memtable is
+        immutable, "the current flushing time" (§II) is fixed, regardless of
+        when the sort-encode-write work actually happens.  The WAL rotates
+        in the same step, so the sealed segment covers exactly the retired
+        memtable's points.
+        """
+        memtable = self._working[space]
+        if memtable.total_points == 0:
+            return None
+        memtable.mark_flushing()
+        self._working[space] = MemTable(self.config, obs=self.obs)
+        segment_ids: list[int] = []
+        if self._wals is not None:
+            self.faults.crash_point(
+                "wal.rotate", space=space.value, shard=self.shard_id
+            )
+            segment_ids = [self._wals[space].rotate()]
+        task = _FlushTask(
+            space=space,
+            memtable=memtable,
+            wal_segments=segment_ids,
+            releases_recovery_hold=space in self._recovery_holds,
+        )
+        self._flushing.append(task)
+        if space is Space.SEQUENCE:
+            for device, _sensor, tvlist in memtable.iter_chunks():
+                if tvlist.max_time is not None:
+                    self.separation.update_watermark(device, tvlist.max_time)
+        return task
+
+    @holds("_lock")
+    def _perform_flush(self, task: _FlushTask) -> FlushReport:
+        """Sort, encode, and seal one FLUSHING memtable into a TsFile."""
+        space, memtable = task.space, task.memtable
+        self.faults.fail_point("flush.perform", space=space.value, shard=self.shard_id)
+        with self.obs.span(
+            "engine.flush", space=space.value, shard=self.shard_id
+        ) as span:
+            writer, sealed = self._new_sink(space)
+            try:
+                report = flush_memtable(
+                    memtable, writer, self.sorter, self.config, obs=self.obs
+                )
+                self._seal_sink(sealed)
+            except Exception:
+                # A failed flush must leave the shard retryable: the
+                # memtable stays queued (still FLUSHING), its WAL segments
+                # stay live, and the partial sink is discarded.  A
+                # simulated crash (BaseException) skips this cleanup — a
+                # dead process cannot tidy up.
+                self._discard_sink(sealed)
+                raise
+            report.shard = self.shard_id
+            self._sealed.append(sealed)
+            self._flushing.remove(task)
+            if self._wals is not None:
+                for segment_id in task.wal_segments:
+                    self.faults.crash_point(
+                        "wal.drop",
+                        space=space.value,
+                        segment=segment_id,
+                        shard=self.shard_id,
+                    )
+                    self._wals[space].drop(segment_id)
+            if task.releases_recovery_hold:
+                self._recovery_holds.discard(space)
+                if not self._recovery_holds:
+                    self._drop_recovery_segments()
+            span.set(points=report.total_points, file_bytes=report.file_bytes)
+        self._flush_reports.append(report)
+        report.emit(
+            self.obs,
+            space=space.value,
+            instruments=self._instruments,
+            shard=self.shard_id,
+        )
+        return report
+
+    @holds("_lock")
+    def _drop_recovery_segments(self) -> None:
+        """Delete replayed WAL segments once their points are all sealed."""
+        if self._wals is None:
+            return
+        for space, segment_ids in self._recovery_segments.items():
+            for segment_id in segment_ids:
+                self.faults.crash_point(
+                    "wal.drop",
+                    space=space.value,
+                    segment=segment_id,
+                    shard=self.shard_id,
+                )
+                self._wals[space].drop(segment_id)
+        # Cleared in place: rebinding would shed the runtime guard proxy.
+        self._recovery_segments.clear()
+
+    @holds("_lock")
+    def _flush_space(self, space: Space) -> FlushReport | None:
+        task = self._retire_working(space)
+        if task is None:
+            return None
+        if self.config.deferred_flush:
+            # Asynchronous mode: the memtable waits in the flushing queue;
+            # drain_flushes() (or close) pays the cost later.
+            return None
+        return self._perform_flush(task)
+
+    def drain_flushes(self) -> list[FlushReport]:
+        """Flush every queued FLUSHING memtable of this shard."""
+        with self._lock:
+            reports = []
+            for task in list(self._flushing):
+                reports.append(self._perform_flush(task))
+            return reports
+
+    def pending_flushes(self) -> int:
+        """How many memtables are queued in the FLUSHING state."""
+        with self._lock:
+            return len(self._flushing)
+
+    def flush_all(self) -> list[FlushReport]:
+        """Retire and flush both working memtables (shutdown / checkpoint).
+
+        Also drains any deferred FLUSHING memtables, so after this call no
+        live memtable of this shard holds data in either mode.
+        """
+        with self._lock:
+            reports: list[FlushReport] = []
+            for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                if self.config.deferred_flush:
+                    self._retire_working(space)
+                else:
+                    report = self._flush_space(space)
+                    if report is not None:
+                        reports.append(report)
+            reports.extend(self.drain_flushes())
+            return reports
+
+    # -- query path ------------------------------------------------------------
+
+    def _ttl_floor(self, device: str, sensor: str) -> int | None:
+        """Smallest live timestamp under the TTL policy (None = no TTL)."""
+        if self.config.ttl is None:
+            return None
+        latest = self.latest_time(device, sensor)
+        if latest is None:
+            return None
+        return latest - self.config.ttl + 1
+
+    def query(self, device: str, sensor: str, start: int, end: int) -> QueryResult:
+        """``SELECT * FROM device.sensor WHERE start <= time < end``.
+
+        With a TTL configured, expired points (older than the column's
+        latest event time minus the TTL) are excluded.
+        """
+        with self.obs.span(
+            "engine.query", device=device, sensor=sensor, shard=self.shard_id
+        ) as span:
+            with self._lock:
+                floor = self._ttl_floor(device, sensor)
+                if floor is not None and floor > start:
+                    if floor >= end:
+                        from repro.iotdb.query import QueryStats
+
+                        self._record_query(0.0)
+                        return QueryResult(
+                            timestamps=[], values=[], stats=QueryStats()
+                        )
+                    start = floor
+                seq_readers = [
+                    f.reader for f in self._sealed if f.space is Space.SEQUENCE
+                ]
+                unseq_readers = [
+                    f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
+                ]
+                flushing = [task.memtable for task in self._flushing]
+                # Both working memtables can hold in-range points; merge order
+                # makes the sequence table freshest-but-one, the unsequence
+                # table holds late rewrites of old timestamps.
+                result = self._executor.execute(
+                    device,
+                    sensor,
+                    start,
+                    end,
+                    seq_readers=seq_readers,
+                    unseq_readers=unseq_readers,
+                    flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
+                    working_memtable=self._working[Space.SEQUENCE],
+                )
+                self._record_query(result.stats.total_seconds)
+            span.set(points=len(result))
+        return result
+
+    def _record_query(self, seconds: float) -> None:
+        self._instruments.queries.inc()
+        self._instruments.query_seconds.observe(seconds)
+
+    def aggregate(self, device: str, sensor: str, start: int, end: int):
+        """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last.
+
+        When the range is served *only* by sealed sequence files (no live
+        memtable points, no unsequence data in range), fully covered pages
+        are answered from their statistics without decoding — the payoff of
+        the statistics the flush pipeline computes.  Any fresher overlapping
+        source forces the always-correct merged raw scan, because an
+        overwrite could invalidate per-page sums.
+        """
+        from repro.errors import QueryError
+        from repro.iotdb.aggregation import (
+            AggregationResult,
+            aggregate_from_points,
+            aggregate_sealed_chunk,
+        )
+
+        if start >= end:
+            raise QueryError(f"empty time range [{start}, {end})")
+        floor = self._ttl_floor(device, sensor)
+        if floor is not None and floor > start:
+            if floor >= end:
+                return AggregationResult(
+                    count=0, sum=None, avg=None, min_value=None,
+                    max_value=None, first=None, last=None,
+                )
+            start = floor
+        with self.obs.span(
+            "engine.aggregate", device=device, sensor=sensor, shard=self.shard_id
+        ):
+            with self._lock:
+                if self._fast_aggregation_safe(device, sensor, start, end):
+                    partials = []
+                    for sealed in self._sealed:
+                        if sealed.space is not Space.SEQUENCE:
+                            continue
+                        meta = sealed.reader.chunk_metadata(device, sensor)
+                        if (
+                            meta is None
+                            or meta.max_time < start
+                            or meta.min_time >= end
+                        ):
+                            continue
+                        partials.append(
+                            aggregate_sealed_chunk(
+                                sealed.reader, device, sensor, start, end
+                            )
+                        )
+                    self._record_query(0.0)
+                    return combine_aggregates(partials)
+                return aggregate_from_points(self.query(device, sensor, start, end))
+
+    @holds("_lock")
+    def _fast_aggregation_safe(
+        self, device: str, sensor: str, start: int, end: int
+    ) -> bool:
+        """No source fresher than the sealed sequence files overlaps the range,
+        and the sequence files themselves are pairwise disjoint for this
+        column (crash recovery or an interrupted compaction can leave
+        overlapping sequence files whose per-file partial sums would
+        double-count)."""
+        for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+            tvlist = self._working[space].chunk(device, sensor)
+            if tvlist is not None and tvlist.overlaps(start, end):
+                return False
+        for task in self._flushing:
+            tvlist = task.memtable.chunk(device, sensor)
+            if tvlist is not None and tvlist.overlaps(start, end):
+                return False
+        seq_ranges: list[tuple[int, int]] = []
+        for sealed in self._sealed:
+            meta = sealed.reader.chunk_metadata(device, sensor)
+            if meta is None or meta.min_time is None:
+                continue
+            if sealed.space is Space.UNSEQUENCE:
+                if meta.min_time < end and meta.max_time >= start:
+                    return False
+            else:
+                seq_ranges.append((meta.min_time, meta.max_time))
+        seq_ranges.sort()
+        for i in range(1, len(seq_ranges)):
+            if seq_ranges[i][0] <= seq_ranges[i - 1][1]:
+                return False
+        return True
+
+    def latest_time(self, device: str, sensor: str) -> int | None:
+        """Largest timestamp ever written for a column (benchmark helper)."""
+        with self._lock:
+            best: int | None = None
+            live_memtables = list(self._working.values()) + [
+                task.memtable for task in self._flushing
+            ]
+            for memtable in live_memtables:
+                tvlist = memtable.chunk(device, sensor)
+                if tvlist is not None and tvlist.max_time is not None:
+                    best = (
+                        tvlist.max_time
+                        if best is None
+                        else max(best, tvlist.max_time)
+                    )
+            for sealed in self._sealed:
+                meta = sealed.reader.chunk_metadata(device, sensor)
+                if meta is not None and meta.max_time is not None:
+                    best = meta.max_time if best is None else max(best, meta.max_time)
+            return best
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self):
+        """Full-merge compaction of this shard's sealed files (see
+        :mod:`repro.iotdb.compaction`)."""
+        from repro.iotdb.compaction import compact
+
+        return compact(self)
+
+    @holds("_lock")
+    def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
+        """Swap the sealed-file set after a compaction, closing old handles.
+
+        Crash-safe in any prefix: until an old file's unlink happens it
+        remains readable, and the compacted file supersedes it under the
+        query merge rule (later sequence files win), so dying between
+        unlinks leaves duplicated but never lost data.
+        """
+        for old in self._sealed:
+            if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
+                old.buffer.close()
+            if old.path is not None:
+                self.faults.crash_point(
+                    "compact.unlink", file=old.path.name, shard=self.shard_id
+                )
+                old.path.unlink(missing_ok=True)
+        # Replaced in place: rebinding would shed the runtime guard proxy.
+        self._sealed[:] = new_sealed
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def sealed_file_count(self) -> dict[Space, int]:
+        with self._lock:
+            counts = {Space.SEQUENCE: 0, Space.UNSEQUENCE: 0}
+            for f in self._sealed:
+                counts[f.space] += 1
+            return counts
+
+    def snapshot(self) -> dict:
+        """Operator-facing snapshot of this shard's state."""
+        with self._lock:
+            working = {
+                space.value: self._working[space].total_points
+                for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+            }
+            sealed = [
+                {"space": f.space.value, **f.reader.describe()} for f in self._sealed
+            ]
+            pending = len(self._flushing)
+        return {
+            "shard": self.shard_id,
+            "points_written": int(self._shard_instruments.points_written.value),
+            "working_points": working,
+            "pending_flushes": pending,
+            "sealed_files": len(sealed),
+            "sealed": sealed,
+            "watermarks": dict(self.separation._watermarks),
+        }
+
+    def close(self) -> None:
+        """Flush everything and release this shard's on-disk file handles."""
+        self.flush_all()
+        with self._lock:
+            if self.data_dir is not None:
+                for sealed in self._sealed:
+                    if sealed.buffer is not None and not isinstance(
+                        sealed.buffer, io.BytesIO
+                    ):
+                        sealed.buffer.close()
+            if self._wals is not None:
+                for wal in self._wals.values():
+                    wal.close()
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover_from_wal(self) -> int:
+        """Replay this shard's WALs into its working memtables.
+
+        Returns the number of replayed points.  Only meaningful on a fresh
+        shard constructed over the same WAL buffers.  Replayed points are
+        routed through the separation policy, so the sequence memtable
+        invariant (no point at or below the watermark) holds afterwards.
+        """
+        with self._lock:
+            if self._wals is None:
+                raise StorageError("WAL is disabled in this configuration")
+            replayed = 0
+            with self.obs.span("engine.wal_replay", shard=self.shard_id) as span:
+                for _space, wal in self._wals.items():
+                    for device, sensor, timestamp, value in wal.replay():
+                        target = self.separation.route(device, timestamp)
+                        self._working[target].write(device, sensor, timestamp, value)
+                        replayed += 1
+                span.set(points=replayed)
+        self._instruments.points_written.inc(replayed)
+        self._shard_instruments.points_written.inc(replayed)
+        self._instruments.wal_replayed.inc(replayed)
+        return replayed
+
+    def recover(self) -> int:
+        """Rebuild this shard from its on-disk directory (crash recovery).
+
+        Scans the shard directory for sealed TsFiles (space and write order
+        come from the ``<space>-<seq>.tsfile`` naming), discards ``.part``
+        sinks a crash left mid-write (their points are still covered by the
+        surviving WAL segments), rebuilds the sealed readers, replays every
+        on-disk WAL segment into fresh working memtables (torn tails
+        tolerated), and re-derives the per-device separation watermarks
+        from the recovered sequence data so late points keep routing
+        correctly.  Replayed segments are kept on disk until every memtable
+        holding their points has been sealed — only then is it safe to drop
+        them.  Returns the number of WAL points replayed.
+        """
+        if self.data_dir is None:
+            raise StorageError("shard recovery requires a data_dir configuration")
+        data_dir = self.data_dir
+
+        # A crash mid-flush or mid-compaction leaves a partially written
+        # sink under its .part name: never sealed, never readable, safe to
+        # discard.
+        for leftover in sorted(data_dir.glob("*.tsfile.part")):
+            leftover.unlink()
+
+        replayed = 0
+        with self._lock:
+            for path in sorted(data_dir.glob("*.tsfile")):
+                prefix, _, counter = path.stem.partition("-")
+                try:
+                    space = Space(prefix)
+                    file_number = int(counter)
+                except (ValueError, KeyError):
+                    raise StorageError(
+                        f"unrecognised TsFile name {path.name!r}"
+                    ) from None
+                handle = open(path, "rb+")
+                sealed = _SealedFile(
+                    space=space, reader=TsFileReader(handle), path=path, buffer=handle
+                )
+                self._sealed.append(sealed)
+                self._file_counter = max(self._file_counter, file_number)
+
+            # Watermarks: the largest sequence-space time per device.
+            for sealed in self._sealed:
+                if sealed.space is not Space.SEQUENCE:
+                    continue
+                for device in sealed.reader.devices():
+                    for sensor in sealed.reader.sensors(device):
+                        meta = sealed.reader.chunk_metadata(device, sensor)
+                        if meta is not None and meta.max_time is not None:
+                            self.separation.update_watermark(device, meta.max_time)
+
+            # WAL replay: unflushed writes come back into the working
+            # memtables.
+            if self.config.wal_enabled:
+                self._wals = {}
+                with self.obs.span(
+                    "engine.wal_replay", shard=self.shard_id
+                ) as span:
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE):
+                        wal = SegmentedWal.on_disk(
+                            data_dir,
+                            space.value,
+                            fresh=False,
+                            wrap=self.faults.wrap_file,
+                        )
+                        self._wals[space] = wal
+                        recovered_ids = wal.sealed_segment_ids()
+                        if recovered_ids:
+                            self._recovery_segments[space] = recovered_ids
+                        for device, sensor, timestamp, value in wal.replay():
+                            # Route through the rebuilt watermarks: a record
+                            # whose point is already sealed in sequence space
+                            # re-lands in the unsequence memtable, where the
+                            # overwrite rule makes the duplicate harmless.
+                            target = self.separation.route(device, timestamp)
+                            self._working[target].write(
+                                device, sensor, timestamp, value
+                            )
+                            replayed += 1
+                    span.set(points=replayed)
+                self._recovery_holds = {
+                    space
+                    for space in (Space.SEQUENCE, Space.UNSEQUENCE)
+                    if self._working[space].total_points > 0
+                }
+                # _wals and _recovery_holds were rebound above, which sheds
+                # the runtime guard proxies — re-wrap before the lock drops.
+                apply_guards(self)
+                if not self._recovery_holds:
+                    # Nothing replayed survives only in the WAL; the
+                    # recovered segments are already covered by sealed files.
+                    self._drop_recovery_segments()
+                self._instruments.points_written.inc(replayed)
+                self._shard_instruments.points_written.inc(replayed)
+                self._instruments.wal_replayed.inc(replayed)
+        return replayed
+
+
+def combine_aggregates(partials: list):
+    """Merge per-file aggregates of non-overlapping, time-ordered chunks."""
+    from repro.iotdb.aggregation import AggregationResult
+
+    combined = AggregationResult(
+        count=0, sum=None, avg=None, min_value=None, max_value=None,
+        first=None, last=None,
+    )
+    total: float | None = 0.0
+    for p in partials:
+        if p.count == 0:
+            continue
+        combined.count += p.count
+        if p.sum is None:
+            total = None
+        elif total is not None:
+            total += p.sum
+        if p.min_value is not None:
+            combined.min_value = (
+                p.min_value
+                if combined.min_value is None
+                else min(combined.min_value, p.min_value)
+            )
+        if p.max_value is not None:
+            combined.max_value = (
+                p.max_value
+                if combined.max_value is None
+                else max(combined.max_value, p.max_value)
+            )
+        if combined.first is None:
+            combined.first = p.first
+        combined.last = p.last
+        combined.pages_skipped += p.pages_skipped
+        combined.pages_decoded += p.pages_decoded
+    if combined.count:
+        combined.sum = total
+        combined.avg = total / combined.count if total is not None else None
+    return combined

@@ -57,6 +57,21 @@ class WriteAheadLog:
         # user-space buffer and a crash lost acknowledged writes.
         self._file.flush()
 
+    def append_batch(self, records) -> None:
+        """Durably record many writes with one flush at the end.
+
+        ``records`` is an iterable of ``(device, sensor, timestamp, value)``
+        tuples.  The whole batch is acknowledged together, so a single
+        flush after the last record preserves durability-on-ack while
+        amortising the per-record flush cost across the batch.
+        """
+        for device, sensor, timestamp, value in records:
+            payload = json.dumps([device, sensor, timestamp, value]).encode("utf-8")
+            self._file.write(_HEADER.pack(len(payload)))
+            self._file.write(payload)
+            self._file.write(_HEADER.pack(zlib.crc32(payload)))
+        self._file.flush()
+
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
         """Yield every intact record from the start of the log.
 
@@ -262,6 +277,11 @@ class SegmentedWal:
     def append(self, device: str, sensor: str, timestamp: int, value) -> None:
         with self._lock:
             self._active.wal.append(device, sensor, timestamp, value)
+
+    def append_batch(self, records) -> None:
+        """Append a batch of records under one lock acquisition, one flush."""
+        with self._lock:
+            self._active.wal.append_batch(records)
 
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
         """Every intact record across all live segments, in segment order.

@@ -7,6 +7,7 @@ from pathlib import Path
 
 from repro.bench.baseline import (
     DELAY_MODELS,
+    INGEST_SHARD_COUNTS,
     check_baseline,
     collect_baseline,
     main,
@@ -20,14 +21,28 @@ def test_collect_is_deterministic():
     first = collect_baseline(n=_N, seed=7)
     second = collect_baseline(n=_N, seed=7)
     assert first == second
-    assert set(first["cells"]) == {
+    sorter_cells = {
         f"{algorithm}/{model}"
         for algorithm in PAPER_ALGORITHMS
         for model, _ in DELAY_MODELS
     }
-    assert all(
-        cell["comparisons"] > 0 and cell["moves"] > 0
-        for cell in first["cells"].values()
+    ingest_cells = {f"ingest/shards={shards}" for shards in INGEST_SHARD_COUNTS}
+    assert set(first["cells"]) == sorter_cells | ingest_cells
+    for name in sorter_cells:
+        cell = first["cells"][name]
+        assert cell["comparisons"] > 0 and cell["moves"] > 0
+    for name in ingest_cells:
+        cell = first["cells"][name]
+        assert 0 < cell["critical_path_ops"] <= cell["total_ops"]
+
+
+def test_sharded_ingest_critical_path_never_exceeds_unsharded():
+    # The throughput gate: under the op-count proxy, the four-shard
+    # engine's busiest shard does at most the single shard's whole work.
+    cells = collect_baseline(n=_N, seed=7)["cells"]
+    assert (
+        cells["ingest/shards=4"]["critical_path_ops"]
+        <= cells["ingest/shards=1"]["critical_path_ops"]
     )
 
 
@@ -45,8 +60,8 @@ def test_check_fails_on_an_ops_regression(tmp_path, capsys):
     # Shrink every pinned cell: the (unchanged) current counts now look
     # like a >2x regression against the doctored baseline.
     for cell in baseline["cells"].values():
-        cell["comparisons"] //= 3
-        cell["moves"] //= 3
+        for key in cell:
+            cell[key] //= 3
     path.write_text(json.dumps(baseline), encoding="utf-8")
     capsys.readouterr()
     assert main(["--check", str(path), "--n", str(_N)]) == 1

@@ -1,0 +1,85 @@
+"""The concurrent ingest client: determinism, shard accounting, throughput."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SystemWorkloadConfig, run_ingest_benchmark
+from repro.errors import BenchmarkError
+from repro.iotdb import IoTDBConfig
+
+
+def _workload(**kw):
+    defaults = dict(
+        total_points=4_000,
+        batch_size=250,
+        write_percentage=1.0,
+        device="root.ingest.d",
+        n_devices=8,
+        dataset="lognormal",
+        dataset_params={"mu": 1.0, "sigma": 1.0},
+        seed=3,
+    )
+    defaults.update(kw)
+    return SystemWorkloadConfig(**defaults)
+
+
+def _engine_config(shards):
+    return IoTDBConfig(
+        shards=shards, flush_workers=2 if shards > 1 else 0,
+        memtable_flush_threshold=500,
+    )
+
+
+class TestIngestBenchmark:
+    def test_metrics_are_coherent(self):
+        result = run_ingest_benchmark(
+            _workload(), engine_config=_engine_config(shards=4), writers=4
+        )
+        assert result.total_points == 4_000
+        assert result.batches_written == 16
+        assert result.elapsed_seconds > 0
+        assert result.points_per_second > 0
+        assert result.flush_count > 0
+        assert sum(
+            entry["points_written"] for entry in result.per_shard.values()
+        ) == 4_000
+
+    def test_per_shard_points_are_schedule_independent(self):
+        # The shard point totals depend only on device routing, so two runs
+        # with different writer counts (different thread interleavings)
+        # agree.  Flush *counts* may differ: watermarks advance at flush
+        # time, and flush timing follows arrival order.
+        runs = [
+            run_ingest_benchmark(
+                _workload(), engine_config=_engine_config(shards=4), writers=w
+            )
+            for w in (1, 4)
+        ]
+        for shard_id, entry in runs[0].per_shard.items():
+            assert (
+                entry["points_written"]
+                == runs[1].per_shard[shard_id]["points_written"]
+            )
+
+    def test_single_writer_single_shard_still_works(self):
+        result = run_ingest_benchmark(
+            _workload(), engine_config=_engine_config(shards=1), writers=1
+        )
+        assert result.shards == 1
+        assert list(result.per_shard) == [0]
+        assert result.per_shard[0]["points_written"] == 4_000
+
+    def test_writers_must_be_positive(self):
+        with pytest.raises(BenchmarkError):
+            run_ingest_benchmark(_workload(), writers=0)
+
+    def test_row_is_flat_and_complete(self):
+        result = run_ingest_benchmark(
+            _workload(), engine_config=_engine_config(shards=2), writers=2
+        )
+        row = result.row()
+        assert row["shards"] == 2
+        assert row["writers"] == 2
+        assert row["total_points"] == 4_000
+        assert row["points_per_second"] == result.points_per_second

@@ -74,7 +74,7 @@ def test_query_agrees_with_oracle(tmp_path, seed, mode):
         memtable_flush_threshold=50,
         deferred_flush=(mode == "deferred"),
     )
-    engine = StorageEngine(config)
+    engine = StorageEngine.create(config)
     oracle = OracleModel()
     devices, sensors, horizon = _run_workload(
         engine,
@@ -92,7 +92,7 @@ def test_aggregate_count_matches_oracle(tmp_path):
     config = IoTDBConfig(
         data_dir=tmp_path / "data", wal_enabled=True, memtable_flush_threshold=40
     )
-    engine = StorageEngine(config)
+    engine = StorageEngine.create(config)
     oracle = OracleModel()
     devices, sensors, horizon = _run_workload(engine, oracle, n=300, seed=5)
     for device in devices:

@@ -60,7 +60,7 @@ class TestAckedWritesSurvive:
     def test_acknowledged_write_survives_immediate_crash(self, tmp_path):
         # Bug 1: no flush-on-append meant this exact scenario lost t=1.
         config = _config(tmp_path)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         engine.write("d", "s", 1, 1.0)
         # No close, no flush: the process dies *now*.
         recovered = _recover(tmp_path, config)
@@ -72,14 +72,15 @@ class TestAckedWritesSurvive:
         # Bug 2: with one shared WAL per space, the truncate after this
         # drain destroyed coverage for the 30 post-retire writes.
         config = _config(tmp_path, deferred_flush=True)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(50):
             engine.write("d", "s", t, float(t))  # retires at the threshold
         for t in range(50, 80):
             engine.write("d", "s", t, float(t))  # acked into the new memtable
         engine.drain_flushes()  # seals the first memtable, drops ITS segment
-        with engine._lock:
-            seq_wal = engine._wals[Space.SEQUENCE]
+        shard = engine.shards[0]
+        with shard._lock:
+            seq_wal = shard._wals[Space.SEQUENCE]
         replayable = list(seq_wal.replay())
         assert [r[2] for r in replayable] == list(range(50, 80)), (
             "WAL no longer covers writes acknowledged after the retire"
@@ -90,7 +91,7 @@ class TestAckedWritesSurvive:
 
     def test_wal_segment_dropped_only_after_its_memtable_seals(self, tmp_path):
         config = _config(tmp_path, deferred_flush=True)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(50):
             engine.write("d", "s", t, float(t))
         assert engine.pending_flushes() == 1
@@ -107,13 +108,13 @@ class TestTornSinkRecovery:
         # open() raise while parsing the footer.
         config = _config(tmp_path)
         plan = FaultPlan([FaultRule(site="sink.write", kind="torn", nth=3, arg=0.5)])
-        engine = StorageEngine(config, faults=FaultInjector(plan))
+        engine = StorageEngine.create(config, faults=FaultInjector(plan))
         with pytest.raises(InjectedCrashError):
             for t in range(60):
                 engine.write("d", "s", t, float(t))
         data_dir = tmp_path / "data"
-        assert list(data_dir.glob("*.tsfile.part")), "expected a torn sink"
-        assert not list(data_dir.glob("*.tsfile")), "no sealed file yet"
+        assert list(data_dir.rglob("*.tsfile.part")), "expected a torn sink"
+        assert not list(data_dir.rglob("*.tsfile")), "no sealed file yet"
 
         recovered = _recover(tmp_path, config)
         assert recovered.query("d", "s", 0, 60).timestamps == list(range(50)), (
@@ -123,11 +124,11 @@ class TestTornSinkRecovery:
 
     def test_leftover_part_file_is_cleaned_up(self, tmp_path):
         config = _config(tmp_path)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(60):
             engine.write("d", "s", t, float(t))
         engine.close()
-        junk = tmp_path / "data" / "seq-000099.tsfile.part"
+        junk = tmp_path / "data" / "shard-00" / "seq-000099.tsfile.part"
         junk.write_bytes(b"partial garbage")
         reopened = StorageEngine.open(config)
         assert not junk.exists()
@@ -140,7 +141,7 @@ class TestFailedFlushRequeues:
         # Bug 4: a failing flush left no retry path and a dangling sink.
         config = _config(tmp_path)
         plan = FaultPlan([FaultRule(site="flush.perform", kind="fail", nth=1)])
-        engine = StorageEngine(config, faults=FaultInjector(plan))
+        engine = StorageEngine.create(config, faults=FaultInjector(plan))
         with pytest.raises(InjectedFaultError):
             for t in range(60):
                 engine.write("d", "s", t, float(t))
@@ -157,12 +158,12 @@ class TestFailedFlushRequeues:
     def test_sink_failure_discards_partial_file_and_retries(self, tmp_path):
         config = _config(tmp_path)
         plan = FaultPlan([FaultRule(site="sink.write", kind="fail", nth=2)])
-        engine = StorageEngine(config, faults=FaultInjector(plan))
+        engine = StorageEngine.create(config, faults=FaultInjector(plan))
         with pytest.raises(InjectedFaultError):
             for t in range(60):
                 engine.write("d", "s", t, float(t))
         data_dir = tmp_path / "data"
-        assert not list(data_dir.glob("*.part")), "partial sink must be discarded"
+        assert not list(data_dir.rglob("*.part")), "partial sink must be discarded"
         assert engine.pending_flushes() == 1
         engine.drain_flushes()
         assert engine.query("d", "s", 0, 60).timestamps == list(range(50))
@@ -172,7 +173,7 @@ class TestFailedFlushRequeues:
 class TestCompactionCrash:
     def _build(self, tmp_path, faults=None):
         config = _config(tmp_path, memtable_flush_threshold=30)
-        engine = StorageEngine(config, faults=faults)
+        engine = StorageEngine.create(config, faults=faults)
         for t in range(90):
             engine.write("d", "s", t, float(t))
         for t in range(0, 30, 3):
@@ -228,7 +229,7 @@ class TestUnstableSortOverwrites:
 
     def test_late_overwrite_wins_through_flush(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=200)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(100):
             engine.write("d", "s", t, float(t))
         # Overwrite every timestamp, still inside the same memtable.
@@ -242,7 +243,7 @@ class TestUnstableSortOverwrites:
 
     def test_late_overwrite_wins_through_crash_recovery(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=500)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(100):
             engine.write("d", "s", t, float(t))
         for t in range(100):

@@ -12,7 +12,7 @@ from tests.conftest import make_delayed_stream
 
 
 def _engine(threshold=500, page_size=64):
-    return StorageEngine(
+    return StorageEngine.create(
         IoTDBConfig(memtable_flush_threshold=threshold, page_size=page_size)
     )
 

@@ -10,7 +10,7 @@ from tests.conftest import make_delayed_stream
 
 
 def _engine(threshold=200, data_dir=None):
-    return StorageEngine(
+    return StorageEngine.create(
         IoTDBConfig(memtable_flush_threshold=threshold, page_size=64, data_dir=data_dir)
     )
 
@@ -82,10 +82,10 @@ class TestCompaction:
         for t in range(350):
             engine.write("d", "s", t, float(t))
         engine.flush_all()
-        files_before = set((tmp_path / "data").glob("*.tsfile"))
+        files_before = set((tmp_path / "data").rglob("*.tsfile"))
         assert len(files_before) == 4
         engine.compact()
-        files_after = set((tmp_path / "data").glob("*.tsfile"))
+        files_after = set((tmp_path / "data").rglob("*.tsfile"))
         assert len(files_after) == 1
         assert files_after.isdisjoint(files_before)
         assert engine.query("d", "s", 0, 350).timestamps == list(range(350))

@@ -11,7 +11,7 @@ from tests.conftest import make_delayed_stream
 def _engine(**kw):
     defaults = dict(memtable_flush_threshold=200, deferred_flush=True)
     defaults.update(kw)
-    return StorageEngine(IoTDBConfig(**defaults))
+    return StorageEngine.create(IoTDBConfig(**defaults))
 
 
 class TestDeferredFlush:
@@ -76,8 +76,9 @@ class TestDeferredFlush:
         engine = _engine()
         for t in range(250):
             engine.write("d", "s", t, float(t))
-        with engine._lock:
-            flushing = list(engine._flushing)
+        shard = engine.shards[0]
+        with shard._lock:
+            flushing = list(shard._flushing)
         assert all(task.memtable.state is MemTableState.FLUSHING for task in flushing)
 
     def test_equivalence_inline_vs_deferred(self):

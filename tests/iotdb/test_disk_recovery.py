@@ -22,7 +22,7 @@ def _config(tmp_path, **kw):
 class TestDiskRecovery:
     def test_reopen_recovers_sealed_and_unflushed_data(self, tmp_path):
         config = _config(tmp_path)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         stream = make_delayed_stream(650, lam=0.3, seed=1)
         for t, v in zip(stream.timestamps, stream.values):
             engine.write("d", "s", t, v)
@@ -38,7 +38,7 @@ class TestDiskRecovery:
 
     def test_watermark_restored(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=100)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(100):
             engine.write("d", "s", t, float(t))
         del engine
@@ -50,7 +50,7 @@ class TestDiskRecovery:
 
     def test_new_writes_after_recovery_work(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=100)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(150):
             engine.write("d", "s", t, float(t))
         del engine
@@ -65,14 +65,14 @@ class TestDiskRecovery:
 
     def test_file_counter_resumes(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=100)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         for t in range(200):
             engine.write("d", "s", t, float(t))
         del engine
         reborn = StorageEngine.open(_config(tmp_path, memtable_flush_threshold=100))
         for t in range(200, 300):
             reborn.write("d", "s", t, float(t))
-        files = sorted((tmp_path / "data").glob("*.tsfile"))
+        files = sorted((tmp_path / "data").rglob("*.tsfile"))
         assert len(files) == len({f.name for f in files}) == 3  # no overwrites
 
     def test_open_requires_data_dir(self):
@@ -81,16 +81,16 @@ class TestDiskRecovery:
 
     def test_fresh_constructor_truncates_wal(self, tmp_path):
         config = _config(tmp_path, memtable_flush_threshold=10_000)
-        engine = StorageEngine(config)
+        engine = StorageEngine.create(config)
         engine.write("d", "s", 1, 1.0)
         del engine
         # A *fresh* engine (not open()) wipes the WAL: fresh-start semantics.
-        fresh = StorageEngine(_config(tmp_path, memtable_flush_threshold=10_000))
+        fresh = StorageEngine.create(_config(tmp_path, memtable_flush_threshold=10_000))
         assert len(fresh.query("d", "s", 0, 10)) == 0
 
     def test_unrecognised_tsfile_name_rejected(self, tmp_path):
         config = _config(tmp_path)
-        StorageEngine(config)  # creates the directory
-        (tmp_path / "data" / "bogus.tsfile").write_bytes(b"junk")
+        StorageEngine.create(config)  # creates the directory
+        (tmp_path / "data" / "shard-00" / "bogus.tsfile").write_bytes(b"junk")
         with pytest.raises(StorageError):
             StorageEngine.open(_config(tmp_path))

@@ -35,7 +35,7 @@ _ops = st.lists(st.one_of(_write, _flush, _query), min_size=1, max_size=120)
 @settings(max_examples=40, deadline=None)
 @given(ops=_ops, sorter=st.sampled_from(("backward", "tim", "quick")))
 def test_engine_matches_reference_model(ops, sorter):
-    engine = StorageEngine(
+    engine = StorageEngine.create(
         IoTDBConfig(sorter=sorter, memtable_flush_threshold=25)
     )
     model: dict[str, dict[int, float]] = {d: {} for d in _DEVICES}

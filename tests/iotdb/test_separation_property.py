@@ -32,8 +32,9 @@ _ops = st.lists(
 
 
 def _seq_memtable_respects_watermark(engine) -> bool:
-    with engine._lock:
-        seq = engine._working[Space.SEQUENCE]
+    shard = engine.shards[0]
+    with shard._lock:
+        seq = shard._working[Space.SEQUENCE]
     for device, _sensor, tvlist in seq.iter_chunks():
         watermark = engine.separation.watermark(device)
         if watermark is None:
@@ -46,7 +47,7 @@ def _seq_memtable_respects_watermark(engine) -> bool:
 @settings(max_examples=60)
 @given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
 def test_every_point_lands_in_exactly_one_space(ops, threshold):
-    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=threshold))
+    engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=threshold))
     for d, s, t in ops:
         engine.write(f"d{d}", f"s{s}", t, float(t))
     counts = engine.separation.routed_counts()
@@ -56,7 +57,7 @@ def test_every_point_lands_in_exactly_one_space(ops, threshold):
 @settings(max_examples=60)
 @given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
 def test_sequence_memtable_never_below_watermark(ops, threshold):
-    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=threshold))
+    engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=threshold))
     for d, s, t in ops:
         engine.write(f"d{d}", f"s{s}", t, float(t))
         assert _seq_memtable_respects_watermark(engine)
@@ -65,7 +66,7 @@ def test_sequence_memtable_never_below_watermark(ops, threshold):
 @settings(max_examples=40)
 @given(ops=_ops, threshold=st.integers(min_value=5, max_value=60))
 def test_invariant_survives_deferred_flushing(ops, threshold):
-    engine = StorageEngine(
+    engine = StorageEngine.create(
         IoTDBConfig(memtable_flush_threshold=threshold, deferred_flush=True)
     )
     for i, (d, s, t) in enumerate(ops):

@@ -11,7 +11,7 @@ from repro.iotdb.session import Session, parse
 
 @pytest.fixture
 def session():
-    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=10_000))
+    engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=10_000))
     s = Session(engine)
     for t in range(100):
         s.insert("root.sg.d1", "s1", t, float(t))

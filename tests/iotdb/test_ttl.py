@@ -9,7 +9,7 @@ from repro.iotdb import IoTDBConfig, StorageEngine
 
 
 def _engine(ttl, threshold=10_000, **kw):
-    return StorageEngine(
+    return StorageEngine.create(
         IoTDBConfig(ttl=ttl, memtable_flush_threshold=threshold, **kw)
     )
 

@@ -14,7 +14,7 @@ from tests.conftest import make_delayed_stream
 @pytest.fixture
 def traced_engine():
     obs = Observability()
-    engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=100), obs=obs)
+    engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=100), obs=obs)
     stream = make_delayed_stream(250, seed=13)
     for t, v in zip(stream.timestamps, stream.values):
         engine.write("root.d1", "s1", t, v)
@@ -104,12 +104,12 @@ class TestExports:
 
 class TestDefaults:
     def test_default_engine_is_metrics_only(self):
-        engine = StorageEngine()
+        engine = StorageEngine.create()
         assert engine.obs.metrics_enabled
         assert engine.obs.tracer is NOOP_TRACER
 
     def test_describe_reads_from_the_registry(self):
-        engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=50))
+        engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=50))
         stream = make_delayed_stream(120, seed=17)
         for t, v in zip(stream.timestamps, stream.values):
             engine.write("d", "s", t, v)
@@ -120,8 +120,8 @@ class TestDefaults:
         assert "engine_points_written_total" in snap["metrics"]
 
     def test_engines_do_not_share_registries(self):
-        a = StorageEngine()
-        b = StorageEngine()
+        a = StorageEngine.create()
+        b = StorageEngine.create()
         a.write("d", "s", 1, 1.0)
         assert a.describe()["points_written"] == 1
         assert b.describe()["points_written"] == 0
@@ -129,7 +129,7 @@ class TestDefaults:
 
 class TestFacadeRemoved:
     def make_engine(self):
-        engine = StorageEngine(IoTDBConfig(memtable_flush_threshold=50))
+        engine = StorageEngine.create(IoTDBConfig(memtable_flush_threshold=50))
         stream = make_delayed_stream(120, seed=19)
         for t, v in zip(stream.timestamps, stream.values):
             engine.write("d", "s", t, v)
