@@ -123,6 +123,64 @@ def collect_ingest_cells(
     return cells
 
 
+def _query_index_files_opened(n: int, seed: int, index_enabled: bool) -> int:
+    """Sealed files opened by a fixed query set, with or without the index.
+
+    A high-disorder LogNormal stream (heavy-tailed delays spread late
+    points across many unsequence files) is ingested with a small flush
+    threshold, then a seeded set of narrow range queries runs; the result
+    is the summed ``files_opened`` — an operation count, never time, so
+    the cell is machine-independent.  The only difference between the two
+    cells is ``config.index_enabled``.
+    """
+    import random
+
+    from repro.iotdb import IoTDBConfig, StorageEngine
+
+    stream = TimeSeriesGenerator(LogNormalDelay(mu=1.0, sigma=2.0)).generate(
+        n, seed=seed
+    )
+    engine = StorageEngine.create(
+        IoTDBConfig(
+            sorter="backward",
+            memtable_flush_threshold=max(2, n // 24),
+            index_enabled=index_enabled,
+        )
+    )
+    for t, v in zip(stream.timestamps, stream.values):
+        engine.write("root.baseline.q", "s0", t, v)
+    engine.flush_all()
+    horizon = max(stream.timestamps) + 1
+    width = max(1, horizon // 20)
+    rng = random.Random(seed + 1)
+    opened = 0
+    for _ in range(32):
+        start = rng.randrange(max(1, horizon - width))
+        result = engine.query("root.baseline.q", "s0", start, start + width)
+        opened += result.stats.files_opened
+    engine.close()
+    return opened
+
+
+def collect_query_index_cells(
+    n: int = DEFAULT_N, seed: int = DEFAULT_SEED
+) -> dict[str, dict[str, int]]:
+    """File-open cells for the interval index, on vs off.
+
+    The checker enforces two things: each cell stays within the ratio
+    budget of its pinned baseline, and — structurally, every run — the
+    ``index=on`` cell opens *strictly fewer* files than ``index=off``
+    (the index must actually prune on the high-disorder workload, not
+    merely not regress).
+    """
+    return {
+        f"query/index={name}": {
+            "files_opened": _query_index_files_opened(n, seed, enabled)
+        }
+        for name, enabled in (("on", True), ("off", False))
+    }
+
+
 def collect_baseline(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> dict:
     """Op counts for every (algorithm, delay model) and ingest cell.
 
@@ -141,6 +199,7 @@ def collect_baseline(n: int = DEFAULT_N, seed: int = DEFAULT_SEED) -> dict:
                 "moves": stats.moves,
             }
     cells.update(collect_ingest_cells(n=n, seed=seed))
+    cells.update(collect_query_index_cells(n=n, seed=seed))
     return {"n": n, "seed": seed, "cells": cells}
 
 
@@ -149,11 +208,27 @@ def _total(cell: dict[str, int]) -> int:
     return sum(int(value) for value in cell.values())
 
 
+def check_invariants(current: dict) -> list[str]:
+    """Structural invariants of the *current* run, independent of any
+    pinned baseline.  Today: the interval index must prune strictly."""
+    cells = current.get("cells", {})
+    on = cells.get("query/index=on")
+    off = cells.get("query/index=off")
+    if on is None or off is None:
+        return []
+    if _total(on) >= _total(off):
+        return [
+            f"query/index=on opened {_total(on)} files but index=off opened "
+            f"{_total(off)}: the interval index must open strictly fewer"
+        ]
+    return []
+
+
 def check_baseline(
     baseline: dict, current: dict, max_ratio: float
 ) -> list[str]:
     """Human-readable regression messages; empty when within budget."""
-    problems: list[str] = []
+    problems: list[str] = list(check_invariants(current))
     base_cells = baseline.get("cells", {})
     cur_cells = current.get("cells", {})
     if set(base_cells) != set(cur_cells):
@@ -220,6 +295,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     current = collect_baseline(n=args.n, seed=args.seed)
 
     if args.write:
+        problems = check_invariants(current)
+        if problems:
+            for problem in problems:
+                print(f"repro-bench-baseline: {problem}", file=sys.stderr)
+            return 1
         Path(args.path).write_text(
             json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )

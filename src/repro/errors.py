@@ -52,6 +52,15 @@ class WalCorruptionError(StorageError):
     """Raised when a write-ahead-log record fails its checksum."""
 
 
+class IndexCorruptionError(StorageError):
+    """Raised when a persisted interval-index file fails validation on read.
+
+    Never fatal to the engine: recovery treats a corrupt (torn, truncated,
+    bit-flipped) index file as absent and rebuilds the index from the
+    sealed TsFiles themselves, which remain the source of truth.
+    """
+
+
 class QueryError(StorageError):
     """Raised for malformed queries (e.g. inverted time ranges)."""
 

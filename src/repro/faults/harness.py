@@ -12,6 +12,10 @@ The contract being verified (the one a WAL exists to provide):
   each timestamp maps to exactly the freshest acknowledged value.
 * **Coherent watermarks** — after recovery the sequence memtable holds no
   point at or below its device's separation watermark.
+* **Coherent interval index** — after recovery every shard's in-memory
+  interval index holds exactly one entry per non-empty sealed file, with
+  the file's true time range (a torn or stale ``interval-index.json`` must
+  have been rebuilt, never believed).
 
 The sweep enumerates every fault site the workload actually reaches (an
 empty :class:`FaultPlan` counts site visits), then replays the workload
@@ -242,11 +246,20 @@ def check_recovery(engine, acked: OracleModel, inflight_op=None) -> list[str]:
 
     # Watermark coherence: every shard's recovered sequence memtable must
     # hold no point at or below its device's watermark.
+    from repro.iotdb.interval_index import build_entries
     from repro.iotdb.separation import Space
 
     for shard in engine.shards:
         with shard._lock:
             seq_memtable = shard._working[Space.SEQUENCE]
+            index_entries = sorted(shard._index.entries())
+            expected_entries = sorted(build_entries(shard._sealed))
+        if index_entries != expected_entries:
+            violations.append(
+                f"shard {shard.shard_id}: interval index diverges from the "
+                f"sealed files: index={index_entries!r} "
+                f"expected={expected_entries!r}"
+            )
         for device, sensor, tvlist in seq_memtable.iter_chunks():
             watermark = shard.separation.watermark(device)
             if watermark is None:
@@ -388,7 +401,7 @@ def _nth_positions(calls: int, max_nth: int) -> list[int]:
 
 #: Sites whose faults model torn *file writes*: sweep them with a torn
 #: (prefix-keeping) variant as well as a clean pre-write crash.
-WRITE_SITES = ("wal.write", "sink.write")
+WRITE_SITES = ("wal.write", "sink.write", "index.write")
 
 
 def run_crash_sweep(

@@ -7,9 +7,18 @@ from repro.iotdb.aggregation import (
     aggregate_from_points,
     aggregate_windows,
 )
-from repro.iotdb.compaction import CompactionReport, compact
+from repro.iotdb.compaction import (
+    CompactionPolicy,
+    CompactionReport,
+    CompactionSelection,
+    FullMergePolicy,
+    OverlapDrivenPolicy,
+    compact,
+    policy_from_config,
+)
 
 from repro.iotdb.config import IoTDBConfig, TSDataType
+from repro.iotdb.interval_index import IndexEntry, IntervalIndex
 from repro.iotdb.encoding import Encoder, get_encoder
 from repro.iotdb.engine import StorageEngine
 from repro.iotdb.flush import ChunkFlushReport, FlushReport, flush_memtable
@@ -41,11 +50,18 @@ from repro.iotdb.wal import SegmentedWal, WriteAheadLog
 __all__ = [
     "AGGREGATIONS",
     "AggregationResult",
+    "CompactionPolicy",
     "CompactionReport",
+    "CompactionSelection",
+    "FullMergePolicy",
+    "IndexEntry",
+    "IntervalIndex",
+    "OverlapDrivenPolicy",
     "aggregate_from_points",
     "aggregate_windows",
     "WindowAggregate",
     "compact",
+    "policy_from_config",
     "BooleanTVList",
     "ChunkFlushReport",
     "ChunkMetadata",

@@ -78,6 +78,24 @@ class IoTDBConfig:
             (fully deterministic — the crash harness relies on this);
             ``> 0`` lets ``drain_flushes``/``flush_all``/``compact`` fan
             out across shards concurrently.
+        index_enabled: consult the per-shard interval index on the query
+            path, opening only sealed files whose ``[min_time, max_time]``
+            intersects the query range (see
+            :mod:`repro.iotdb.interval_index`).  The index itself is
+            always maintained (it also drives the overlap compaction
+            scheduler); this knob gates only the query-time pruning, so
+            ``False`` reproduces the scan-every-file behaviour bit for
+            bit — the differential suite compares the two.
+        compaction_policy: which sealed files a compaction pass merges:
+            ``"full"`` (default) k-way merges every sealed file into one
+            sequence file; ``"overlap"`` merges only unsequence files
+            whose time range overlaps at least
+            ``compaction_overlap_threshold`` sequence files (plus the
+            overlapped sequence files and a write-order safety closure) —
+            partial compaction that spends I/O where queries pay for it.
+        compaction_overlap_threshold: minimum number of sequence files an
+            unsequence file must overlap before the ``"overlap"`` policy
+            selects it.
     """
 
     array_size: int = 32
@@ -96,6 +114,9 @@ class IoTDBConfig:
     ttl: int | None = None
     shards: int = 1
     flush_workers: int = 0
+    index_enabled: bool = True
+    compaction_policy: str = "full"
+    compaction_overlap_threshold: int = 2
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -115,6 +136,16 @@ class IoTDBConfig:
             raise InvalidParameterError(f"page_size must be >= 1, got {self.page_size}")
         if self.ttl is not None and self.ttl < 1:
             raise InvalidParameterError(f"ttl must be >= 1, got {self.ttl}")
+        if self.compaction_policy not in ("full", "overlap"):
+            raise InvalidParameterError(
+                "compaction_policy must be 'full' or 'overlap', "
+                f"got {self.compaction_policy!r}"
+            )
+        if self.compaction_overlap_threshold < 1:
+            raise InvalidParameterError(
+                "compaction_overlap_threshold must be >= 1, "
+                f"got {self.compaction_overlap_threshold}"
+            )
         if self.compression not in ("none", "zlib"):
             raise InvalidParameterError(
                 f"compression must be 'none' or 'zlib', got {self.compression!r}"

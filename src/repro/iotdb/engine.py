@@ -376,28 +376,37 @@ class StorageEngine:
 
     # -- compaction ----------------------------------------------------------
 
-    def compact(self):
-        """Full-merge compaction of every shard's sealed files.
+    def compact(self, policy=None):
+        """One compaction pass over every shard's sealed files.
 
-        Each shard compacts independently (concurrently, when a flush pool
-        is configured); the returned :class:`CompactionReport` aggregates
-        the per-shard reports.
+        ``policy`` (a :class:`repro.iotdb.compaction.CompactionPolicy`)
+        defaults to whatever ``config.compaction_policy`` names.  Each
+        shard compacts independently (concurrently, when a flush pool is
+        configured); the returned :class:`CompactionReport` aggregates the
+        per-shard reports.
         """
         from repro.iotdb.compaction import CompactionReport
 
         with self.obs.span("engine.compact") as span:
             with self._lock:
-                reports = self._map_shards(lambda s: s.compact())
+                reports = self._map_shards(lambda s: s.compact(policy))
+            policies = sorted({r.policy for r in reports})
             combined = CompactionReport(
                 files_before=sum(r.files_before for r in reports),
                 files_after=sum(r.files_after for r in reports),
                 unseq_files_merged=sum(r.unseq_files_merged for r in reports),
                 points_written=sum(r.points_written for r in reports),
                 seconds=sum(r.seconds for r in reports),
+                policy="+".join(policies) if policies else "full",
+                files_selected=sum(r.files_selected for r in reports),
+                files_skipped=sum(r.files_skipped for r in reports),
             )
             span.set(
+                policy=combined.policy,
                 files_before=combined.files_before,
                 files_after=combined.files_after,
+                files_selected=combined.files_selected,
+                files_skipped=combined.files_skipped,
                 points=combined.points_written,
             )
         return combined

@@ -24,6 +24,12 @@ name                                    kind       labels
 ``engine_shard_points_written_total``   counter    ``shard``
 ``engine_shard_points_flushed_total``   counter    ``shard``
 ``engine_shard_flushes_total``          counter    ``shard``
+``engine_query_files_opened_total``     counter    —
+``engine_index_files_pruned_total``     counter    —
+``engine_index_recoveries_total``       counter    ``outcome``
+``engine_compactions_total``            counter    ``policy``
+``engine_compaction_files_selected_total``  counter  ``policy``
+``engine_compaction_files_skipped_total``   counter  ``policy``
 ======================================  =========  ==================
 """
 
@@ -62,7 +68,36 @@ class EngineInstruments:
             "engine_wal_replayed_points_total", "points replayed from the WAL"
         )
         self.compaction_seconds = registry.histogram(
-            "engine_compaction_seconds", "duration of full-merge compactions"
+            "engine_compaction_seconds", "duration of compaction passes"
+        )
+        self.query_files_opened = registry.counter(
+            "engine_query_files_opened_total",
+            "sealed files opened (consulted) by time-range queries",
+        )
+        self.index_files_pruned = registry.counter(
+            "engine_index_files_pruned_total",
+            "sealed files the interval index pruned from query reads",
+        )
+        self.index_recoveries = registry.counter(
+            "engine_index_recoveries_total",
+            "interval-index recoveries on open, by outcome "
+            "(validated / rebuilt-missing / rebuilt-corrupt / rebuilt-stale)",
+            ("outcome",),
+        )
+        self.compactions = registry.counter(
+            "engine_compactions_total",
+            "compaction passes per scheduling policy",
+            ("policy",),
+        )
+        self.compaction_files_selected = registry.counter(
+            "engine_compaction_files_selected_total",
+            "sealed files merged by compaction, per scheduling policy",
+            ("policy",),
+        )
+        self.compaction_files_skipped = registry.counter(
+            "engine_compaction_files_skipped_total",
+            "sealed files a compaction pass left in place, per policy",
+            ("policy",),
         )
         self._shard_points_written = registry.counter(
             "engine_shard_points_written_total",

@@ -35,6 +35,10 @@ class QueryStats:
     points_scanned: int = 0
     points_returned: int = 0
     sources_visited: int = 0
+    #: Sealed files actually opened (consulted) for this query.
+    files_opened: int = 0
+    #: Sealed files the interval index proved disjoint from the range.
+    files_pruned: int = 0
     sort_stats: SortStats = field(default_factory=SortStats)
 
 
@@ -63,23 +67,52 @@ class TimeRangeQueryExecutor:
         sensor: str,
         start: int,
         end: int,
-        seq_readers: list[TsFileReader],
-        unseq_readers: list[TsFileReader],
-        flushing_memtables: list[MemTable],
-        working_memtable: MemTable | None,
+        seq_readers: list[TsFileReader] | None = None,
+        unseq_readers: list[TsFileReader] | None = None,
+        flushing_memtables: list[MemTable] = (),
+        working_memtable: MemTable | None = None,
+        *,
+        seq_files=None,
+        unseq_files=None,
+        index=None,
     ) -> QueryResult:
-        """Gather, sort, merge and deduplicate points from every source."""
+        """Gather, sort, merge and deduplicate points from every source.
+
+        Sealed files arrive either as bare readers (``seq_readers`` /
+        ``unseq_readers``) or as ``(file_id, reader)`` pairs
+        (``seq_files`` / ``unseq_files``).  With an
+        :class:`~repro.iotdb.interval_index.IntervalIndex` injected via
+        ``index``, the executor opens only the files whose
+        ``[min_time, max_time]`` intersects ``[start, end)`` — files the
+        index proves disjoint are counted in ``stats.files_pruned`` and
+        never read.  A file the index does not know is always opened
+        (defensive: pruning may skip work, never data).
+        """
         from repro.bench.timing import Timer
 
         if start >= end:
             raise QueryError(f"empty time range [{start}, {end})")
+        if seq_files is None:
+            seq_files = [(None, reader) for reader in (seq_readers or [])]
+        if unseq_files is None:
+            unseq_files = [(None, reader) for reader in (unseq_readers or [])]
         obs = self._obs
         stats = QueryStats()
         merged: dict[int, object] = {}
+        candidate_ids = index.candidates(start, end) if index is not None else None
 
         with Timer(obs.clock) as total_timer:
             # Freshness order: later sources overwrite earlier ones.
-            for reader in (*seq_readers, *unseq_readers):
+            for file_id, reader in (*seq_files, *unseq_files):
+                if (
+                    candidate_ids is not None
+                    and file_id is not None
+                    and file_id not in candidate_ids
+                    and index.covers(file_id)
+                ):
+                    stats.files_pruned += 1
+                    continue
+                stats.files_opened += 1
                 ts, vs = reader.query_range(device, sensor, start, end)
                 if ts:
                     stats.sources_visited += 1

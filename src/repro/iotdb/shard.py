@@ -22,10 +22,20 @@ segment(s), dropped only once that memtable is sealed (truncating a shared
 log lost acknowledged writes); a failed flush keeps its memtable queued
 and retryable.  Named fault sites (``wal.write``, ``sink.write``,
 ``flush.perform``, ``flush.seal``, ``flush.sealed``, ``wal.rotate``,
-``wal.drop``, ``compact.swap``, ``compact.unlink``) thread through these
+``wal.drop``, ``compact.swap``, ``compact.unlink``, ``index.write``,
+``index.swap``) thread through these
 steps via the injected :class:`repro.faults.FaultInjector`; every site
 fires with a ``shard`` context key so a fault plan can target one shard's
 pipeline specifically.
+
+Interval index: the shard maintains a per-shard
+:class:`~repro.iotdb.interval_index.IntervalIndex` over its sealed files —
+updated on every seal and compaction swap, persisted next to the TsFiles
+(fault sites ``index.write``/``index.swap``), and rebuilt-or-validated
+during :meth:`recover`.  With ``config.index_enabled`` the query path
+opens only sealed files whose time range intersects the query range; a
+torn or stale index file is rebuilt from the sealed files themselves, so
+index damage can cost a rebuild but never a wrong answer.
 
 Lock hierarchy: ``StorageEngine._lock`` → ``StorageShard._lock`` →
 {``MemTable._lock``, ``SegmentedWal._lock``, ``FaultInjector._lock``,
@@ -44,6 +54,13 @@ from repro.analysis.concurrency import apply_guards, create_lock, holds
 from repro.errors import StorageError
 from repro.iotdb.config import IoTDBConfig
 from repro.iotdb.flush import FlushReport, flush_memtable
+from repro.iotdb.interval_index import (
+    INDEX_FILE_NAME,
+    IndexCorruptionError,
+    IntervalIndex,
+    build_entries,
+    entry_for_sealed,
+)
 from repro.iotdb.memtable import MemTable
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
 from repro.iotdb.separation import SeparationPolicy, Space
@@ -61,6 +78,9 @@ class _SealedFile:
     buffer: io.BytesIO | None = None
     #: Temporary name the sink is written under until sealed (on-disk only).
     part_path: Path | None = None
+    #: Stable id (``<space>-<counter>``) keying this file in the shard's
+    #: interval index; counters are never reused within a shard.
+    file_id: str = ""
 
 
 @dataclass
@@ -105,6 +125,7 @@ class StorageShard:
         "_recovery_holds": "_lock",
         "_wals": "_lock",
         "_file_counter": "_lock",
+        "_index": "_lock",
     }
 
     def __init__(
@@ -141,6 +162,9 @@ class StorageShard:
         self._flushing: list[_FlushTask] = []
         self._sealed: list[_SealedFile] = []
         self._file_counter = 0
+        # Interval index over the sealed files; no lock of its own — every
+        # access happens under this shard's lock.
+        self._index = IntervalIndex()
         self._flush_reports: list[FlushReport] = []
         if self.data_dir is not None:
             self.data_dir.mkdir(parents=True, exist_ok=True)
@@ -251,14 +275,18 @@ class StorageShard:
         """A fresh sink; on disk it is written under a ``.part`` name until
         sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
         self._file_counter += 1
+        file_id = f"{space.value}-{self._file_counter:06d}"
         if self.data_dir is None:
             buffer = io.BytesIO()
-            return TsFileWriter(buffer), _SealedFile(space=space, reader=None, buffer=buffer)
-        path = self.data_dir / f"{space.value}-{self._file_counter:06d}.tsfile"
+            return TsFileWriter(buffer), _SealedFile(
+                space=space, reader=None, buffer=buffer, file_id=file_id
+            )
+        path = self.data_dir / f"{file_id}.tsfile"
         part = path.with_name(path.name + ".part")
         handle = self.faults.wrap_file(open(part, "wb+"), site="sink.write")
         return TsFileWriter(handle), _SealedFile(
-            space=space, reader=None, path=path, buffer=handle, part_path=part
+            space=space, reader=None, path=path, buffer=handle, part_path=part,
+            file_id=file_id,
         )
 
     def _seal_sink(self, sealed: _SealedFile) -> None:
@@ -343,6 +371,7 @@ class StorageShard:
                 raise
             report.shard = self.shard_id
             self._sealed.append(sealed)
+            self._register_sealed(sealed)
             self._flushing.remove(task)
             if self._wals is not None:
                 for segment_id in task.wal_segments:
@@ -383,6 +412,61 @@ class StorageShard:
                 self._wals[space].drop(segment_id)
         # Cleared in place: rebinding would shed the runtime guard proxy.
         self._recovery_segments.clear()
+
+    # -- interval index ------------------------------------------------------
+
+    @holds("_lock")
+    def _persist_index(self) -> None:
+        """Write the interval index next to the TsFiles (atomic; fault
+        sites ``index.write``/``index.swap``).  In-memory shards keep the
+        index only in memory."""
+        if self.data_dir is None:
+            return
+        self._index.save(self.data_dir / INDEX_FILE_NAME, faults=self.faults)
+
+    @holds("_lock")
+    def _register_sealed(self, sealed: _SealedFile) -> None:
+        """Add one newly sealed file to the interval index and persist.
+
+        A crash between sealing the TsFile and persisting the index leaves
+        a stale index file on disk; :meth:`recover` detects the mismatch
+        against the sealed files and rebuilds, so staleness is never
+        visible to queries.
+        """
+        entry = entry_for_sealed(sealed)
+        if entry is not None:
+            self._index.add(entry)
+        self._persist_index()
+
+    @holds("_lock")
+    def _recover_index(self, data_dir: Path) -> None:
+        """Load the persisted index, or rebuild it from the sealed files.
+
+        Ground truth is always ``build_entries(self._sealed)`` — computed
+        from the already-open readers, so validation is free.  A missing,
+        corrupt (:class:`IndexCorruptionError`), or stale (any entry
+        mismatch — e.g. a crash between sealing a file and persisting the
+        index) file is replaced by a rebuild; the outcome is counted in
+        ``engine_index_recoveries_total`` so sweeps can see which path ran.
+        Either way the in-memory index ends exactly consistent with the
+        recovered sealed set: damage costs a rebuild, never a wrong answer.
+        """
+        expected = build_entries(self._sealed)
+        index_path = data_dir / INDEX_FILE_NAME
+        if not index_path.exists():
+            outcome = "rebuilt-missing"
+        else:
+            try:
+                loaded = IntervalIndex.load(index_path)
+            except IndexCorruptionError:
+                outcome = "rebuilt-corrupt"
+            else:
+                matches = sorted(loaded.entries()) == sorted(expected)
+                outcome = "validated" if matches else "rebuilt-stale"
+        self._index.replace(expected)
+        if outcome != "validated":
+            self._persist_index()
+        self._instruments.index_recoveries.labels(outcome=outcome).inc()
 
     @holds("_lock")
     def _flush_space(self, space: Space) -> FlushReport | None:
@@ -457,11 +541,15 @@ class StorageShard:
                             timestamps=[], values=[], stats=QueryStats()
                         )
                     start = floor
-                seq_readers = [
-                    f.reader for f in self._sealed if f.space is Space.SEQUENCE
+                seq_files = [
+                    (f.file_id, f.reader)
+                    for f in self._sealed
+                    if f.space is Space.SEQUENCE
                 ]
-                unseq_readers = [
-                    f.reader for f in self._sealed if f.space is Space.UNSEQUENCE
+                unseq_files = [
+                    (f.file_id, f.reader)
+                    for f in self._sealed
+                    if f.space is Space.UNSEQUENCE
                 ]
                 flushing = [task.memtable for task in self._flushing]
                 # Both working memtables can hold in-range points; merge order
@@ -472,18 +560,29 @@ class StorageShard:
                     sensor,
                     start,
                     end,
-                    seq_readers=seq_readers,
-                    unseq_readers=unseq_readers,
                     flushing_memtables=flushing + [self._working[Space.UNSEQUENCE]],
                     working_memtable=self._working[Space.SEQUENCE],
+                    seq_files=seq_files,
+                    unseq_files=unseq_files,
+                    index=self._index if self.config.index_enabled else None,
                 )
-                self._record_query(result.stats.total_seconds)
+                self._record_query(
+                    result.stats.total_seconds,
+                    files_opened=result.stats.files_opened,
+                    files_pruned=result.stats.files_pruned,
+                )
             span.set(points=len(result))
         return result
 
-    def _record_query(self, seconds: float) -> None:
+    def _record_query(
+        self, seconds: float, *, files_opened: int = 0, files_pruned: int = 0
+    ) -> None:
         self._instruments.queries.inc()
         self._instruments.query_seconds.observe(seconds)
+        if files_opened:
+            self._instruments.query_files_opened.inc(files_opened)
+        if files_pruned:
+            self._instruments.index_files_pruned.inc(files_pruned)
 
     def aggregate(self, device: str, sensor: str, start: int, end: int):
         """Aggregations over ``[start, end)``: count/sum/avg/min/max/first/last.
@@ -593,23 +692,33 @@ class StorageShard:
 
     # -- compaction ----------------------------------------------------------
 
-    def compact(self):
-        """Full-merge compaction of this shard's sealed files (see
-        :mod:`repro.iotdb.compaction`)."""
+    def compact(self, policy=None):
+        """One compaction pass over this shard's sealed files (see
+        :mod:`repro.iotdb.compaction`); ``policy`` defaults to whatever
+        ``config.compaction_policy`` names."""
         from repro.iotdb.compaction import compact
 
-        return compact(self)
+        return compact(self, policy)
 
     @holds("_lock")
-    def _replace_sealed(self, new_sealed: list[_SealedFile]) -> None:
-        """Swap the sealed-file set after a compaction, closing old handles.
+    def _swap_sealed(
+        self, to_remove: list[_SealedFile], replacement: _SealedFile | None
+    ) -> None:
+        """Swap compacted files out of the sealed set, closing old handles.
 
-        Crash-safe in any prefix: until an old file's unlink happens it
-        remains readable, and the compacted file supersedes it under the
-        query merge rule (later sequence files win), so dying between
-        unlinks leaves duplicated but never lost data.
+        Unselected files keep their write order; the merged ``replacement``
+        is appended, making it the freshest sequence file (the overlap
+        policy's write-order safety closure guarantees appending preserves
+        every overwrite outcome).  Crash-safe in any prefix: until an old
+        file's unlink happens it remains readable, and the compacted file
+        supersedes it under the query merge rule (later sequence files
+        win), so dying between unlinks leaves duplicated but never lost
+        data.  The interval index is rebuilt over the survivors and
+        persisted last — a crash before that leaves a stale index, which
+        recovery detects and rebuilds.
         """
-        for old in self._sealed:
+        removing = {f.file_id for f in to_remove}
+        for old in to_remove:
             if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
                 old.buffer.close()
             if old.path is not None:
@@ -617,8 +726,13 @@ class StorageShard:
                     "compact.unlink", file=old.path.name, shard=self.shard_id
                 )
                 old.path.unlink(missing_ok=True)
+        survivors = [f for f in self._sealed if f.file_id not in removing]
+        if replacement is not None:
+            survivors.append(replacement)  # repro: allow(stats-accounting): file set, not a sort
         # Replaced in place: rebinding would shed the runtime guard proxy.
-        self._sealed[:] = new_sealed
+        self._sealed[:] = survivors
+        self._index.replace(build_entries(survivors))
+        self._persist_index()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -640,8 +754,10 @@ class StorageShard:
                 {"space": f.space.value, **f.reader.describe()} for f in self._sealed
             ]
             pending = len(self._flushing)
+            index_entries = len(self._index)
         return {
             "shard": self.shard_id,
+            "index_entries": index_entries,
             "points_written": int(self._shard_instruments.points_written.value),
             "working_points": working,
             "pending_flushes": pending,
@@ -710,9 +826,11 @@ class StorageShard:
 
         # A crash mid-flush or mid-compaction leaves a partially written
         # sink under its .part name: never sealed, never readable, safe to
-        # discard.
+        # discard.  Same for a torn interval-index .part: the published
+        # index (or a rebuild) supersedes it.
         for leftover in sorted(data_dir.glob("*.tsfile.part")):
             leftover.unlink()
+        (data_dir / (INDEX_FILE_NAME + ".part")).unlink(missing_ok=True)
 
         replayed = 0
         with self._lock:
@@ -727,10 +845,13 @@ class StorageShard:
                     ) from None
                 handle = open(path, "rb+")
                 sealed = _SealedFile(
-                    space=space, reader=TsFileReader(handle), path=path, buffer=handle
+                    space=space, reader=TsFileReader(handle), path=path,
+                    buffer=handle, file_id=path.stem,
                 )
                 self._sealed.append(sealed)
                 self._file_counter = max(self._file_counter, file_number)
+
+            self._recover_index(data_dir)
 
             # Watermarks: the largest sequence-space time per device.
             for sealed in self._sealed:

@@ -9,6 +9,7 @@ from repro.bench.baseline import (
     DELAY_MODELS,
     INGEST_SHARD_COUNTS,
     check_baseline,
+    check_invariants,
     collect_baseline,
     main,
 )
@@ -27,13 +28,16 @@ def test_collect_is_deterministic():
         for model, _ in DELAY_MODELS
     }
     ingest_cells = {f"ingest/shards={shards}" for shards in INGEST_SHARD_COUNTS}
-    assert set(first["cells"]) == sorter_cells | ingest_cells
+    index_cells = {"query/index=on", "query/index=off"}
+    assert set(first["cells"]) == sorter_cells | ingest_cells | index_cells
     for name in sorter_cells:
         cell = first["cells"][name]
         assert cell["comparisons"] > 0 and cell["moves"] > 0
     for name in ingest_cells:
         cell = first["cells"][name]
         assert 0 < cell["critical_path_ops"] <= cell["total_ops"]
+    for name in index_cells:
+        assert first["cells"][name]["files_opened"] > 0
 
 
 def test_sharded_ingest_critical_path_never_exceeds_unsharded():
@@ -87,6 +91,30 @@ def test_check_reports_cell_set_drift():
     problems = check_baseline(baseline, current, max_ratio=2.0)
     assert len(problems) == 1
     assert "cell sets differ" in problems[0]
+
+
+def test_index_on_opens_strictly_fewer_files():
+    # The CI-enforced payoff: on the high-disorder LogNormal workload the
+    # interval index must prune, not merely not regress.
+    cells = collect_baseline(n=_N, seed=7)["cells"]
+    assert (
+        cells["query/index=on"]["files_opened"]
+        < cells["query/index=off"]["files_opened"]
+    )
+
+
+def test_invariant_catches_a_non_pruning_index():
+    current = {
+        "cells": {
+            "query/index=on": {"files_opened": 10},
+            "query/index=off": {"files_opened": 10},
+        }
+    }
+    problems = check_invariants(current)
+    assert len(problems) == 1
+    assert "strictly fewer" in problems[0]
+    # And the full checker surfaces it even when every ratio is in budget.
+    assert check_baseline(current, current, max_ratio=2.0) == problems
 
 
 def test_committed_baseline_matches_the_current_tree():

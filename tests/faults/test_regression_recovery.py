@@ -28,6 +28,11 @@ that fixes it:
    "keep the last of the tie group" picked an arbitrary arrival; the
    older value could shadow the newer one.  Fixed by collapsing
    duplicates in arrival order *before* the sort (``dedupe_arrival``).
+7. **Damaged interval index must rebuild, never mislead** — a torn, stale,
+   or missing ``interval-index.json`` (crash at ``index.write`` /
+   ``index.swap``, or plain disk damage) must be detected on open and
+   rebuilt from the sealed TsFiles; believing it would let queries prune
+   files that actually hold in-range points.
 """
 
 from __future__ import annotations
@@ -214,6 +219,116 @@ class TestCompactionCrash:
         result = recovered.query("d", "s", 0, 90)
         assert result.timestamps == list(range(90))
         assert recovered.aggregate("d", "s", 0, 90).count == 90
+        recovered.close()
+
+
+class TestTornIndexRebuilds:
+    """Bug 7: any index damage is rebuilt on open — never believed."""
+
+    def _build(self, tmp_path, faults=None, **kw):
+        config = _config(tmp_path, memtable_flush_threshold=20, **kw)
+        engine = StorageEngine.create(config, faults=faults)
+        for t in range(60):
+            engine.write("d", "s", t, float(t))
+        for t in range(0, 20, 2):
+            engine.write("d", "s", t, -float(t))  # late → unseq files
+        return config, engine
+
+    def _assert_exact(self, recovered):
+        result = recovered.query("d", "s", 0, 60)
+        assert result.timestamps == list(range(60))
+        expected = {t: (-float(t) if t < 20 and t % 2 == 0 else float(t))
+                    for t in range(60)}
+        assert result.values == [expected[t] for t in range(60)]
+
+    def _outcomes(self, engine):
+        counter = engine._instruments.index_recoveries
+        return {
+            labels.get("outcome"): child.value
+            for labels, child in counter.children()
+        }
+
+    def test_torn_index_file_rebuilds_on_open(self, tmp_path):
+        config, engine = self._build(tmp_path)
+        engine.close()
+        index_path = tmp_path / "data" / "shard-00" / "interval-index.json"
+        blob = index_path.read_bytes()
+        index_path.write_bytes(blob[: len(blob) // 2])  # torn in half
+        recovered = StorageEngine.open(config)
+        self._assert_exact(recovered)
+        assert self._outcomes(recovered).get("rebuilt-corrupt") == 1
+        # The rebuild was persisted: the on-disk file parses again.
+        from repro.iotdb import IntervalIndex
+
+        assert len(IntervalIndex.load(index_path)) > 0
+        recovered.close()
+
+    def test_missing_index_file_rebuilds_on_open(self, tmp_path):
+        config, engine = self._build(tmp_path)
+        engine.close()
+        index_path = tmp_path / "data" / "shard-00" / "interval-index.json"
+        index_path.unlink()
+        recovered = StorageEngine.open(config)
+        self._assert_exact(recovered)
+        assert self._outcomes(recovered).get("rebuilt-missing") == 1
+        assert index_path.exists(), "rebuild must be persisted"
+        recovered.close()
+
+    def _build_unflushed(self, tmp_path, faults):
+        # Threshold above the workload: every write is acknowledged and
+        # WAL-covered before the crash is provoked via flush_all().
+        config = _config(tmp_path, memtable_flush_threshold=500)
+        engine = StorageEngine.create(config, faults=faults)
+        for t in range(60):
+            engine.write("d", "s", t, float(t))
+        for t in range(0, 20, 2):
+            engine.write("d", "s", t, -float(t))  # late → unseq memtable
+        return config, engine
+
+    def test_crash_at_index_swap_recovers_exact(self, tmp_path):
+        # The .part is fully written but never renamed: the published
+        # index is behind the sealed files (stale) or absent.
+        plan = FaultPlan([FaultRule(site="index.swap", nth=1)])
+        config, engine = self._build_unflushed(tmp_path, FaultInjector(plan))
+        with pytest.raises(InjectedCrashError):
+            engine.flush_all()
+        recovered = _recover(tmp_path, config)
+        self._assert_exact(recovered)
+        outcomes = self._outcomes(recovered)
+        assert outcomes.get("rebuilt-missing", 0) + outcomes.get(
+            "rebuilt-stale", 0
+        ) >= 1
+        # The crash left an orphaned .part; the recovered engine (running
+        # over the snapshot) must have discarded its copy.
+        assert (
+            tmp_path / "data" / "shard-00" / "interval-index.json.part"
+        ).exists(), "expected the crash to leave a .part behind"
+        part = tmp_path / "snapshot" / "shard-00" / "interval-index.json.part"
+        assert not part.exists(), "recovery must discard the orphaned .part"
+        recovered.close()
+
+    def test_torn_index_write_recovers_exact(self, tmp_path):
+        # The second persist (the unseq seal) tears mid-write: the .part
+        # holds half an index while the published file is one seal behind.
+        plan = FaultPlan([FaultRule(site="index.write", kind="torn", nth=2, arg=0.5)])
+        config, engine = self._build_unflushed(tmp_path, FaultInjector(plan))
+        engine.flush_all()  # persist #1: the sealed sequence file
+        for t in range(0, 20, 2):
+            engine.write("d", "s", t, -float(t))  # late → unseq memtable
+        with pytest.raises(InjectedCrashError):
+            engine.flush_all()  # persist #2 (the unseq seal) tears
+        recovered = _recover(tmp_path, config)
+        self._assert_exact(recovered)
+        outcomes = self._outcomes(recovered)
+        assert outcomes.get("rebuilt-stale", 0) >= 1
+        recovered.close()
+
+    def test_clean_shutdown_validates_without_rebuilding(self, tmp_path):
+        config, engine = self._build(tmp_path)
+        engine.close()
+        recovered = StorageEngine.open(config)
+        self._assert_exact(recovered)
+        assert self._outcomes(recovered).get("validated") == 1
         recovered.close()
 
 

@@ -1,30 +1,133 @@
-"""Compaction: query equivalence, file consolidation, fast-path restoration."""
+"""Compaction policies: one shared correctness contract, per-policy behaviour.
+
+``CompactionContract`` holds the tests *every* scheduling policy must pass
+(reader invisibility, device preservation, report accounting, repeated
+passes changing nothing readers can see); ``TestFullMergePolicy`` and
+``TestOverlapDrivenPolicy`` inherit it and pin each policy's own file
+selection on top.  A new policy earns its place by subclassing the
+contract, not by re-proving correctness ad hoc.
+"""
 
 from __future__ import annotations
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.iotdb import IoTDBConfig, Space, StorageEngine
+from repro.iotdb import (
+    FullMergePolicy,
+    IoTDBConfig,
+    OverlapDrivenPolicy,
+    Space,
+    StorageEngine,
+    policy_from_config,
+)
 from tests.conftest import make_delayed_stream
 
 
-def _engine(threshold=200, data_dir=None):
-    return StorageEngine.create(
-        IoTDBConfig(memtable_flush_threshold=threshold, page_size=64, data_dir=data_dir)
-    )
+class CompactionContract:
+    """The correctness contract every compaction policy must satisfy."""
 
+    policy_name: str = ""  # overridden per policy class
 
-class TestCompaction:
+    def _engine(self, threshold=200, data_dir=None, **kw):
+        return StorageEngine.create(
+            IoTDBConfig(
+                memtable_flush_threshold=threshold,
+                page_size=64,
+                data_dir=data_dir,
+                compaction_policy=self.policy_name,
+                **kw,
+            )
+        )
+
     def test_noop_when_nothing_sealed(self):
-        engine = _engine()
+        engine = self._engine()
         report = engine.compact()
+        assert report.policy == self.policy_name
         assert report.files_before == 0
         assert report.files_after == 0
+        assert report.files_selected == 0
         assert report.points_written == 0
 
+    def test_report_accounting_is_consistent(self):
+        engine = self._engine(threshold=100)
+        for t in range(250):
+            engine.write("d", "s", t, float(t))
+        for t in range(0, 60, 2):
+            engine.write("d", "s", t, -float(t))
+        engine.flush_all()
+        report = engine.compact()
+        assert report.policy == self.policy_name
+        assert report.files_selected + report.files_skipped == report.files_before
+        produced = 1 if report.points_written else 0
+        expected_after = report.files_before - report.files_selected + (
+            produced if report.files_selected else 0
+        )
+        assert report.files_after == expected_after
+        counts = engine.sealed_file_count()
+        assert counts[Space.SEQUENCE] + counts[Space.UNSEQUENCE] == report.files_after
+
+    def test_multiple_devices_preserved(self):
+        engine = self._engine(threshold=100)
+        for t in range(150):
+            engine.write("d1", "s", t, float(t))
+            engine.write("d2", "s", t, float(-t))
+        engine.flush_all()
+        engine.compact()
+        assert engine.query("d1", "s", 0, 150).values == [float(t) for t in range(150)]
+        assert engine.query("d2", "s", 0, 150).values == [float(-t) for t in range(150)]
+
+    def test_unseq_overwrites_win_through_compaction(self):
+        engine = self._engine(threshold=100)
+        for t in range(100):
+            engine.write("d", "s", t, 1.0)  # sealed seq; watermark 99
+        for t in range(30):
+            engine.write("d", "s", t, 2.0)  # unseq rewrites
+        engine.flush_all()
+        engine.compact()
+        result = engine.query("d", "s", 0, 100)
+        assert result.values[:30] == [2.0] * 30
+        assert result.values[30:] == [1.0] * 70
+
+    def test_repeated_passes_are_reader_invisible(self):
+        engine = self._engine(threshold=75)
+        for t in range(300):
+            engine.write("d", "s", t, float(t))
+        for t in range(0, 80, 3):
+            engine.write("d", "s", t, -float(t))
+        engine.flush_all()
+        before = engine.query("d", "s", 0, 300)
+        engine.compact()
+        engine.compact()  # a second pass must change nothing readers see
+        after = engine.query("d", "s", 0, 300)
+        assert after.timestamps == before.timestamps
+        assert after.values == before.values
+
+    # Each policy class wraps this in its own @given test: hypothesis
+    # requires the decorated method to be unique per executor class.
+    def _check_query_equivalence(self, seed, threshold):
+        stream = make_delayed_stream(600, lam=0.1, seed=seed)
+        engine = self._engine(threshold=threshold)
+        for t, v in zip(stream.timestamps, stream.values):
+            engine.write("d", "s", t, v)
+        engine.flush_all()
+        before = engine.query("d", "s", 0, 600)
+        engine.compact()
+        after = engine.query("d", "s", 0, 600)
+        assert after.timestamps == before.timestamps
+        assert after.values == before.values
+
+
+class TestFullMergePolicy(CompactionContract):
+    policy_name = "full"
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 50), threshold=st.sampled_from([75, 150, 400]))
+    def test_query_equivalence_property(self, seed, threshold):
+        self._check_query_equivalence(seed, threshold)
+
     def test_consolidates_files(self):
-        engine = _engine(threshold=100)
+        engine = self._engine(threshold=100)
         for t in range(550):
             engine.write("d", "s", t, float(t))
         engine.flush_all()
@@ -32,28 +135,26 @@ class TestCompaction:
         report = engine.compact()
         assert report.files_before == 6
         assert report.files_after == 1
+        assert report.files_selected == 6
+        assert report.files_skipped == 0
         assert report.points_written == 550
         assert engine.sealed_file_count()[Space.SEQUENCE] == 1
-        result = engine.query("d", "s", 0, 550)
-        assert result.timestamps == list(range(550))
+        assert engine.query("d", "s", 0, 550).timestamps == list(range(550))
 
-    def test_unseq_overwrites_win_through_compaction(self):
-        engine = _engine(threshold=100)
+    def test_unseq_space_emptied(self):
+        engine = self._engine(threshold=100)
         for t in range(100):
-            engine.write("d", "s", t, 1.0)  # sealed seq; watermark 99
+            engine.write("d", "s", t, 1.0)
         for t in range(30):
-            engine.write("d", "s", t, 2.0)  # unseq rewrites
+            engine.write("d", "s", t, 2.0)
         engine.flush_all()
         assert engine.sealed_file_count()[Space.UNSEQUENCE] == 1
         report = engine.compact()
         assert report.unseq_files_merged == 1
         assert engine.sealed_file_count()[Space.UNSEQUENCE] == 0
-        result = engine.query("d", "s", 0, 100)
-        assert result.values[:30] == [2.0] * 30
-        assert result.values[30:] == [1.0] * 70
 
     def test_restores_aggregation_fast_path(self):
-        engine = _engine(threshold=100)
+        engine = self._engine(threshold=100)
         for t in range(100):
             engine.write("d", "s", t, 1.0)
         for t in range(30):
@@ -67,18 +168,8 @@ class TestCompaction:
         assert after.count == before.count
         assert after.sum == pytest.approx(before.sum)
 
-    def test_multiple_devices_preserved(self):
-        engine = _engine(threshold=100)
-        for t in range(150):
-            engine.write("d1", "s", t, float(t))
-            engine.write("d2", "s", t, float(-t))
-        engine.flush_all()
-        engine.compact()
-        assert engine.query("d1", "s", 0, 150).values == [float(t) for t in range(150)]
-        assert engine.query("d2", "s", 0, 150).values == [float(-t) for t in range(150)]
-
     def test_on_disk_files_replaced(self, tmp_path):
-        engine = _engine(threshold=100, data_dir=tmp_path / "data")
+        engine = self._engine(threshold=100, data_dir=tmp_path / "data")
         for t in range(350):
             engine.write("d", "s", t, float(t))
         engine.flush_all()
@@ -91,16 +182,122 @@ class TestCompaction:
         assert engine.query("d", "s", 0, 350).timestamps == list(range(350))
         engine.close()
 
+
+class TestOverlapDrivenPolicy(CompactionContract):
+    policy_name = "overlap"
+
     @settings(max_examples=15, deadline=None)
     @given(seed=st.integers(0, 50), threshold=st.sampled_from([75, 150, 400]))
     def test_query_equivalence_property(self, seed, threshold):
-        stream = make_delayed_stream(600, lam=0.1, seed=seed)
-        engine = _engine(threshold=threshold)
-        for t, v in zip(stream.timestamps, stream.values):
+        self._check_query_equivalence(seed, threshold)
+
+    def _staged_engine(self, **kw):
+        """An engine whose files are sealed one explicit flush at a time."""
+        return self._engine(threshold=10_000, **kw)
+
+    def _seal(self, engine, points):
+        for t, v in points:
             engine.write("d", "s", t, v)
         engine.flush_all()
-        before = engine.query("d", "s", 0, 600)
-        engine.compact()
-        after = engine.query("d", "s", 0, 600)
-        assert after.timestamps == before.timestamps
-        assert after.values == before.values
+
+    def test_low_overlap_files_left_alone(self):
+        # One unseq file overlapping a single seq file scores 1 < 2: the
+        # pass must leave everything exactly in place.
+        engine = self._staged_engine()
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 2.0) for t in range(0, 30)])  # unseq, score 1
+        report = engine.compact()
+        assert report.files_selected == 0
+        assert report.files_skipped == 2
+        assert report.files_after == 2
+        assert report.points_written == 0
+        assert engine.sealed_file_count()[Space.UNSEQUENCE] == 1
+        result = engine.query("d", "s", 0, 100)
+        assert result.values[:30] == [2.0] * 30
+
+    def test_high_overlap_unseq_is_merged(self):
+        # An unseq file straddling two seq files scores 2 >= 2: it and the
+        # files it overlaps are merged into one sequence file.
+        engine = self._staged_engine()
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 1.0) for t in range(100, 200)])
+        self._seal(engine, [(t, 9.0) for t in range(50, 151, 10)])  # unseq
+        report = engine.compact()
+        assert report.files_selected == 3
+        assert report.files_skipped == 0
+        assert report.files_after == 1
+        assert engine.sealed_file_count() == {Space.SEQUENCE: 1, Space.UNSEQUENCE: 0}
+        result = engine.query("d", "s", 0, 200)
+        expected = {t: (9.0 if 50 <= t <= 150 and t % 10 == 0 else 1.0)
+                    for t in range(200)}
+        assert result.values == [expected[t] for t in range(200)]
+
+    def test_partial_pass_skips_disjoint_low_overlap_unseq(self):
+        engine = self._staged_engine()
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 1.0) for t in range(100, 200)])
+        self._seal(engine, [(t, 9.0) for t in range(50, 151, 10)])  # score 2
+        self._seal(engine, [(t, 5.0) for t in range(0, 11, 5)])  # score 1
+        report = engine.compact()
+        assert report.files_selected == 3
+        assert report.files_skipped == 1
+        assert engine.sealed_file_count() == {Space.SEQUENCE: 1, Space.UNSEQUENCE: 1}
+        result = engine.query("d", "s", 0, 200)
+        expected = {t: 1.0 for t in range(200)}
+        expected.update({t: 9.0 for t in range(50, 151, 10)})
+        expected.update({t: 5.0 for t in range(0, 11, 5)})
+        assert result.values == [expected[t] for t in range(200)]
+
+    def test_safety_closure_pulls_in_earlier_overlapping_unseq(self):
+        # V (early, low-overlap) shares t=10 with U (late, high-overlap).
+        # If the pass merged U without V, the surviving V — fresher than
+        # the merged output — would resurrect its stale value at t=10.
+        engine = self._staged_engine()
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 1.0) for t in range(100, 200)])
+        self._seal(engine, [(t, -1.0) for t in range(0, 21, 5)])  # V, score 1
+        self._seal(engine, [(10, 7.0), (120, 7.0)])  # U, score 2, overlaps V
+        report = engine.compact()
+        assert report.files_selected == 4, "the closure must pull V in"
+        assert report.files_after == 1
+        result = engine.query("d", "s", 10, 11)
+        assert result.values == [7.0], "U's overwrite must survive the merge"
+
+    def test_threshold_knob_raises_the_bar(self):
+        engine = self._staged_engine(compaction_overlap_threshold=3)
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 1.0) for t in range(100, 200)])
+        self._seal(engine, [(t, 9.0) for t in range(50, 151, 10)])  # score 2 < 3
+        report = engine.compact()
+        assert report.files_selected == 0
+        assert report.files_after == 3
+
+    def test_explicit_policy_overrides_config(self):
+        engine = self._staged_engine()
+        self._seal(engine, [(t, 1.0) for t in range(100)])
+        self._seal(engine, [(t, 2.0) for t in range(0, 30)])  # score 1
+        report = engine.compact(FullMergePolicy())
+        assert report.policy == "full"
+        assert report.files_after == 1
+
+
+class TestPolicyFromConfig:
+    def test_full_is_the_default(self):
+        policy = policy_from_config(IoTDBConfig())
+        assert isinstance(policy, FullMergePolicy)
+        assert policy.name == "full"
+
+    def test_overlap_carries_the_threshold(self):
+        policy = policy_from_config(
+            IoTDBConfig(compaction_policy="overlap", compaction_overlap_threshold=5)
+        )
+        assert isinstance(policy, OverlapDrivenPolicy)
+        assert policy.threshold == 5
+
+    def test_invalid_policy_rejected(self):
+        from repro.errors import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            IoTDBConfig(compaction_policy="lru")
+        with pytest.raises(InvalidParameterError):
+            IoTDBConfig(compaction_overlap_threshold=0)
