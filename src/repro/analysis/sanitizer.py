@@ -238,7 +238,10 @@ class SanitizingSorter:
         self.name = getattr(inner, "name", type(inner).__name__)
         self.stable = getattr(inner, "stable", False)
 
-    def sort(self, timestamps, values=None, stats=None):
+    def sort(self, timestamps, values=None, stats=None, *, series=None):
+        # ``series`` is accepted for interface parity and deliberately
+        # dropped: sanitized sorts always run the full algorithm with no
+        # cross-call state, so every checked invocation is self-contained.
         from repro.core.instrumentation import SortStats
         from repro.errors import LengthMismatchError
 
@@ -253,7 +256,9 @@ class SanitizingSorter:
             run_sanitized(self.inner, timestamps, values, stats)
         return stats
 
-    def timed_sort(self, timestamps, values=None, *, obs=None, site="direct"):
+    def timed_sort(
+        self, timestamps, values=None, *, obs=None, site="direct", series=None
+    ):
         from repro.bench.timing import Timer
         from repro.core.instrumentation import SortStats, TimedResult
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.analysis.concurrency import apply_guards, create_lock
 from repro.core.instrumentation import SortStats
 from repro.errors import InvalidParameterError
 
@@ -122,8 +123,12 @@ def find_block_size(
         stats: optional counters to update alongside the returned result.
 
     Returns:
-        A :class:`BlockSizeResult`; ``block_size`` is capped at ``len(ts)``,
-        which degenerates Backward-Sort into plain Quicksort (Prop. 5).
+        A :class:`BlockSizeResult`; ``block_size`` is capped at
+        ``max(len(ts), 1)``, which degenerates Backward-Sort into plain
+        Quicksort (Prop. 5).  Empty and single-element inputs therefore
+        always yield ``block_size == 1`` with zero loops — they have no
+        pair to probe, and an uncapped ``l0`` here used to leak a block
+        size larger than the array into callers that cache or reuse it.
     """
     if not 0.0 < theta <= 1.0:
         raise InvalidParameterError(f"theta must be in (0, 1], got {theta}")
@@ -148,10 +153,74 @@ def find_block_size(
         else:
             factor = 2 ** max(1, math.ceil(math.log2(alpha / theta)))
             size *= factor
-    result.block_size = min(size, n) if n else l0
+    # One cap for every exit path: the zero-iteration cases (n == 0 and
+    # n < l0) land here too, so an empty array can never surface an
+    # uncapped l0 as its block size.
+    result.block_size = min(size, max(n, 1))
     result.scanned_points = local.scanned_points
     if stats is not None:
         stats.scanned_points += local.scanned_points
         stats.comparisons += local.comparisons
         stats.block_size_loops += result.loops
     return result
+
+
+class BlockSizeCache:
+    """Remembered block sizes, keyed by series identity.
+
+    A steady-state flush sorts the same series over and over with the same
+    arrival pattern, so the ``L`` discovered last time is almost always the
+    right starting point this time.  The cache stores the last chosen ``L``
+    per series; :meth:`repro.core.backward_sort.BackwardSorter` revalidates
+    a hit with one cheap boundary probe before trusting it, so a series
+    whose disorder shifts falls back to the full search automatically.
+
+    Eviction is insertion-ordered FIFO at ``max_entries`` — the working set
+    is "every live series of one engine", so in practice eviction only
+    protects against unbounded ad-hoc keys.
+
+    Concurrency discipline: ``_lock`` guards the mapping; it is a leaf lock
+    (no other lock is ever taken while holding it).
+    """
+
+    #: Lock discipline for the ``guarded-by`` rule and runtime sanitizer.
+    GUARDED_BY = {"_cache": "_lock"}
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise InvalidParameterError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._max_entries = max_entries
+        self._lock = create_lock("BlockSizeCache._lock")
+        self._cache: dict[str, int] = {}
+        apply_guards(self)
+
+    def get(self, series: str) -> int | None:
+        """The last remembered ``L`` for ``series``, or ``None``."""
+        with self._lock:
+            return self._cache.get(series)
+
+    def put(self, series: str, block_size: int) -> None:
+        """Remember ``block_size`` for ``series`` (evicting FIFO if full)."""
+        if block_size < 1:
+            raise InvalidParameterError(
+                f"block_size must be >= 1, got {block_size}"
+            )
+        with self._lock:
+            self._cache.pop(series, None)
+            while len(self._cache) >= self._max_entries:
+                self._cache.pop(next(iter(self._cache)))
+            self._cache[series] = block_size
+
+    def invalidate(self, series: str) -> None:
+        with self._lock:
+            self._cache.pop(series, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)

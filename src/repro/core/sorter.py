@@ -95,6 +95,8 @@ class Sorter(ABC):
         timestamps: list,
         values: list | None = None,
         stats: SortStats | None = None,
+        *,
+        series: str | None = None,
     ) -> SortStats:
         """Sort ``timestamps`` (and ``values`` alongside) in place.
 
@@ -105,6 +107,11 @@ class Sorter(ABC):
                 that move accounting stays comparable across call sites.
             stats: counters to update; a fresh :class:`SortStats` is created
                 when not supplied.
+            series: optional stable identity of the time series being sorted
+                (e.g. ``"device.sensor"``).  Sorters that keep per-series
+                state across calls — Backward-Sort's block-size cache — key
+                it on this; ``None`` means "no identity", and such calls use
+                no cross-call state.
 
         Returns:
             The stats object that was updated.
@@ -125,8 +132,19 @@ class Sorter(ABC):
             if hook is not None:
                 hook(self, timestamps, values, stats)
             else:
-                self._sort(timestamps, values, stats)
+                self._sort_with_series(timestamps, values, stats, series)
         return stats
+
+    def _sort_with_series(
+        self, ts: list, vs: list, stats: SortStats, series: str | None
+    ) -> None:
+        """Dispatch point for sorters with per-series state.
+
+        The base implementation drops ``series`` and delegates to
+        :meth:`_sort`; stateful sorters override this instead of widening
+        ``_sort`` so every existing subclass keeps its three-argument body.
+        """
+        self._sort(ts, vs, stats)
 
     def timed_sort(
         self,
@@ -135,6 +153,7 @@ class Sorter(ABC):
         *,
         obs=None,
         site: str = "direct",
+        series: str | None = None,
     ) -> TimedResult:
         """Run :meth:`sort` and report wall-clock seconds with the stats.
 
@@ -147,6 +166,7 @@ class Sorter(ABC):
                 :attr:`obs` set at construction, else to no observability.
             site: the call-site label — ``"flush"``, ``"query"`` or
                 ``"direct"``.
+            series: forwarded to :meth:`sort` (per-series sorter state).
         """
         # Imported lazily: timing is owned by repro.bench.timing (wall-clock
         # reads are banned in hot-path modules) and most sort calls never
@@ -158,14 +178,14 @@ class Sorter(ABC):
         stats = SortStats()
         if obs is None or not obs.enabled:
             with Timer() as timer:
-                self.sort(timestamps, values, stats)
+                self.sort(timestamps, values, stats, series=series)
             return TimedResult(seconds=timer.seconds, stats=stats)
         from repro.obs.bridge import record_sort_stats
 
         points = len(timestamps)
         with obs.span("sort", sorter=self.name, site=site, points=points):
             with Timer(obs.clock) as timer:
-                self.sort(timestamps, values, stats)
+                self.sort(timestamps, values, stats, series=series)
         record_sort_stats(
             obs, stats, sorter=self.name, site=site,
             seconds=timer.seconds, points=points,

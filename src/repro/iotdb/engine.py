@@ -312,6 +312,19 @@ class StorageEngine:
             points, flushes = shard.write_batch(device, sensor, timestamps, values)
             span.set(points=points, flushes_triggered=flushes)
 
+    def wal_stats(self) -> dict[str, int]:
+        """Cumulative WAL append accounting summed over every shard.
+
+        ``bytes_appended`` / ``flushes`` as in :meth:`StorageShard.wal_stats`;
+        zeros when the WAL is disabled.
+        """
+        totals = {"bytes_appended": 0, "flushes": 0}
+        for shard in self._shards:
+            stats = shard.wal_stats()
+            totals["bytes_appended"] += stats["bytes_appended"]
+            totals["flushes"] += stats["flushes"]
+        return totals
+
     # -- flushing --------------------------------------------------------------
 
     def drain_flushes(self) -> list[FlushReport]:

@@ -114,7 +114,9 @@ def flush_memtable(
             with obs.span(
                 "flush.chunk", device=device, sensor=sensor, points=ingested
             ) as chunk_span:
-                timed = tvlist.sort_in_place(sorter, obs=obs, site="flush")
+                timed = tvlist.sort_in_place(
+                    sorter, obs=obs, site="flush", series=f"{device}.{sensor}"
+                )
                 ts = tvlist.timestamps()
                 vs = tvlist.values()
                 ts, vs = dedupe_sorted(ts, vs)

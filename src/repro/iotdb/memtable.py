@@ -81,10 +81,45 @@ class MemTable:
             self._writes_counter.inc()
 
     def write_batch(self, device: str, sensor: str, timestamps, values) -> None:
+        """Ingest a whole batch atomically: all points land, or none do.
+
+        One lock acquisition, one state check, then apply-all.  The state is
+        checked exactly once for the whole batch — the pre-fix per-point
+        loop reacquired the lock for every point, so a ``mark_flushing``
+        racing in mid-batch would half-apply it (accept a prefix, reject the
+        rest) with no way for the caller to tell how far it got.  Validation
+        is also all-or-nothing: timestamps are checked up front and
+        :meth:`TVList.put_all` validates every value before mutating, so a
+        bad record anywhere in the batch leaves the memtable untouched.
+        """
         if len(timestamps) != len(values):
             raise InvalidParameterError("timestamps and values lengths differ")
-        for t, v in zip(timestamps, values):
-            self.write(device, sensor, t, v)
+        if not len(timestamps):
+            return
+        for timestamp in timestamps:
+            if not isinstance(timestamp, int) or isinstance(timestamp, bool):
+                raise InvalidParameterError(
+                    f"timestamp must be int, got {type(timestamp).__name__}"
+                )
+        with self._lock:
+            if self.state is not MemTableState.WORKING:
+                raise MemTableFlushedError(
+                    f"memtable is {self.state.value}; writes are rejected"
+                )
+            key = (device, sensor)
+            tvlist = self._chunks.get(key)
+            created = tvlist is None
+            if created:
+                dtype = infer_dtype(values[0])
+                tvlist = tvlist_for(dtype, array_size=self.config.array_size)
+            # put_all validates every value before appending any, so a
+            # validation failure here leaves both the TVList and (via the
+            # deferred registration below) the chunk map unchanged.
+            tvlist.put_all(timestamps, values)
+            if created:
+                self._chunks[key] = tvlist
+            self._total_points += len(timestamps)
+            self._writes_counter.inc(len(timestamps))
 
     # -- state -------------------------------------------------------------
 

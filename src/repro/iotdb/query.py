@@ -128,7 +128,7 @@ class TimeRangeQueryExecutor:
                     continue
                 stats.sources_visited += 1
                 ts, vs, timed = tvlist.get_sorted_arrays(
-                    self._sorter, obs=obs, site="query"
+                    self._sorter, obs=obs, site="query", series=f"{device}.{sensor}"
                 )
                 stats.sort_seconds += timed.seconds
                 stats.sort_stats.merge(timed.stats)

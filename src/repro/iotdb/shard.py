@@ -780,6 +780,25 @@ class StorageShard:
                 for wal in self._wals.values():
                     wal.close()
 
+    def wal_stats(self) -> dict[str, int]:
+        """Cumulative WAL append accounting across this shard's spaces.
+
+        ``bytes_appended`` / ``flushes`` sum :meth:`SegmentedWal.stats` over
+        the sequence and unsequence logs; zeros when the WAL is disabled.
+        Segment drops never decrease these — they feed the ``wal_bytes/``
+        and ``ingest/path`` bench cells.
+        """
+        totals = {"bytes_appended": 0, "flushes": 0}
+        with self._lock:
+            if self._wals is None:
+                return totals
+            wals = list(self._wals.values())
+        for wal in wals:
+            stats = wal.stats()
+            totals["bytes_appended"] += stats["bytes_appended"]
+            totals["flushes"] += stats["flushes"]
+        return totals
+
     # -- recovery ----------------------------------------------------------------
 
     def recover_from_wal(self) -> int:

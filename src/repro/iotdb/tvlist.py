@@ -14,6 +14,15 @@ in place over the backing arrays through the same index arithmetic; the
 flatten/write-back here costs the same for every algorithm, so relative
 comparisons are preserved (DESIGN.md §4).
 
+Column storage is pluggable per subclass: the base class backs both columns
+with plain Python lists, while the typed subclasses in
+:mod:`repro.iotdb.typed_tvlists` declare :data:`array.array` typecodes
+(``'q'`` for int64 times and integer values, ``'d'`` for float values) so a
+column is one contiguous typed buffer per backing array.  Bulk operations —
+:meth:`TVList.put_all`, :meth:`TVList._write_back` — move whole slices
+between the flat arrays and the backing arrays instead of decomposing every
+index through ``divmod``.
+
 ``get_sorted_arrays`` is the *query* path: it never mutates the list (IoTDB
 clones the working TVList for queries).  ``sort_in_place`` is the *flush*
 path.  Both report sort timing and operation counts.
@@ -21,7 +30,8 @@ path.  Both report sort timing and operation counts.
 
 from __future__ import annotations
 
-from typing import Iterator
+from array import array
+from typing import ClassVar, Iterator
 
 from repro.core.instrumentation import SortStats, TimedResult
 from repro.core.sorter import Sorter
@@ -39,16 +49,49 @@ class TVList:
 
     dtype: TSDataType | None = None
 
+    #: ``array.array`` typecode backing the time / value columns; ``None``
+    #: keeps the column as a plain Python list (accepts any value).  The
+    #: typed subclasses in :mod:`repro.iotdb.typed_tvlists` set these so a
+    #: numeric column is one contiguous typed buffer per backing array.
+    _TIME_TYPECODE: ClassVar[str | None] = None
+    _VALUE_TYPECODE: ClassVar[str | None] = None
+
     def __init__(self, array_size: int = 32) -> None:
         if array_size < 1:
             raise InvalidParameterError(f"array_size must be >= 1, got {array_size}")
         self._array_size = array_size
-        self._time_arrays: list[list[int]] = []
-        self._value_arrays: list[list] = []
+        self._time_arrays: list = []
+        self._value_arrays: list = []
         self._size = 0
         self._max_time_seen: int | None = None
         self._min_time_seen: int | None = None
         self._sorted = True
+
+    # -- backing-array storage --------------------------------------------
+
+    def _new_time_array(self):
+        """One fixed-size backing array for the time column."""
+        if self._TIME_TYPECODE is None:
+            return [0] * self._array_size
+        return array(self._TIME_TYPECODE, (0,)) * self._array_size
+
+    def _new_value_array(self):
+        """One fixed-size backing array for the value column."""
+        if self._VALUE_TYPECODE is None:
+            return [None] * self._array_size
+        return array(self._VALUE_TYPECODE, (0,)) * self._array_size
+
+    def _as_time_buffer(self, ts):
+        """A slice-assignable buffer matching the time-column storage."""
+        if self._TIME_TYPECODE is None:
+            return ts if isinstance(ts, list) else list(ts)
+        return array(self._TIME_TYPECODE, ts)
+
+    def _as_value_buffer(self, vs):
+        """A slice-assignable buffer matching the value-column storage."""
+        if self._VALUE_TYPECODE is None:
+            return vs if isinstance(vs, list) else list(vs)
+        return array(self._VALUE_TYPECODE, vs)
 
     # -- ingestion ---------------------------------------------------------
 
@@ -57,8 +100,8 @@ class TVList:
         self._validate_value(value)
         offset = self._size % self._array_size
         if offset == 0:
-            self._time_arrays.append([0] * self._array_size)
-            self._value_arrays.append([None] * self._array_size)
+            self._time_arrays.append(self._new_time_array())
+            self._value_arrays.append(self._new_value_array())
         self._time_arrays[-1][offset] = timestamp
         self._value_arrays[-1][offset] = value
         self._size += 1
@@ -70,11 +113,52 @@ class TVList:
             self._min_time_seen = timestamp
 
     def put_all(self, timestamps, values) -> None:
-        """Append many points (lengths must match)."""
-        if len(timestamps) != len(values):
+        """Append many points at once — the bulk ingest path.
+
+        All-or-nothing on validation: every value is validated *before* any
+        mutation, so a bad value mid-batch leaves the list untouched (the
+        memtable's atomic ``write_batch`` relies on this).  The batch is
+        slice-filled into whole backing arrays, and the min/max/sorted
+        bookkeeping is updated once per batch rather than per point.
+        """
+        n = len(timestamps)
+        if n != len(values):
             raise InvalidParameterError("timestamps and values lengths differ")
-        for t, v in zip(timestamps, values):
-            self.put(t, v)
+        if n == 0:
+            return
+        for value in values:
+            self._validate_value(value)
+        tbuf = self._as_time_buffer(timestamps)
+        vbuf = self._as_value_buffer(values)
+        asize = self._array_size
+        pos = 0
+        while pos < n:
+            offset = self._size % asize
+            if offset == 0:
+                self._time_arrays.append(self._new_time_array())
+                self._value_arrays.append(self._new_value_array())
+            take = min(asize - offset, n - pos)
+            self._time_arrays[-1][offset : offset + take] = tbuf[pos : pos + take]
+            self._value_arrays[-1][offset : offset + take] = vbuf[pos : pos + take]
+            self._size += take
+            pos += take
+        if self._sorted:
+            # The list stays sorted only if the batch itself never goes back
+            # in time and starts at or after everything seen so far.  ``prev``
+            # tracks the running max, which *is* the previous element while
+            # the scan stays non-decreasing.
+            prev = self._max_time_seen
+            for t in timestamps:
+                if prev is not None and t < prev:
+                    self._sorted = False
+                    break
+                prev = t
+        mn = min(timestamps)
+        mx = max(timestamps)
+        if self._max_time_seen is None or mx > self._max_time_seen:
+            self._max_time_seen = mx
+        if self._min_time_seen is None or mn < self._min_time_seen:
+            self._min_time_seen = mn
 
     def _validate_value(self, value) -> None:
         """Subclass hook: reject values of the wrong type."""
@@ -148,38 +232,42 @@ class TVList:
     # -- sorting -----------------------------------------------------------
 
     def get_sorted_arrays(
-        self, sorter: Sorter, *, obs=None, site: str = "query"
+        self, sorter: Sorter, *, obs=None, site: str = "query", series=None
     ) -> tuple[list[int], list, TimedResult]:
         """Query path: sorted copies of (times, values) without mutation.
 
         Already-sorted lists skip the sort entirely (IoTDB checks the same
         flag); the returned :class:`TimedResult` then reports zero cost.
-        ``obs``/``site`` flow through to :meth:`Sorter.timed_sort` so the
-        sort lands in the span tree and the per-sorter metrics.
+        ``obs``/``site``/``series`` flow through to :meth:`Sorter.timed_sort`
+        so the sort lands in the span tree and the per-sorter metrics, and a
+        block-size-caching sorter can key its cache by series.
         """
         ts = self.timestamps()
         vs = self.values()
         if self._sorted:
             return ts, vs, TimedResult(seconds=0.0, stats=SortStats())
         ts, vs = dedupe_arrival(ts, vs)
-        timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
+        timed = sorter.timed_sort(ts, vs, obs=obs, site=site, series=series)
         return ts, vs, timed
 
     def sort_in_place(
-        self, sorter: Sorter, *, obs=None, site: str = "flush"
+        self, sorter: Sorter, *, obs=None, site: str = "flush", series=None
     ) -> TimedResult:
         """Flush path: sort the backing arrays, returning timing + counters.
 
         Duplicate timestamps are collapsed (last arrival wins) *before* the
         sort, physically shrinking the list — see :func:`dedupe_arrival` for
-        why this must happen pre-sort.
+        why this must happen pre-sort.  ``series`` identifies the column for
+        sorters that cache state across consecutive sorts of the same series
+        (:class:`~repro.core.backward_sort.BackwardSorter`'s block-size
+        cache).
         """
         if self._sorted:
             return TimedResult(seconds=0.0, stats=SortStats())
         ts = self.timestamps()
         vs = self.values()
         ts, vs = dedupe_arrival(ts, vs)
-        timed = sorter.timed_sort(ts, vs, obs=obs, site=site)
+        timed = sorter.timed_sort(ts, vs, obs=obs, site=site, series=series)
         self._shrink_to(len(ts))
         self._write_back(ts, vs)
         self._sorted = True
@@ -194,10 +282,22 @@ class TVList:
         del self._value_arrays[arrays:]
 
     def _write_back(self, ts: list[int], vs: list) -> None:
-        for i in range(self._size):
-            arr, off = divmod(i, self._array_size)
-            self._time_arrays[arr][off] = ts[i]
-            self._value_arrays[arr][off] = vs[i]
+        """Copy the flat sorted arrays back over the backing arrays.
+
+        Whole-array slice assignment instead of a per-element ``divmod``
+        loop: each backing array receives its span of the flat arrays in
+        one bulk copy (a C-speed ``memcpy`` for typed columns).
+        """
+        tbuf = self._as_time_buffer(ts)
+        vbuf = self._as_value_buffer(vs)
+        asize = self._array_size
+        for index in range(len(self._time_arrays)):
+            lo = index * asize
+            hi = min(lo + asize, self._size)
+            if lo >= hi:
+                break
+            self._time_arrays[index][0 : hi - lo] = tbuf[lo:hi]
+            self._value_arrays[index][0 : hi - lo] = vbuf[lo:hi]
 
 
 def dedupe_arrival(ts: list[int], vs: list) -> tuple[list[int], list]:

@@ -6,6 +6,18 @@ custom basic type such as DoubleTVList."  Python has no template-erasure
 cost, so the per-type classes here earn their keep through *validation*:
 each rejects values that its on-disk encoders could not round-trip, failing
 at ingestion time instead of at flush time.
+
+They also earn their keep through *storage*: every typed list backs its
+time column with an ``array('q')`` (int64, matching IoTDB's timestamp
+type), and the numeric lists back their value column with ``array('q')``
+(INT32/INT64) or ``array('d')`` (FLOAT/DOUBLE) — one contiguous typed
+buffer per backing array instead of a list of boxed objects, which is what
+makes the bulk slice-fill paths in :class:`~repro.iotdb.tvlist.TVList`
+C-speed copies.  BOOLEAN and TEXT values keep plain list storage (no
+fixed-width typecode represents them losslessly).  One visible consequence:
+FLOAT/DOUBLE columns store every value as a C double, so an ``int`` written
+into an existing float column reads back as ``float`` — exactly what the
+on-disk encoders already did at flush time.
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ class IntTVList(TVList):
     """32-bit integer values (IoTDB INT32)."""
 
     dtype = TSDataType.INT32
+    _TIME_TYPECODE = "q"
+    _VALUE_TYPECODE = "q"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, int) or isinstance(value, bool):
@@ -34,6 +48,8 @@ class LongTVList(TVList):
     """64-bit integer values (IoTDB INT64)."""
 
     dtype = TSDataType.INT64
+    _TIME_TYPECODE = "q"
+    _VALUE_TYPECODE = "q"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, int) or isinstance(value, bool):
@@ -46,6 +62,8 @@ class FloatTVList(TVList):
     """Single-precision float values (IoTDB FLOAT); stored as Python float."""
 
     dtype = TSDataType.FLOAT
+    _TIME_TYPECODE = "q"
+    _VALUE_TYPECODE = "d"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -56,6 +74,8 @@ class DoubleTVList(TVList):
     """Double-precision float values (IoTDB DOUBLE)."""
 
     dtype = TSDataType.DOUBLE
+    _TIME_TYPECODE = "q"
+    _VALUE_TYPECODE = "d"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -66,6 +86,7 @@ class BooleanTVList(TVList):
     """Boolean values (IoTDB BOOLEAN)."""
 
     dtype = TSDataType.BOOLEAN
+    _TIME_TYPECODE = "q"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, bool):
@@ -76,6 +97,7 @@ class TextTVList(TVList):
     """String values (IoTDB TEXT)."""
 
     dtype = TSDataType.TEXT
+    _TIME_TYPECODE = "q"
 
     def _validate_value(self, value) -> None:
         if not isinstance(value, str):

@@ -1,16 +1,30 @@
 """Write-ahead log: crash durability for the memtable write path.
 
-Each record is::
+Each frame is::
 
-    uint32 length | payload | uint32 crc32(payload)
+    uint32 header | payload | uint32 crc32(payload)
 
-with the payload a JSON array ``[device, sensor, timestamp, value]``.  The
-engine appends a record before acknowledging a write, and ``append``
-flushes the underlying file so an acknowledged write is durable even if
-the process dies immediately afterwards (the ``repro.faults`` crash sweep
-is what turned the missing flush into a pinned regression test).  Replay
-stops cleanly at the first torn record (a crash mid-append), surfacing
-everything durable before it.
+The header's low 31 bits are the payload length; the top bit distinguishes
+the two frame kinds:
+
+* a **single record** frame (bit clear — every segment written before batch
+  framing existed parses as this kind), payload a JSON array
+  ``[device, sensor, timestamp, value]``;
+* a **batch record** frame (bit set), payload one JSON array of N such
+  records — one length prefix, one CRC, and one flush for the whole batch,
+  which is what makes ``append_batch`` amortise the per-record framing and
+  flush cost.
+
+The engine appends before acknowledging a write, and both ``append`` and
+``append_batch`` flush the underlying file so an acknowledged write is
+durable even if the process dies immediately afterwards (the
+``repro.faults`` crash sweep is what turned the missing flush into a pinned
+regression test).  Replay accepts both frame kinds — old segments stay
+recoverable — and stops cleanly at the first torn frame (a crash
+mid-append), surfacing everything durable before it.  A torn batch frame
+drops the *whole* batch, which is correct: the batch is only acknowledged
+after its single flush returns, so a torn frame means nothing in it was
+acked.
 
 Two layers live here:
 
@@ -39,6 +53,12 @@ from repro.errors import StorageError, WalCorruptionError
 
 _HEADER = struct.Struct("<I")
 
+#: Top bit of the length header marks a batch frame; the low 31 bits carry
+#: the payload length.  Pre-batch segments never set the bit (a single
+#: record's JSON payload is nowhere near 2 GiB), so old logs replay as-is.
+_BATCH_FLAG = 0x80000000
+_LENGTH_MASK = 0x7FFFFFFF
+
 
 class WriteAheadLog:
     """Append-only record log over a seekable binary file-like object."""
@@ -47,8 +67,11 @@ class WriteAheadLog:
         self._file = fileobj if fileobj is not None else io.BytesIO()
         self._file.seek(0, io.SEEK_END)
 
-    def append(self, device: str, sensor: str, timestamp: int, value) -> None:
-        """Durably record one write (flushed before returning)."""
+    def append(self, device: str, sensor: str, timestamp: int, value) -> int:
+        """Durably record one write (flushed before returning).
+
+        Returns the number of bytes appended (frame overhead included).
+        """
         payload = json.dumps([device, sensor, timestamp, value]).encode("utf-8")
         self._file.write(_HEADER.pack(len(payload)))
         self._file.write(payload)
@@ -56,24 +79,47 @@ class WriteAheadLog:
         # Durability on acknowledge: without this flush, records sat in the
         # user-space buffer and a crash lost acknowledged writes.
         self._file.flush()
+        return _HEADER.size * 2 + len(payload)
 
-    def append_batch(self, records) -> None:
-        """Durably record many writes with one flush at the end.
+    def append_batch(self, records) -> int:
+        """Durably record many writes as one batch frame, one flush.
 
         ``records`` is an iterable of ``(device, sensor, timestamp, value)``
-        tuples.  The whole batch is acknowledged together, so a single
-        flush after the last record preserves durability-on-ack while
-        amortising the per-record flush cost across the batch.
+        tuples.  The whole batch becomes a single frame — one length prefix,
+        one JSON array payload, one CRC — and one flush covers it, so both
+        the framing overhead and the flush syscall amortise across the
+        batch.  The batch is acknowledged only after the flush returns, so
+        all-or-nothing replay of a torn frame matches what was acked.
+
+        An empty iterable is a no-op: no bytes are written and no flush is
+        issued.  Returns the number of bytes appended.
         """
-        for device, sensor, timestamp, value in records:
-            payload = json.dumps([device, sensor, timestamp, value]).encode("utf-8")
-            self._file.write(_HEADER.pack(len(payload)))
-            self._file.write(payload)
-            self._file.write(_HEADER.pack(zlib.crc32(payload)))
+        batch = [
+            [device, sensor, timestamp, value]
+            for device, sensor, timestamp, value in records
+        ]
+        if not batch:
+            return 0
+        payload = json.dumps(batch).encode("utf-8")
+        if len(payload) > _LENGTH_MASK:
+            raise StorageError(
+                f"WAL batch payload of {len(payload)} bytes exceeds the "
+                f"{_LENGTH_MASK}-byte frame limit; split the batch"
+            )
+        self._file.write(_HEADER.pack(len(payload) | _BATCH_FLAG))
+        self._file.write(payload)
+        self._file.write(_HEADER.pack(zlib.crc32(payload)))
         self._file.flush()
+        return _HEADER.size * 2 + len(payload)
 
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
         """Yield every intact record from the start of the log.
+
+        Both frame kinds are accepted: a single-record frame yields one
+        record, a batch frame yields each of its records in order.  A torn
+        or corrupt batch frame drops the whole batch — the batch was only
+        acknowledged after its flush, so replay still surfaces exactly the
+        acknowledged prefix.
 
         Args:
             strict: raise :class:`WalCorruptionError` on a torn or corrupt
@@ -94,7 +140,9 @@ class WriteAheadLog:
                         f"{len(header)} of {_HEADER.size} bytes"
                     )
                 return
-            (length,) = _HEADER.unpack(header)
+            (word,) = _HEADER.unpack(header)
+            is_batch = bool(word & _BATCH_FLAG)
+            length = word & _LENGTH_MASK
             payload = self._file.read(length)
             if len(payload) < length:
                 if strict:
@@ -119,9 +167,15 @@ class WriteAheadLog:
                         f"stored {crc:#010x}, computed {zlib.crc32(payload):#010x}"
                     )
                 return
-            device, sensor, timestamp, value = json.loads(payload.decode("utf-8"))
-            yield device, sensor, timestamp, value
-            index += 1
+            decoded = json.loads(payload.decode("utf-8"))
+            if is_batch:
+                for device, sensor, timestamp, value in decoded:
+                    yield device, sensor, timestamp, value
+                    index += 1
+            else:
+                device, sensor, timestamp, value = decoded
+                yield device, sensor, timestamp, value
+                index += 1
 
     def truncate(self) -> None:
         """Drop all records (called after the covering memtable flushed)."""
@@ -186,6 +240,11 @@ class SegmentedWal:
         self._segments: list[_Segment] = []
         self._active: _Segment | None = None  # repro: guarded_by(_lock)
         self._next_id = 1  # repro: guarded_by(_lock)
+        # Lifetime accounting for the bench cells: ``size_bytes`` shrinks
+        # when sealed segments are dropped, so the cumulative appended
+        # bytes and flush count are tracked here where they survive drops.
+        self._bytes_appended = 0  # repro: guarded_by(_lock)
+        self._flush_count = 0  # repro: guarded_by(_lock)
         apply_guards(self)
 
     # -- constructors ------------------------------------------------------
@@ -276,12 +335,24 @@ class SegmentedWal:
 
     def append(self, device: str, sensor: str, timestamp: int, value) -> None:
         with self._lock:
-            self._active.wal.append(device, sensor, timestamp, value)
+            self._bytes_appended += self._active.wal.append(
+                device, sensor, timestamp, value
+            )
+            self._flush_count += 1
 
     def append_batch(self, records) -> None:
-        """Append a batch of records under one lock acquisition, one flush."""
+        """Append a batch as one frame under one lock acquisition, one flush.
+
+        An empty batch returns before taking the lock — the threaded ingest
+        client routes per-shard slices that are frequently empty, and those
+        must not contend on the lock or touch the file.
+        """
+        batch = records if isinstance(records, list) else list(records)
+        if not batch:
+            return
         with self._lock:
-            self._active.wal.append_batch(records)
+            self._bytes_appended += self._active.wal.append_batch(batch)
+            self._flush_count += 1
 
     def replay(self, strict: bool = False) -> Iterator[tuple[str, str, int, object]]:
         """Every intact record across all live segments, in segment order.
@@ -308,6 +379,20 @@ class SegmentedWal:
     def size_bytes(self) -> int:
         with self._lock:
             return sum(s.wal.size_bytes() for s in self._segments)
+
+    def stats(self) -> dict[str, int]:
+        """Cumulative append accounting (unaffected by segment drops).
+
+        ``bytes_appended`` counts every frame byte ever written to this
+        space's segments; ``flushes`` counts flush syscalls issued by
+        ``append``/``append_batch``.  Both feed the ``wal_bytes/`` and
+        ``ingest/path`` bench cells.
+        """
+        with self._lock:
+            return {
+                "bytes_appended": self._bytes_appended,
+                "flushes": self._flush_count,
+            }
 
     def close(self) -> None:
         with self._lock:

@@ -7,6 +7,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.analysis.sanitizer import sanitize_enabled
 from repro.core.backward_sort import BackwardSorter, compute_block_bounds
 from repro.errors import InvalidParameterError
 from tests.conftest import assert_sorted_permutation, make_delayed_stream
@@ -121,3 +122,105 @@ class TestBackwardSorter:
             out = list(ts)
             BackwardSorter().sort(out)
             assert out == ts
+
+
+@pytest.mark.skipif(
+    sanitize_enabled(),
+    reason="sanitized sorts deliberately run without per-series cache state",
+)
+class TestBlockSizeCaching:
+    """The per-series L cache: steady-state reuse, revalidation, fallback."""
+
+    def _stream(self, seed, n=20_000, lam=0.02):
+        return make_delayed_stream(n, lam=lam, seed=seed).sort_input()
+
+    def test_second_sort_of_a_series_skips_the_search(self):
+        sorter = BackwardSorter()
+        ts1, vs1 = self._stream(seed=11)
+        sorter.sort(ts1, vs1, series="root.d0.s0")
+        first = sorter.last_block_size
+        assert first.loops > 1  # the workload needs a real doubling search
+
+        ts2, vs2 = self._stream(seed=12)
+        original = list(zip(ts2, vs2))
+        sorter.sort(ts2, vs2, series="root.d0.s0")
+        second = sorter.last_block_size
+        assert_sorted_permutation(ts2, vs2, original)
+        # Same arrival pattern: the cached L revalidates in fewer probes
+        # and scans fewer points than the full doubling search did.
+        assert second.loops < first.loops
+        assert second.scanned_points < first.scanned_points
+
+    def test_cached_choice_stays_minimal_in_the_doubling_lattice(self):
+        # A large L remembered from a high-disorder sort must not stick
+        # when the series calms down: the descent probes L/2 and walks
+        # back toward L0.
+        sorter = BackwardSorter()
+        wild_ts, wild_vs = self._stream(seed=3, lam=0.002)
+        sorter.sort(wild_ts, wild_vs, series="s")
+        wild_l = sorter.last_block_size.block_size
+
+        calm_ts, calm_vs = self._stream(seed=4, lam=2.0)
+        uncached = BackwardSorter()
+        expected = uncached.sort(list(calm_ts), list(calm_vs)).block_size
+        sorter.sort(calm_ts, calm_vs, series="s")
+        assert calm_ts == sorted(calm_ts)
+        assert sorter.last_block_size.block_size == expected < wild_l
+
+    def test_disorder_growth_resumes_the_doubling_search(self):
+        # Seed the cache with an L that is far too small for the stream:
+        # the failing probe must hand off to the search at 2L and still
+        # produce a correct sort and a usable block size.
+        sorter = BackwardSorter()
+        sorter.block_size_cache.put("s", sorter.l0)
+        ts, vs = self._stream(seed=5, lam=0.002)
+        original = list(zip(ts, vs))
+        sorter.sort(ts, vs, series="s")
+        assert_sorted_permutation(ts, vs, original)
+        result = sorter.last_block_size
+        assert result.block_size > sorter.l0
+        assert result.history[0][0] == sorter.l0  # the rejected probe is recorded
+
+    def test_no_series_never_touches_the_cache(self):
+        sorter = BackwardSorter()
+        ts, vs = self._stream(seed=6)
+        sorter.sort(ts, vs)
+        assert len(sorter.block_size_cache) == 0
+
+    def test_disabled_cache_is_inert(self):
+        sorter = BackwardSorter(cache_block_sizes=False)
+        ts, vs = self._stream(seed=7)
+        sorter.sort(ts, vs, series="s")
+        assert len(sorter.block_size_cache) == 0
+        # And a pre-seeded entry is ignored.
+        sorter.block_size_cache.put("s", 2)
+        ts2, vs2 = self._stream(seed=8)
+        sorter.sort(ts2, vs2, series="s")
+        assert sorter.last_block_size.history[0][0] != 2
+
+    def test_degenerate_results_are_not_cached(self):
+        # A chunk too small to decompose (L >= n) says nothing about the
+        # series' steady-state disorder and must not poison the cache.
+        sorter = BackwardSorter()
+        ts = [5, 3, 4, 1, 2]
+        sorter.sort(ts, list(range(5)), series="s")
+        assert ts == [1, 2, 3, 4, 5]
+        assert len(sorter.block_size_cache) == 0
+
+    def test_cached_and_uncached_agree_on_the_sorted_output(self):
+        cached = BackwardSorter()
+        uncached = BackwardSorter(cache_block_sizes=False)
+        for seed in (21, 22, 23):
+            ts_c, vs_c = self._stream(seed=seed, n=5_000)
+            ts_u, vs_u = self._stream(seed=seed, n=5_000)
+            cached.sort(ts_c, vs_c, series="s")
+            uncached.sort(ts_u, vs_u, series="s")
+            assert ts_c == ts_u
+            assert vs_c == vs_u
+
+    def test_fixed_block_size_bypasses_the_cache(self):
+        sorter = BackwardSorter(fixed_block_size=8)
+        ts, vs = self._stream(seed=9, n=2_000)
+        sorter.sort(ts, vs, series="s")
+        assert len(sorter.block_size_cache) == 0
+        assert sorter.last_block_size.block_size == 8

@@ -114,3 +114,94 @@ class TestFindBlockSize:
         assert isinstance(find_block_size([]), BlockSizeResult)
         assert find_block_size([5]).block_size >= 1
         assert find_block_size([2, 1]).block_size >= 1
+
+    def test_empty_input_is_capped_not_l0(self):
+        # Regression: the final assignment used to fall back to an
+        # *uncapped* l0 for n == 0, contradicting the "capped at len(ts)"
+        # contract and leaking a block size larger than the array into
+        # callers that cache or reuse it.
+        result = find_block_size([], l0=64)
+        assert result.block_size == 1
+        assert result.loops == 0
+        assert result.scanned_points == 0
+        assert result.history == []
+
+    def test_tiny_inputs_capped_at_n(self):
+        # n < l0 skips the search entirely; the cap must still apply on
+        # that exit path, for every n and l0 combination.
+        for l0 in (4, 32, 64):
+            for n in (1, 2, 3, l0 - 1):
+                ts = list(range(n, 0, -1))
+                result = find_block_size(ts, l0=l0)
+                assert result.block_size == min(l0, n)
+                assert 1 <= result.block_size <= max(n, 1)
+
+    def test_cap_agrees_with_init_for_every_small_n(self):
+        # The init-time and final-assignment caps used to disagree; both
+        # paths must now land on the same contract.
+        for n in range(0, 10):
+            result = find_block_size(list(range(n)), l0=32)
+            assert result.block_size == min(32, max(n, 1))
+
+
+class TestBlockSizeCache:
+    def test_roundtrip_and_miss(self):
+        from repro.core.block_size import BlockSizeCache
+
+        cache = BlockSizeCache()
+        assert cache.get("root.d0.s0") is None
+        cache.put("root.d0.s0", 128)
+        assert cache.get("root.d0.s0") == 128
+        assert len(cache) == 1
+
+    def test_put_overwrites(self):
+        from repro.core.block_size import BlockSizeCache
+
+        cache = BlockSizeCache()
+        cache.put("s", 32)
+        cache.put("s", 256)
+        assert cache.get("s") == 256
+        assert len(cache) == 1
+
+    def test_fifo_eviction(self):
+        from repro.core.block_size import BlockSizeCache
+
+        cache = BlockSizeCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_overwrite_refreshes_eviction_order(self):
+        from repro.core.block_size import BlockSizeCache
+
+        cache = BlockSizeCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # re-insert: "a" is now newest
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 10
+
+    def test_invalidate_and_clear(self):
+        from repro.core.block_size import BlockSizeCache
+
+        cache = BlockSizeCache()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.invalidate("a")
+        cache.invalidate("missing")  # no-op
+        assert cache.get("a") is None
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_parameters(self):
+        from repro.core.block_size import BlockSizeCache
+
+        with pytest.raises(InvalidParameterError):
+            BlockSizeCache(max_entries=0)
+        cache = BlockSizeCache()
+        with pytest.raises(InvalidParameterError):
+            cache.put("s", 0)
