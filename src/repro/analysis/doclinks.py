@@ -1,0 +1,119 @@
+"""Relative-link checker for the repo's Markdown docs.
+
+The docs cross-reference each other and the source tree heavily
+(README → docs/STORAGE.md → src/repro/iotdb/...); a rename silently
+strands those links.  This checker walks every tracked ``*.md`` file,
+extracts Markdown links and resolves the *relative* ones against the
+linking file's directory — external URLs and pure anchors are ignored —
+and reports every target that does not exist.
+
+CLI::
+
+    python -m repro.analysis.doclinks [ROOT]
+
+Exit status 0 when every relative link resolves, 1 otherwise (one line
+per broken link).  CI runs this as the docs-link step;
+``tests/analysis/test_doclinks.py`` runs it over the repo so a broken
+link fails the plain test suite too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Inline Markdown links ``[text](target)``; images share the syntax.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes (and scheme-like prefixes) that are not filesystem targets.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://", "data:")
+
+#: Directories never scanned for Markdown sources.
+_SKIP_DIRS = {".git", ".hypothesis", "__pycache__", "node_modules", ".pytest_cache"}
+
+
+@dataclass(frozen=True)
+class BrokenLink:
+    """One relative link whose target does not exist."""
+
+    source: Path
+    line: int
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}: broken link -> {self.target}"
+
+
+def markdown_files(root: Path) -> list[Path]:
+    """Every ``*.md`` under ``root``, skipping VCS/cache directories."""
+    return sorted(
+        path
+        for path in Path(root).rglob("*.md")
+        if not (_SKIP_DIRS & set(path.relative_to(root).parts[:-1]))
+    )
+
+
+def extract_links(text: str) -> list[tuple[int, str]]:
+    """``(line_number, target)`` for every inline link, 1-based lines."""
+    links: list[tuple[int, str]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK.finditer(line):
+            links.append((number, match.group(1)))
+    return links
+
+
+def check_file(path: Path, root: Path) -> list[BrokenLink]:
+    """Broken relative links of one Markdown file."""
+    broken: list[BrokenLink] = []
+    text = path.read_text(encoding="utf-8")
+    for line, raw_target in extract_links(text):
+        target = raw_target.strip("<>")
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        if target.startswith("/"):
+            resolved = Path(root) / target.lstrip("/")
+        else:
+            resolved = path.parent / target
+        if not resolved.exists():
+            broken.append(
+                BrokenLink(source=path.relative_to(root), line=line, target=raw_target)
+            )
+    return broken
+
+
+def check_tree(root: Path) -> list[BrokenLink]:
+    """Broken relative links across every Markdown file under ``root``."""
+    root = Path(root)
+    broken: list[BrokenLink] = []
+    for path in markdown_files(root):
+        broken.extend(check_file(path, root))
+    return broken
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    root = Path(args[0]) if args else Path.cwd()
+    if not root.is_dir():
+        print(f"doclinks: no such directory: {root}", file=sys.stderr)
+        return 2
+    broken = check_tree(root)
+    for link in broken:
+        print(link, file=sys.stderr)
+    checked = len(markdown_files(root))
+    if broken:
+        print(
+            f"doclinks: {len(broken)} broken link(s) across {checked} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"doclinks: every relative link in {checked} Markdown files resolves")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -61,6 +61,23 @@ class IndexCorruptionError(StorageError):
     """
 
 
+class BlobNotFoundError(StorageError):
+    """Raised by a :class:`~repro.iotdb.backends.BlobStore` when a key is
+    absent (the storage-interface analogue of ``FileNotFoundError``)."""
+
+
+class MetaCorruptionError(StorageError):
+    """Raised when ``meta/engine.json`` fails its framing or checksum.
+
+    Only *structural* damage (torn, truncated, bit-flipped — what a crash
+    mid-stamp can produce) raises this; ``StorageEngine.open`` responds by
+    rebuilding the stamp from what the access path already proves.  A
+    well-framed file whose fields are unsupported (e.g. a future engine
+    version) is *not* corruption and is refused with a plain
+    :class:`StorageError` instead — never misread, never overwritten.
+    """
+
+
 class QueryError(StorageError):
     """Raised for malformed queries (e.g. inverted time ranges)."""
 

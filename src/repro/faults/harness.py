@@ -20,10 +20,22 @@ The contract being verified (the one a WAL exists to provide):
 The sweep enumerates every fault site the workload actually reaches (an
 empty :class:`FaultPlan` counts site visits), then replays the workload
 once per (site, nth-call) pair with a crash injected there, snapshots the
-on-disk state via :class:`CrashSimulator`, recovers with
-``StorageEngine.open``, and checks the contract against the in-memory
-:class:`OracleModel`.  ``python -m repro.faults.harness`` runs the sweep
-standalone (CI's ``faults`` job does exactly this).
+durable state, recovers with ``StorageEngine.open``, and checks the
+contract against the in-memory :class:`OracleModel`.  ``python -m
+repro.faults.harness`` runs the sweep standalone (CI's ``faults`` job
+does exactly this).
+
+The whole sweep is backend-parametric (``FaultWorkload.backend`` /
+``--backend``): ``v1`` is the historical local directory layout, snapshot
+by directory copy (:class:`CrashSimulator`); ``v2-local`` the same bytes
+created as engine version 2; ``v2-memory`` runs over a
+:class:`~repro.iotdb.backends.MemoryStore`, snapshot by
+``store.snapshot()`` at the crash point — in every case the snapshot is
+taken *before* the crashed engine is abandoned, so bytes still pending in
+a :class:`~repro.faults.files.FaultyFile` buffer are absent from it, on
+every backend, through the same code path.  A crash can also fire inside
+``StorageEngine.create`` itself (the ``meta.*`` stamp sites), leaving an
+unversioned or torn-stamp tree; the sweep recovers those too.
 """
 
 from __future__ import annotations
@@ -64,17 +76,25 @@ class FaultWorkload:
     #: others' recovery).  Flushes stay inline (``flush_workers=0``) so
     #: the sweep's (site, nth) enumeration is deterministic.
     shards: int = 1
+    #: Which persistence stack the sweep runs over: ``"v1"`` (the local
+    #: directory layout), ``"v2-local"`` (the same bytes, created as
+    #: engine version 2), or ``"v2-memory"`` (engine version 2 over a
+    #: :class:`~repro.iotdb.backends.MemoryStore`).
+    backend: str = "v1"
     seed: int = 7
 
     def config(self, data_dir):
         from repro.iotdb.config import IoTDBConfig
 
+        if self.backend not in ("v1", "v2-local", "v2-memory"):
+            raise ValueError(f"unknown harness backend {self.backend!r}")
         return IoTDBConfig(
-            data_dir=data_dir,
+            data_dir=None if self.backend == "v2-memory" else data_dir,
             wal_enabled=True,
             memtable_flush_threshold=self.flush_threshold,
             deferred_flush=self.deferred,
             shards=self.shards,
+            engine_version=1 if self.backend == "v1" else 2,
         )
 
     def ops(self) -> list[tuple]:
@@ -309,14 +329,46 @@ def _abandon(engine) -> None:
                         pass
 
 
-def discover_sites(workload: FaultWorkload, root: Path) -> dict[str, int]:
-    """Run the workload fault-free and return every visited site's call count."""
+def _make_store(workload: FaultWorkload):
+    """The explicit store a workload backend needs (``None`` = data_dir).
+
+    Constructed *before* the engine so it survives a crash injected
+    inside ``create`` itself (the caller snapshots it either way).
+    """
+    if workload.backend == "v2-memory":
+        from repro.iotdb.backends import MemoryStore
+
+        return MemoryStore()
+    return None
+
+
+def _create_engine(workload: FaultWorkload, data_dir, injector, store=None):
+    """``StorageEngine.create`` over the workload's backend.
+
+    A crash during create propagates — the caller owns the try/except.
+    """
     from repro.iotdb.engine import StorageEngine
 
+    config = workload.config(data_dir)
+    return StorageEngine.create(config, faults=injector, backend=store)
+
+
+def _reopen_memory(workload: FaultWorkload, snapshot: dict):
+    """``StorageEngine.open`` over a MemoryStore crash snapshot."""
+    from repro.iotdb.backends import MemoryStore
+    from repro.iotdb.engine import StorageEngine
+
+    return StorageEngine.open(
+        workload.config(None), backend=MemoryStore.from_snapshot(snapshot)
+    )
+
+
+def discover_sites(workload: FaultWorkload, root: Path) -> dict[str, int]:
+    """Run the workload fault-free and return every visited site's call count."""
     root = Path(root)
     data_dir = root / "discover"
     injector = FaultInjector(FaultPlan())
-    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
+    engine = _create_engine(workload, data_dir, injector, _make_store(workload))
     run_ops(engine, workload.ops())
     engine.close()
     return dict(injector.plan.calls)
@@ -334,8 +386,6 @@ def run_crash_case(
     """Crash the workload at the nth visit of ``site``, recover, and check."""
     import shutil
 
-    from repro.iotdb.engine import StorageEngine
-
     root = Path(root)
     case_dir = root / f"{site.replace('.', '_')}-{nth}-{kind}"
     if case_dir.exists():
@@ -346,8 +396,19 @@ def run_crash_case(
         [FaultRule(site=site, kind=kind, nth=nth, arg=arg)], seed=workload.seed
     )
     injector = FaultInjector(plan)
-    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
-    acked, inflight = run_ops(engine, workload.ops())
+    store = _make_store(workload)
+    engine = None
+    try:
+        engine = _create_engine(workload, data_dir, injector, store)
+    except InjectedCrashError:
+        # create() itself crashed (a meta.* stamp site): zero acknowledged
+        # writes, and the tree on disk may be unversioned or carry a torn
+        # stamp — recovery below must still open it.
+        pass
+    if engine is not None:
+        acked, inflight = run_ops(engine, workload.ops())
+    else:
+        acked, inflight = OracleModel(), None
 
     if not injector.fired:
         # The workload finished without reaching (site, nth); shutdown
@@ -364,10 +425,20 @@ def run_crash_case(
             acked_points=acked.total_points(), recovered_points=0,
         )
 
-    simulator = CrashSimulator(data_dir, case_dir / "snapshot")
-    simulator.snapshot()
-    _abandon(engine)
-    recovered = simulator.reopen(workload.config(data_dir))
+    # Snapshot the durable state BEFORE abandoning the crashed engine:
+    # closing its handles would commit FaultyFile-pending bytes the
+    # simulated crash never flushed.
+    if workload.backend == "v2-memory":
+        snapshot = store.snapshot()
+        if engine is not None:
+            _abandon(engine)
+        recovered = _reopen_memory(workload, snapshot)
+    else:
+        simulator = CrashSimulator(data_dir, case_dir / "snapshot")
+        simulator.snapshot()
+        if engine is not None:
+            _abandon(engine)
+        recovered = simulator.reopen(workload.config(data_dir))
     try:
         violations = check_recovery(recovered, acked, inflight)
         recovered_points = _count_recovered(recovered, acked, inflight)
@@ -401,7 +472,7 @@ def _nth_positions(calls: int, max_nth: int) -> list[int]:
 
 #: Sites whose faults model torn *file writes*: sweep them with a torn
 #: (prefix-keeping) variant as well as a clean pre-write crash.
-WRITE_SITES = ("wal.write", "sink.write", "index.write")
+WRITE_SITES = ("wal.write", "sink.write", "index.write", "meta.write")
 
 
 def run_crash_sweep(
@@ -439,7 +510,6 @@ def run_fault_plan(
     import shutil
 
     from repro.errors import InjectedFaultError
-    from repro.iotdb.engine import StorageEngine
 
     root = Path(root)
     case_dir = root / "plan-run"
@@ -448,11 +518,17 @@ def run_fault_plan(
     data_dir = case_dir / "data"
 
     injector = FaultInjector(plan)
-    engine = StorageEngine.create(workload.config(data_dir), faults=injector)
+    store = _make_store(workload)
+    engine = None
+    crashed = False
+    try:
+        engine = _create_engine(workload, data_dir, injector, store)
+    except InjectedCrashError:
+        crashed = True
     acked = OracleModel()
     inflight = None
-    crashed = False
-    for op in workload.ops():
+    ops = workload.ops() if engine is not None else []
+    for op in ops:
         try:
             if op[0] == "write":
                 _, device, sensor, t, v = op
@@ -484,10 +560,17 @@ def run_fault_plan(
     # The plan covers the workload; verification and shutdown run healthy.
     injector.disarm()
     if crashed:
-        simulator = CrashSimulator(data_dir, case_dir / "snapshot")
-        simulator.snapshot()
-        _abandon(engine)
-        checked = simulator.reopen(workload.config(data_dir))
+        if workload.backend == "v2-memory":
+            snapshot = store.snapshot()
+            if engine is not None:
+                _abandon(engine)
+            checked = _reopen_memory(workload, snapshot)
+        else:
+            simulator = CrashSimulator(data_dir, case_dir / "snapshot")
+            simulator.snapshot()
+            if engine is not None:
+                _abandon(engine)
+            checked = simulator.reopen(workload.config(data_dir))
     else:
         engine.drain_flushes()
         checked = engine
@@ -520,6 +603,12 @@ def main(argv=None) -> int:
     parser.add_argument("--compact-every", type=int, default=0)
     parser.add_argument("--drain-every", type=int, default=0)
     parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument(
+        "--backend",
+        choices=("v1", "v2-local", "v2-memory"),
+        default="v1",
+        help="persistence stack to sweep (engine version / blob store)",
+    )
     parser.add_argument("--root", type=Path, default=None,
                         help="work directory (default: a fresh temp dir)")
     args = parser.parse_args(argv)
@@ -532,6 +621,7 @@ def main(argv=None) -> int:
         compact_every=args.compact_every,
         drain_every=args.drain_every,
         shards=args.shards,
+        backend=args.backend,
     )
     root = args.root if args.root is not None else Path(tempfile.mkdtemp(prefix="repro-faults-"))
     report = run_crash_sweep(workload, root, max_nth=args.max_nth)

@@ -1,5 +1,18 @@
 """The Apache IoTDB write-path substrate (paper §V), reimplemented in Python."""
 
+from repro.iotdb.backends import (
+    BlobNotFoundError,
+    BlobStore,
+    LocalDirStore,
+    MemoryStore,
+)
+from repro.iotdb.meta import (
+    ENGINE_META_KEY,
+    EngineMeta,
+    read_meta,
+    write_meta,
+)
+
 from repro.iotdb.aggregation import (
     AGGREGATIONS,
     AggregationResult,
@@ -50,6 +63,14 @@ from repro.iotdb.wal import SegmentedWal, WriteAheadLog
 __all__ = [
     "AGGREGATIONS",
     "AggregationResult",
+    "BlobNotFoundError",
+    "BlobStore",
+    "ENGINE_META_KEY",
+    "EngineMeta",
+    "LocalDirStore",
+    "MemoryStore",
+    "read_meta",
+    "write_meta",
     "CompactionPolicy",
     "CompactionReport",
     "CompactionSelection",

@@ -1,0 +1,22 @@
+"""Pluggable blob-store backends for the storage engine's v2 layout.
+
+Every persistence call site in the engine — sealed TsFiles, WAL segments,
+interval indexes, ``meta/engine.json`` — addresses bytes through the
+:class:`BlobStore` interface.  :class:`LocalDirStore` maps keys 1:1 onto a
+local directory (byte-identical to the historical v1 tree);
+:class:`MemoryStore` is an S3-like in-memory table used by the parity
+suites and the ``v2-memory`` crash sweep.  See docs/STORAGE.md for the
+normative on-disk format and the per-method atomicity contract.
+"""
+
+from repro.iotdb.backends.base import BlobNotFoundError, BlobStore, validate_key
+from repro.iotdb.backends.local import LocalDirStore
+from repro.iotdb.backends.memory import MemoryStore
+
+__all__ = [
+    "BlobNotFoundError",
+    "BlobStore",
+    "LocalDirStore",
+    "MemoryStore",
+    "validate_key",
+]

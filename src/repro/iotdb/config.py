@@ -96,6 +96,14 @@ class IoTDBConfig:
         compaction_overlap_threshold: minimum number of sequence files an
             unsequence file must overlap before the ``"overlap"`` policy
             selects it.
+        engine_version: on-disk layout version ``StorageEngine.create``
+            writes by default (``1`` = the historical local directory
+            tree; ``2`` = the same key layout addressed through a
+            pluggable :class:`~repro.iotdb.backends.BlobStore`).  Only a
+            *create-time* default: ``StorageEngine.open`` dispatches on
+            the tree's own ``meta/engine.json`` stamp, never on this
+            knob.  See docs/STORAGE.md for the version-compatibility
+            matrix.
     """
 
     array_size: int = 32
@@ -117,8 +125,13 @@ class IoTDBConfig:
     index_enabled: bool = True
     compaction_policy: str = "full"
     compaction_overlap_threshold: int = 2
+    engine_version: int = 1
 
     def __post_init__(self) -> None:
+        if self.engine_version not in (1, 2):
+            raise InvalidParameterError(
+                f"engine_version must be 1 or 2, got {self.engine_version!r}"
+            )
         if self.shards < 1:
             raise InvalidParameterError(f"shards must be >= 1, got {self.shards}")
         if self.flush_workers < 0:

@@ -24,9 +24,24 @@ measure.
 
 Front door: construct engines through the two keyword-only factories —
 :meth:`StorageEngine.create` for a fresh start (deletes any leftover WAL
-segments) and :meth:`StorageEngine.open` to recover an on-disk engine
-after a restart or crash (each shard directory recovers independently).
-The plain constructor survives as a deprecated shim of ``create``.
+segments) and :meth:`StorageEngine.open` to recover a persisted engine
+after a restart or crash (each shard recovers its key prefix
+independently).  The plain constructor survives as a deprecated shim of
+``create``.
+
+Versioned layouts: every persisted tree carries a CRC-framed
+``meta/engine.json`` stamp (:mod:`repro.iotdb.meta`) naming its layout
+version, backend kind, and shard count.  ``create`` writes version 1 (the
+historical local directory tree) by default; ``create(version=2)`` — or
+``config.engine_version = 2`` — selects the v2 layout, whose bytes are
+addressed through a pluggable :class:`~repro.iotdb.backends.BlobStore`
+(``backend=`` accepts any store; the default wraps ``data_dir`` in a
+:class:`~repro.iotdb.backends.LocalDirStore`, making the v2-local tree
+byte-identical to v1).  ``open`` dispatches on the stamp, not on the
+config: an unversioned directory is inferred as v1 and stamped, a torn
+stamp is rebuilt from what the access path proves, and a future or
+malformed version is refused with a precise error (docs/STORAGE.md holds
+the normative format and compatibility matrix).
 
 Flush/compaction concurrency: with ``config.flush_workers > 0`` the
 engine owns a shared :class:`~concurrent.futures.ThreadPoolExecutor` and
@@ -51,16 +66,28 @@ from pathlib import Path
 
 from repro.analysis.concurrency import create_lock
 from repro.core.sorter import Sorter
-from repro.errors import StorageError
+from repro.errors import MetaCorruptionError, StorageError
 from repro.faults.injector import NOOP_INJECTOR
+from repro.iotdb.backends import BlobStore, LocalDirStore
 from repro.iotdb.config import IoTDBConfig
 from repro.iotdb.engine_metrics import EngineInstruments
+from repro.iotdb.meta import (
+    ENGINE_META_KEY,
+    EngineMeta,
+    check_supported_version,
+    read_meta,
+    write_meta,
+)
 from repro.iotdb.flush import FlushReport
 from repro.iotdb.query import QueryResult, TimeRangeQueryExecutor
 from repro.iotdb.separation import Space
-from repro.iotdb.shard import StorageShard, shard_directory
+from repro.iotdb.shard import StorageShard
 from repro.obs import Observability, metrics_only
 from repro.sorting.registry import get_sorter
+
+#: Sentinel distinguishing "derive the store from config.data_dir" (the
+#: constructor's historical behaviour) from an explicit ``None``/store.
+_UNSET = object()
 
 
 class _SeparationView:
@@ -125,6 +152,8 @@ class StorageEngine:
         faults=None,
         _from_factory: bool = False,
         _fresh: bool = True,
+        _store=_UNSET,
+        _version: int | None = None,
     ) -> None:
         if not _from_factory:
             warnings.warn(
@@ -149,8 +178,22 @@ class StorageEngine:
         self._lock = create_lock("StorageEngine._lock")
         self._instruments = EngineInstruments(self.obs.registry)
         self._executor = TimeRangeQueryExecutor(self.sorter, self.obs)
-        if self.config.data_dir is not None:
-            Path(self.config.data_dir).mkdir(parents=True, exist_ok=True)
+        if _store is _UNSET:
+            # Historical behaviour: persistence over the local directory
+            # (LocalDirStore creates it), pure in-memory without one.
+            store = (
+                LocalDirStore(self.config.data_dir)
+                if self.config.data_dir is not None
+                else None
+            )
+        else:
+            store = _store
+        #: Where the engine persists bytes (``None`` = pure in-memory).
+        self.store: BlobStore | None = store
+        #: The layout version this engine reads and writes.
+        self.engine_version: int = (
+            _version if _version is not None else self.config.engine_version
+        )
         self._shards: tuple[StorageShard, ...] = tuple(
             StorageShard(
                 shard_id,
@@ -161,6 +204,7 @@ class StorageEngine:
                 instruments=self._instruments,
                 executor=self._executor,
                 fresh=_fresh,
+                store=store,
             )
             for shard_id in range(self.config.shards)
         )
@@ -182,17 +226,75 @@ class StorageEngine:
         sorter: Sorter | None = None,
         obs: Observability | None = None,
         faults=None,
+        version: int | None = None,
+        backend: BlobStore | None = None,
     ) -> "StorageEngine":
         """A fresh engine (the fresh-start entry of the front door).
 
-        Fresh-start semantics: any WAL segments left behind under
-        ``config.data_dir`` are deleted — use :meth:`open` to recover them
+        Fresh-start semantics: any WAL segments left behind in the
+        engine's backend are deleted — use :meth:`open` to recover them
         instead.  All dependencies are keyword-only: ``sorter`` overrides
         the configured sorter instance, ``obs`` injects an
         :class:`~repro.obs.Observability`, ``faults`` a
         :class:`~repro.faults.FaultInjector`.
+
+        ``version`` selects the on-disk layout (default
+        ``config.engine_version``): version 1 is the historical local
+        directory tree and persists iff ``config.data_dir`` is set;
+        version 2 addresses the same key layout through a pluggable
+        :class:`~repro.iotdb.backends.BlobStore` — pass one as
+        ``backend=``, or set ``config.data_dir`` to persist through a
+        :class:`~repro.iotdb.backends.LocalDirStore` (byte-identical to
+        the v1 tree).  Every persisted tree is stamped with a
+        ``meta/engine.json`` record that :meth:`open` later dispatches on.
         """
-        return cls(config, sorter, obs=obs, faults=faults, _from_factory=True)
+        config = config if config is not None else IoTDBConfig()
+        if version is None:
+            version = config.engine_version
+        if version not in (1, 2):
+            raise StorageError(f"engine version must be 1 or 2, got {version!r}")
+        if version == 1:
+            if backend is not None:
+                raise StorageError(
+                    "engine version 1 is the local directory layout; it takes "
+                    "a config.data_dir, not a backend= store (use version=2 "
+                    "for pluggable backends)"
+                )
+            store = (
+                LocalDirStore(config.data_dir)
+                if config.data_dir is not None
+                else None
+            )
+        else:
+            if backend is not None and config.data_dir is not None:
+                raise StorageError(
+                    "pass either config.data_dir or backend= to "
+                    "StorageEngine.create, not both"
+                )
+            if backend is None and config.data_dir is None:
+                raise StorageError(
+                    "engine version 2 persists through a backend: pass "
+                    "backend= or set config.data_dir"
+                )
+            store = (
+                backend if backend is not None else LocalDirStore(config.data_dir)
+            )
+        engine = cls(
+            config,
+            sorter,
+            obs=obs,
+            faults=faults,
+            _from_factory=True,
+            _store=store,
+            _version=version,
+        )
+        if store is not None:
+            write_meta(
+                store,
+                EngineMeta(version=version, backend=store.kind, shards=config.shards),
+                faults=engine.faults,
+            )
+        return engine
 
     @classmethod
     def open(
@@ -202,45 +304,157 @@ class StorageEngine:
         sorter: Sorter | None = None,
         obs: Observability | None = None,
         faults=None,
+        backend: BlobStore | None = None,
     ) -> "StorageEngine":
-        """Reopen an on-disk engine after a restart (or crash).
+        """Reopen a persisted engine after a restart (or crash).
 
-        Each shard recovers its own ``shard-NN/`` directory independently
-        (see :meth:`repro.iotdb.shard.StorageShard.recover`): sealed
-        TsFiles are rebuilt, ``.part`` sinks discarded, WAL segments
-        replayed, and separation watermarks re-derived.  The shard count
-        must match what the directory was written with — the series router
-        hashes over ``config.shards``, so reopening with a different count
+        Dispatches on the tree's ``meta/engine.json`` stamp (never on
+        ``config.engine_version``): a validated stamp selects its own
+        layout version; an unversioned local directory is inferred as
+        version 1 and stamped; an unversioned explicit backend is
+        inferred as version 2 and stamped (a crash can land between the
+        shard writes of ``create`` and the stamp); a torn or
+        CRC-damaged stamp is rebuilt from what the access path proves;
+        a well-framed stamp naming a future version, a different
+        backend kind, or a different shard count is refused with a
+        precise error.  Resolutions are counted on
+        ``engine_meta_recoveries_total{outcome}``.
+
+        Each shard then recovers its own ``shard-NN/`` key prefix
+        independently (see
+        :meth:`repro.iotdb.shard.StorageShard.recover`): sealed TsFiles
+        are rebuilt, ``.part`` sinks discarded, WAL segments replayed,
+        and separation watermarks re-derived.  The shard count must
+        match what the tree was written with — the series router hashes
+        over ``config.shards``, so reopening with a different count
         would make recovered series invisible.
         """
-        if config.data_dir is None:
-            raise StorageError("StorageEngine.open requires a data_dir configuration")
-        data_dir = Path(config.data_dir)
-        if data_dir.exists():
-            existing = sorted(
-                p for p in data_dir.glob("shard-*") if p.is_dir()
-            )
-            if existing and len(existing) != config.shards:
+        if backend is not None:
+            if config.data_dir is not None:
                 raise StorageError(
-                    f"data_dir holds {len(existing)} shard directories but "
-                    f"config.shards={config.shards}; reopen with the shard "
-                    "count the directory was written with"
+                    "pass either config.data_dir or backend= to "
+                    "StorageEngine.open, not both"
                 )
-            stray = sorted(data_dir.glob("*.tsfile")) + sorted(
-                data_dir.glob("*.tsfile.part")
-            )
-            if stray:
+            store, version, outcome = cls._resolve_store_meta(config, backend)
+        else:
+            if config.data_dir is None:
                 raise StorageError(
-                    f"unrecognised TsFile name {stray[0].name!r}: TsFiles "
-                    "live under per-shard shard-NN/ directories"
+                    "StorageEngine.open requires a data_dir configuration"
                 )
+            store = LocalDirStore(config.data_dir)
+            version, outcome = cls._resolve_local_meta(config, store)
         engine = cls(
-            config, sorter, obs=obs, faults=faults, _from_factory=True, _fresh=False
+            config,
+            sorter,
+            obs=obs,
+            faults=faults,
+            _from_factory=True,
+            _fresh=False,
+            _store=store,
+            _version=version,
         )
+        engine._instruments.meta_recoveries.labels(outcome=outcome).inc()
+        # A crash during a stamp's publish can leave a torn .part behind;
+        # it was never the published stamp, so it is plain garbage.
+        store.delete(ENGINE_META_KEY + ".part", missing_ok=True)
+        if outcome != "validated":
+            write_meta(
+                store,
+                EngineMeta(version=version, backend=store.kind, shards=config.shards),
+                faults=engine.faults,
+            )
         with engine._lock:
             for shard in engine._shards:
                 shard.recover()
         return engine
+
+    @staticmethod
+    def _resolve_store_meta(
+        config: IoTDBConfig, store: BlobStore
+    ) -> tuple[BlobStore, int, str]:
+        """Resolve the stamp of an explicit-backend tree (v2 only)."""
+        try:
+            meta = read_meta(store)
+        except MetaCorruptionError:
+            # A torn stamp is a crash artifact.  The tree reached us
+            # through an explicit BlobStore, which only version 2 ever
+            # writes — rebuild the stamp from that.
+            return store, 2, "rebuilt-corrupt"
+        if meta is None:
+            # create() stamps after the shards initialise, so a crash in
+            # between leaves an unversioned v2 tree.
+            return store, 2, "stamped-unversioned"
+        check_supported_version(meta.version)
+        if meta.version == 1:
+            raise StorageError(
+                "this tree was written as engine version 1 (the local "
+                "directory layout); open it through config.data_dir, not "
+                "an explicit backend"
+            )
+        if meta.backend != store.kind:
+            raise StorageError(
+                f"engine meta records backend kind {meta.backend!r} but the "
+                f"store passed to open is {store.kind!r}; refusing to mix "
+                "backends"
+            )
+        if meta.shards != config.shards:
+            raise StorageError(
+                f"engine meta records {meta.shards} shards but "
+                f"config.shards={config.shards}; reopen with the shard "
+                "count the tree was written with"
+            )
+        return store, meta.version, "validated"
+
+    @staticmethod
+    def _resolve_local_meta(
+        config: IoTDBConfig, store: BlobStore
+    ) -> tuple[int, str]:
+        """Resolve the stamp of a ``data_dir`` tree (v1 or v2-local).
+
+        Unversioned directories predate the stamp: their shape is checked
+        (shard-directory count, no stray root TsFiles) and they are
+        inferred as version 1.  The v1 and v2-local layouts are
+        byte-identical below ``meta/``, so a torn stamp costs nothing but
+        a rebuild — the shard recovery path proves everything else.
+        """
+        data_dir = Path(config.data_dir)
+        existing = sorted(p for p in data_dir.glob("shard-*") if p.is_dir())
+        if existing and len(existing) != config.shards:
+            raise StorageError(
+                f"data_dir holds {len(existing)} shard directories but "
+                f"config.shards={config.shards}; reopen with the shard "
+                "count the directory was written with"
+            )
+        stray = sorted(data_dir.glob("*.tsfile")) + sorted(
+            data_dir.glob("*.tsfile.part")
+        )
+        if stray:
+            raise StorageError(
+                f"unrecognised TsFile name {stray[0].name!r}: TsFiles "
+                "live under per-shard shard-NN/ directories"
+            )
+        try:
+            meta = read_meta(store)
+        except MetaCorruptionError:
+            # Crash artifact; the directory shape above already passed the
+            # v1 checks, and v1/v2-local trees coincide — stamp v1.
+            return 1, "rebuilt-corrupt"
+        if meta is None:
+            return 1, "stamped-unversioned"
+        check_supported_version(meta.version)
+        if meta.backend != store.kind:
+            raise StorageError(
+                f"engine meta records backend kind {meta.backend!r} but "
+                f"data_dir trees are written through a 'local' store; "
+                "refusing to mix backends"
+            )
+        if meta.shards != config.shards:
+            raise StorageError(
+                f"engine meta records {meta.shards} shards but "
+                f"config.shards={config.shards}; reopen with the shard "
+                "count the tree was written with"
+            )
+        return meta.version, "validated"
 
     # -- sharding ------------------------------------------------------------
 

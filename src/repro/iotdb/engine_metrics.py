@@ -27,6 +27,7 @@ name                                    kind       labels
 ``engine_query_files_opened_total``     counter    —
 ``engine_index_files_pruned_total``     counter    —
 ``engine_index_recoveries_total``       counter    ``outcome``
+``engine_meta_recoveries_total``        counter    ``outcome``
 ``engine_compactions_total``            counter    ``policy``
 ``engine_compaction_files_selected_total``  counter  ``policy``
 ``engine_compaction_files_skipped_total``   counter  ``policy``
@@ -82,6 +83,12 @@ class EngineInstruments:
             "engine_index_recoveries_total",
             "interval-index recoveries on open, by outcome "
             "(validated / rebuilt-missing / rebuilt-corrupt / rebuilt-stale)",
+            ("outcome",),
+        )
+        self.meta_recoveries = registry.counter(
+            "engine_meta_recoveries_total",
+            "engine-meta (meta/engine.json) resolutions on open, by outcome "
+            "(validated / stamped-unversioned / rebuilt-corrupt)",
             ("outcome",),
         )
         self.compactions = registry.counter(

@@ -22,8 +22,10 @@ remaining file starts at or beyond ``end``, nothing further can overlap.
 
 Persistence
 -----------
-``save`` writes the table as a small checksummed text file next to the
-shard's TsFiles, atomically (``.part`` + rename) and through the shard's
+``save_to`` writes the table as a small checksummed text blob next to the
+shard's TsFiles — through whatever
+:class:`~repro.iotdb.backends.BlobStore` the shard persists to (``save``
+is the local-path veneer) — atomically (``.part`` + rename) and through the shard's
 :class:`~repro.faults.FaultInjector` — fault sites ``index.write`` (every
 byte written, torn-write capable) and ``index.swap`` (the rename).
 ``load`` raises :class:`~repro.errors.IndexCorruptionError` on any torn,
@@ -35,7 +37,6 @@ so a damaged index can cost a rebuild but never a wrong answer.
 from __future__ import annotations
 
 import json
-import os
 import zlib
 from bisect import bisect_left
 from dataclasses import dataclass
@@ -190,14 +191,15 @@ class IntervalIndex:
             separators=(",", ":"),
         )
 
-    def save(self, path: Path, *, faults=None) -> None:
-        """Atomically persist the table next to the shard's TsFiles.
+    def save_to(self, store, key: str, *, faults=None) -> None:
+        """Atomically persist the table into a blob store.
 
-        Bytes go to ``<path>.part`` first (through the injector's
+        Bytes stream to ``<key>.part`` first (through the injector's
         ``index.write`` site, so torn writes are simulatable), then the
-        ``index.swap`` crash point fires and the rename publishes the
-        file.  A crash anywhere leaves either the old index or a torn
-        ``.part`` — both of which recovery discards and rebuilds.
+        ``index.swap`` crash point fires and one ``rename_atomic``
+        publishes the key.  A crash anywhere leaves either the old index
+        or a torn ``.part`` — both of which recovery discards and
+        rebuilds.
         """
         from repro.faults.injector import NOOP_INJECTOR
 
@@ -205,9 +207,8 @@ class IntervalIndex:
         payload = self._payload()
         crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
         blob = f"{MAGIC}\n{crc:08x}\n{payload}\n".encode("utf-8")
-        path = Path(path)
-        part = path.with_name(path.name + ".part")
-        handle = injector.wrap_file(open(part, "wb"), site="index.write")
+        part_key = key + ".part"
+        handle = injector.wrap_file(store.open_write(part_key), site="index.write")
         try:
             handle.write(blob)
             handle.flush()
@@ -216,40 +217,72 @@ class IntervalIndex:
                 handle.close()
             except OSError:  # pragma: no cover - best-effort cleanup
                 pass
-        injector.crash_point("index.swap", file=path.name)
-        os.replace(part, path)
+        injector.crash_point("index.swap", file=key.rsplit("/", 1)[-1])
+        store.rename_atomic(part_key, key)
+
+    def save(self, path: Path, *, faults=None) -> None:
+        """:meth:`save_to` over the local directory holding ``path``
+        (byte-identical to the historical direct-file writer)."""
+        from repro.iotdb.backends.local import LocalDirStore
+
+        path = Path(path)
+        self.save_to(LocalDirStore(path.parent), path.name, faults=faults)
 
     @classmethod
-    def load(cls, path: Path) -> "IntervalIndex":
-        """Parse a persisted index; any damage raises
-        :class:`IndexCorruptionError` (the caller rebuilds instead)."""
-        try:
-            text = Path(path).read_text(encoding="utf-8")
-        except (OSError, UnicodeDecodeError) as exc:
-            raise IndexCorruptionError(f"unreadable index file {path}: {exc}") from exc
+    def _parse(cls, text: str, source) -> "IntervalIndex":
         parts = text.split("\n", 2)
         if len(parts) != 3 or parts[0] != MAGIC:
-            raise IndexCorruptionError(f"bad index magic in {path}")
+            raise IndexCorruptionError(f"bad index magic in {source}")
         crc_line, payload = parts[1], parts[2]
         if not payload.endswith("\n"):
-            raise IndexCorruptionError(f"truncated index payload in {path}")
+            raise IndexCorruptionError(f"truncated index payload in {source}")
         payload = payload[:-1]
         try:
             expected = int(crc_line, 16)
         except ValueError as exc:
-            raise IndexCorruptionError(f"bad index checksum line in {path}") from exc
+            raise IndexCorruptionError(
+                f"bad index checksum line in {source}"
+            ) from exc
         actual = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
         if actual != expected:
             raise IndexCorruptionError(
-                f"index checksum mismatch in {path}: "
+                f"index checksum mismatch in {source}: "
                 f"stored {expected:08x}, computed {actual:08x}"
             )
         try:
             obj = json.loads(payload)
             entries = [IndexEntry.from_json(e) for e in obj["entries"]]
         except (ValueError, KeyError, TypeError) as exc:
-            raise IndexCorruptionError(f"bad index payload in {path}: {exc}") from exc
+            raise IndexCorruptionError(
+                f"bad index payload in {source}: {exc}"
+            ) from exc
         return cls(entries)
+
+    @classmethod
+    def load_from(cls, store, key: str) -> "IntervalIndex":
+        """Parse a persisted index from a blob store; any damage raises
+        :class:`IndexCorruptionError` (the caller rebuilds instead)."""
+        from repro.errors import BlobNotFoundError
+
+        try:
+            blob = store.get(key)
+        except BlobNotFoundError as exc:
+            raise IndexCorruptionError(f"unreadable index blob {key}: {exc}") from exc
+        try:
+            text = blob.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise IndexCorruptionError(f"unreadable index blob {key}: {exc}") from exc
+        return cls._parse(text, key)
+
+    @classmethod
+    def load(cls, path: Path) -> "IntervalIndex":
+        """Parse a persisted index file; any damage raises
+        :class:`IndexCorruptionError` (the caller rebuilds instead)."""
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise IndexCorruptionError(f"unreadable index file {path}: {exc}") from exc
+        return cls._parse(text, path)
 
 
 def file_time_range(reader) -> tuple[int, int] | None:

@@ -8,10 +8,15 @@ routes every series to exactly one of them by a stable hash of the device
 id, so shards never share mutable state and writes to different shards
 proceed concurrently.
 
-On disk a shard keeps everything (TsFiles and WAL segments) under its own
-``shard-NN/`` subdirectory of the engine's ``data_dir``, and recovers that
-directory independently of its siblings — a crash that tears one shard's
-flush leaves the other shards' recovery untouched.
+A shard keeps everything (TsFiles and WAL segments) under its own
+``shard-NN/`` key prefix of the engine's
+:class:`~repro.iotdb.backends.BlobStore` — on the local-directory backend
+that is literally the ``shard-NN/`` subdirectory of ``data_dir``, byte for
+byte — and recovers that prefix independently of its siblings: a crash
+that tears one shard's flush leaves the other shards' recovery untouched.
+Every persistence call site (sink writes, WAL segments, the interval
+index) routes through the store; ``store=None`` is the pure in-memory
+mode with no persistence at all.
 
 Crash consistency (exercised by the ``repro.faults`` harness): every
 operation that can die mid-way leaves a recoverable disk state.  Sinks are
@@ -39,14 +44,14 @@ index damage can cost a rebuild but never a wrong answer.
 
 Lock hierarchy: ``StorageEngine._lock`` → ``StorageShard._lock`` →
 {``MemTable._lock``, ``SegmentedWal._lock``, ``FaultInjector._lock``,
-``MetricsRegistry._lock``}.  A shard never acquires the engine lock or
-another shard's lock.
+``MetricsRegistry._lock``} → ``MemoryStore._lock`` (the in-memory
+backend's blob table; a leaf — store methods never call out under it).
+A shard never acquires the engine lock or another shard's lock.
 """
 
 from __future__ import annotations
 
 import io
-import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -74,10 +79,12 @@ class _SealedFile:
 
     space: Space
     reader: TsFileReader
-    path: Path | None = None
+    #: Blob-store key of the published file (``None`` = in-memory only).
+    key: str | None = None
     buffer: io.BytesIO | None = None
-    #: Temporary name the sink is written under until sealed (on-disk only).
-    part_path: Path | None = None
+    #: Temporary key the sink is written under until sealed (persisted
+    #: sinks only).
+    part_key: str | None = None
     #: Stable id (``<space>-<counter>``) keying this file in the shard's
     #: interval index; counters are never reused within a shard.
     file_id: str = ""
@@ -139,6 +146,7 @@ class StorageShard:
         instruments,
         executor: TimeRangeQueryExecutor,
         fresh: bool = True,
+        store=None,
     ) -> None:
         self.shard_id = shard_id
         self.config = config
@@ -149,6 +157,16 @@ class StorageShard:
         self._instruments = instruments
         self._shard_instruments = instruments.for_shard(shard_id)
         self._executor = executor
+        if store is None and config.data_dir is not None:
+            # Direct construction (outside the engine factories) keeps the
+            # historical behaviour: persistence over the local directory.
+            from repro.iotdb.backends.local import LocalDirStore
+
+            store = LocalDirStore(config.data_dir)
+        #: Where this shard persists bytes (``None`` = pure in-memory).
+        self.store = store
+        #: This shard's key namespace inside the store.
+        self.prefix = f"shard-{shard_id:02d}/"
         self.data_dir: Path | None = (
             shard_directory(config.data_dir, shard_id)
             if config.data_dir is not None
@@ -166,21 +184,25 @@ class StorageShard:
         # access happens under this shard's lock.
         self._index = IntervalIndex()
         self._flush_reports: list[FlushReport] = []
-        if self.data_dir is not None:
-            self.data_dir.mkdir(parents=True, exist_ok=True)
+        if self.store is not None:
+            # Materialise the shard's namespace eagerly where the backend
+            # has real directories — keeps the local tree identical to the
+            # historical layout down to empty shard directories.
+            self.store.ensure_prefix(self.prefix)
         # WAL segments recovered by recover() that must survive until every
         # memtable holding their replayed points has been sealed.
         self._recovery_segments: dict[Space, list[int]] = {}
         self._recovery_holds: set[Space] = set()
         self._wals: dict[Space, SegmentedWal] | None = None
         if config.wal_enabled and fresh:
-            if self.data_dir is not None:
+            if self.store is not None:
                 # Fresh-start semantics: any WAL segments left behind are
                 # deleted; StorageEngine.open (via recover()) replays them
                 # instead.
                 self._wals = {
-                    space: SegmentedWal.on_disk(
-                        self.data_dir,
+                    space: SegmentedWal.on_store(
+                        self.store,
+                        self.prefix,
                         space.value,
                         fresh=True,
                         wrap=self.faults.wrap_file,
@@ -276,16 +298,18 @@ class StorageShard:
         sealed, so a crash mid-write can never leave a torn ``.tsfile``."""
         self._file_counter += 1
         file_id = f"{space.value}-{self._file_counter:06d}"
-        if self.data_dir is None:
+        if self.store is None:
             buffer = io.BytesIO()
             return TsFileWriter(buffer), _SealedFile(
                 space=space, reader=None, buffer=buffer, file_id=file_id
             )
-        path = self.data_dir / f"{file_id}.tsfile"
-        part = path.with_name(path.name + ".part")
-        handle = self.faults.wrap_file(open(part, "wb+"), site="sink.write")
+        key = f"{self.prefix}{file_id}.tsfile"
+        part_key = key + ".part"
+        handle = self.faults.wrap_file(
+            self.store.open_write(part_key), site="sink.write"
+        )
         return TsFileWriter(handle), _SealedFile(
-            space=space, reader=None, path=path, buffer=handle, part_path=part,
+            space=space, reader=None, key=key, buffer=handle, part_key=part_key,
             file_id=file_id,
         )
 
@@ -295,9 +319,9 @@ class StorageShard:
         self.faults.crash_point(
             "flush.seal", space=sealed.space.value, shard=self.shard_id
         )
-        if sealed.part_path is not None:
-            os.replace(sealed.part_path, sealed.path)
-            sealed.part_path = None
+        if sealed.part_key is not None:
+            self.store.rename_atomic(sealed.part_key, sealed.key)
+            sealed.part_key = None
             self.faults.crash_point(
                 "flush.sealed", space=sealed.space.value, shard=self.shard_id
             )
@@ -310,8 +334,8 @@ class StorageShard:
                 sealed.buffer.close()
             except OSError:
                 pass
-        if sealed.part_path is not None:
-            sealed.part_path.unlink(missing_ok=True)
+        if sealed.part_key is not None:
+            self.store.delete(sealed.part_key, missing_ok=True)
 
     @holds("_lock")
     def _retire_working(self, space: Space) -> _FlushTask | None:
@@ -420,9 +444,11 @@ class StorageShard:
         """Write the interval index next to the TsFiles (atomic; fault
         sites ``index.write``/``index.swap``).  In-memory shards keep the
         index only in memory."""
-        if self.data_dir is None:
+        if self.store is None:
             return
-        self._index.save(self.data_dir / INDEX_FILE_NAME, faults=self.faults)
+        self._index.save_to(
+            self.store, self.prefix + INDEX_FILE_NAME, faults=self.faults
+        )
 
     @holds("_lock")
     def _register_sealed(self, sealed: _SealedFile) -> None:
@@ -439,25 +465,25 @@ class StorageShard:
         self._persist_index()
 
     @holds("_lock")
-    def _recover_index(self, data_dir: Path) -> None:
+    def _recover_index(self) -> None:
         """Load the persisted index, or rebuild it from the sealed files.
 
         Ground truth is always ``build_entries(self._sealed)`` — computed
         from the already-open readers, so validation is free.  A missing,
         corrupt (:class:`IndexCorruptionError`), or stale (any entry
         mismatch — e.g. a crash between sealing a file and persisting the
-        index) file is replaced by a rebuild; the outcome is counted in
+        index) blob is replaced by a rebuild; the outcome is counted in
         ``engine_index_recoveries_total`` so sweeps can see which path ran.
         Either way the in-memory index ends exactly consistent with the
         recovered sealed set: damage costs a rebuild, never a wrong answer.
         """
         expected = build_entries(self._sealed)
-        index_path = data_dir / INDEX_FILE_NAME
-        if not index_path.exists():
+        index_key = self.prefix + INDEX_FILE_NAME
+        if not self.store.exists(index_key):
             outcome = "rebuilt-missing"
         else:
             try:
-                loaded = IntervalIndex.load(index_path)
+                loaded = IntervalIndex.load_from(self.store, index_key)
             except IndexCorruptionError:
                 outcome = "rebuilt-corrupt"
             else:
@@ -721,11 +747,13 @@ class StorageShard:
         for old in to_remove:
             if old.buffer is not None and not isinstance(old.buffer, io.BytesIO):
                 old.buffer.close()
-            if old.path is not None:
+            if old.key is not None:
                 self.faults.crash_point(
-                    "compact.unlink", file=old.path.name, shard=self.shard_id
+                    "compact.unlink",
+                    file=old.key.rsplit("/", 1)[-1],
+                    shard=self.shard_id,
                 )
-                old.path.unlink(missing_ok=True)
+                self.store.delete(old.key, missing_ok=True)
         survivors = [f for f in self._sealed if f.file_id not in removing]
         if replacement is not None:
             survivors.append(replacement)  # repro: allow(stats-accounting): file set, not a sort
@@ -770,7 +798,7 @@ class StorageShard:
         """Flush everything and release this shard's on-disk file handles."""
         self.flush_all()
         with self._lock:
-            if self.data_dir is not None:
+            if self.store is not None:
                 for sealed in self._sealed:
                     if sealed.buffer is not None and not isinstance(
                         sealed.buffer, io.BytesIO
@@ -826,51 +854,59 @@ class StorageShard:
         return replayed
 
     def recover(self) -> int:
-        """Rebuild this shard from its on-disk directory (crash recovery).
+        """Rebuild this shard from its persisted key prefix (crash recovery).
 
-        Scans the shard directory for sealed TsFiles (space and write order
-        come from the ``<space>-<seq>.tsfile`` naming), discards ``.part``
-        sinks a crash left mid-write (their points are still covered by the
-        surviving WAL segments), rebuilds the sealed readers, replays every
-        on-disk WAL segment into fresh working memtables (torn tails
-        tolerated), and re-derives the per-device separation watermarks
-        from the recovered sequence data so late points keep routing
-        correctly.  Replayed segments are kept on disk until every memtable
-        holding their points has been sealed — only then is it safe to drop
-        them.  Returns the number of WAL points replayed.
+        Scans the shard's store prefix for sealed TsFiles (space and write
+        order come from the ``<space>-<seq>.tsfile`` naming), discards
+        ``.part`` sinks a crash left mid-write (their points are still
+        covered by the surviving WAL segments), rebuilds the sealed
+        readers, replays every persisted WAL segment into fresh working
+        memtables (torn tails tolerated), and re-derives the per-device
+        separation watermarks from the recovered sequence data so late
+        points keep routing correctly.  Replayed segments are kept in the
+        store until every memtable holding their points has been sealed —
+        only then is it safe to drop them.  Returns the number of WAL
+        points replayed.
         """
-        if self.data_dir is None:
-            raise StorageError("shard recovery requires a data_dir configuration")
-        data_dir = self.data_dir
+        if self.store is None:
+            raise StorageError(
+                "shard recovery requires a persistent backend "
+                "(a data_dir or an explicit BlobStore)"
+            )
 
         # A crash mid-flush or mid-compaction leaves a partially written
-        # sink under its .part name: never sealed, never readable, safe to
+        # sink under its .part key: never sealed, never readable, safe to
         # discard.  Same for a torn interval-index .part: the published
         # index (or a rebuild) supersedes it.
-        for leftover in sorted(data_dir.glob("*.tsfile.part")):
-            leftover.unlink()
-        (data_dir / (INDEX_FILE_NAME + ".part")).unlink(missing_ok=True)
+        for key in self.store.list(self.prefix):
+            if key.endswith(".tsfile.part"):
+                self.store.delete(key, missing_ok=True)
+        self.store.delete(self.prefix + INDEX_FILE_NAME + ".part", missing_ok=True)
 
         replayed = 0
         with self._lock:
-            for path in sorted(data_dir.glob("*.tsfile")):
-                prefix, _, counter = path.stem.partition("-")
+            for key in self.store.list(self.prefix):
+                if not key.endswith(".tsfile"):
+                    continue
+                name = key.rsplit("/", 1)[-1]
+                stem = name[: -len(".tsfile")]
+                prefix, _, counter = stem.partition("-")
                 try:
                     space = Space(prefix)
                     file_number = int(counter)
                 except (ValueError, KeyError):
                     raise StorageError(
-                        f"unrecognised TsFile name {path.name!r}"
+                        f"unrecognised TsFile name {name!r}"
                     ) from None
-                handle = open(path, "rb+")
+                handle = self.store.open_read(key)
                 sealed = _SealedFile(
-                    space=space, reader=TsFileReader(handle), path=path,
-                    buffer=handle, file_id=path.stem,
+                    space=space, reader=TsFileReader(handle), key=key,
+                    buffer=handle, file_id=stem,
                 )
                 self._sealed.append(sealed)
                 self._file_counter = max(self._file_counter, file_number)
 
-            self._recover_index(data_dir)
+            self._recover_index()
 
             # Watermarks: the largest sequence-space time per device.
             for sealed in self._sealed:
@@ -890,8 +926,9 @@ class StorageShard:
                     "engine.wal_replay", shard=self.shard_id
                 ) as span:
                     for space in (Space.SEQUENCE, Space.UNSEQUENCE):
-                        wal = SegmentedWal.on_disk(
-                            data_dir,
+                        wal = SegmentedWal.on_store(
+                            self.store,
+                            self.prefix,
                             space.value,
                             fresh=False,
                             wrap=self.faults.wrap_file,

@@ -196,14 +196,15 @@ class WriteAheadLog:
 
 
 class _Segment:
-    """One WAL segment: id, codec, and (for on-disk segments) its path."""
+    """One WAL segment: id, codec, and (for persisted segments) its
+    blob-store key."""
 
-    __slots__ = ("segment_id", "wal", "path")
+    __slots__ = ("segment_id", "wal", "key")
 
-    def __init__(self, segment_id: int, wal: WriteAheadLog, path: Path | None) -> None:
+    def __init__(self, segment_id: int, wal: WriteAheadLog, key: str | None) -> None:
         self.segment_id = segment_id
         self.wal = wal
-        self.path = path
+        self.key = key
 
 
 class SegmentedWal:
@@ -227,11 +228,15 @@ class SegmentedWal:
     def __init__(
         self,
         *,
-        directory: Path | None,
+        store=None,
+        prefix: str = "",
         space: str,
         wrap: Callable | None = None,
     ) -> None:
-        self._directory = directory
+        # All persistence goes through a BlobStore (None = in-memory
+        # segments); ``prefix`` scopes this WAL's keys (e.g. "shard-00/").
+        self._store = store
+        self._prefix = prefix
         self._space = space
         # ``wrap(fileobj, site=...)`` lets the fault injector interpose on
         # every byte written; identity when fault injection is off.
@@ -251,7 +256,7 @@ class SegmentedWal:
 
     @classmethod
     def in_memory(cls, space: str, *, wrap: Callable | None = None) -> "SegmentedWal":
-        wal = cls(directory=None, space=space, wrap=wrap)
+        wal = cls(store=None, space=space, wrap=wrap)
         with wal._lock:
             wal._start_active()
         return wal
@@ -265,28 +270,55 @@ class SegmentedWal:
         fresh: bool,
         wrap: Callable | None = None,
     ) -> "SegmentedWal":
-        """Open the segment set under ``directory``.
+        """Open the segment set under a local ``directory``.
+
+        A thin veneer over :meth:`on_store` with a
+        :class:`~repro.iotdb.backends.LocalDirStore` rooted at
+        ``directory`` — segment names and bytes are identical to what the
+        pre-backend code wrote.
+        """
+        from repro.iotdb.backends.local import LocalDirStore
+
+        return cls.on_store(LocalDirStore(directory), "", space, fresh=fresh, wrap=wrap)
+
+    @classmethod
+    def on_store(
+        cls,
+        store,
+        prefix: str,
+        space: str,
+        *,
+        fresh: bool,
+        wrap: Callable | None = None,
+    ) -> "SegmentedWal":
+        """Open the segment set stored under ``prefix`` in ``store``.
 
         ``fresh=True`` is the constructor's fresh-start semantics: any
         leftover segments are deleted.  ``fresh=False`` (recovery) keeps
         them as sealed segments so :meth:`replay` surfaces their records;
         the engine drops them once the replayed points are sealed.
         """
-        wal = cls(directory=directory, space=space, wrap=wrap)
+        if prefix and not prefix.endswith("/"):
+            prefix += "/"
+        wal = cls(store=store, prefix=prefix, space=space, wrap=wrap)
+        name_prefix = f"{prefix}wal-{space}-"
         with wal._lock:
-            for path in sorted(directory.glob(f"wal-{space}-*.log")):
+            for key in store.list(name_prefix):
+                if not key.endswith(".log"):
+                    continue
                 try:
-                    segment_id = int(path.stem.rsplit("-", 1)[-1])
+                    segment_id = int(key[len(name_prefix):-len(".log")])
                 except ValueError:
+                    name = key.rsplit("/", 1)[-1]
                     raise StorageError(
-                        f"unrecognised WAL segment name {path.name!r}"
+                        f"unrecognised WAL segment name {name!r}"
                     ) from None
                 if fresh:
-                    path.unlink()
+                    store.delete(key)
                     continue
-                handle = open(path, "rb")
+                handle = store.open_read(key)
                 wal._segments.append(
-                    _Segment(segment_id, WriteAheadLog(handle), path)
+                    _Segment(segment_id, WriteAheadLog(handle), key)
                 )
                 wal._next_id = max(wal._next_id, segment_id + 1)
             wal._segments.sort(key=lambda s: s.segment_id)
@@ -299,13 +331,13 @@ class SegmentedWal:
     def _start_active(self) -> None:
         segment_id = self._next_id
         self._next_id += 1
-        if self._directory is None:
-            fileobj, path = io.BytesIO(), None
+        if self._store is None:
+            fileobj, key = io.BytesIO(), None
         else:
-            path = self._directory / f"wal-{self._space}-{segment_id:06d}.log"
-            fileobj = open(path, "wb+")
+            key = f"{self._prefix}wal-{self._space}-{segment_id:06d}.log"
+            fileobj = self._store.open_write(key)
         wrapped = self._wrap(fileobj, site="wal.write")
-        self._active = _Segment(segment_id, WriteAheadLog(wrapped), path)
+        self._active = _Segment(segment_id, WriteAheadLog(wrapped), key)
         self._segments.append(self._active)
 
     def rotate(self) -> int:
@@ -325,8 +357,8 @@ class SegmentedWal:
                             f"cannot drop the active WAL segment {segment_id}"
                         )
                     segment.wal.close()
-                    if segment.path is not None:
-                        segment.path.unlink(missing_ok=True)
+                    if segment.key is not None:
+                        self._store.delete(segment.key, missing_ok=True)
                     self._segments.remove(segment)
                     return
             raise StorageError(f"unknown WAL segment {segment_id}")

@@ -1,0 +1,81 @@
+"""The docs-link checker: unit behaviour and the repo-wide gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.doclinks import (
+    check_file,
+    check_tree,
+    extract_links,
+    main,
+    markdown_files,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExtraction:
+    def test_inline_links_with_lines(self):
+        text = "intro\nsee [spec](docs/STORAGE.md) and [api](docs/API.md#anchor)\n"
+        assert extract_links(text) == [
+            (2, "docs/STORAGE.md"),
+            (2, "docs/API.md#anchor"),
+        ]
+
+    def test_titles_and_images(self):
+        text = '![shot](img.png "a title") and [x](a.md)'
+        assert [t for _, t in extract_links(text)] == ["img.png", "a.md"]
+
+
+class TestChecking:
+    def test_reports_missing_relative_target(self, tmp_path):
+        (tmp_path / "a.md").write_text("[gone](missing.md)\n")
+        broken = check_tree(tmp_path)
+        assert len(broken) == 1
+        assert broken[0].target == "missing.md"
+        assert broken[0].line == 1
+
+    def test_resolves_relative_to_linking_file(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text("[up](../README.md)\n[peer](b.md)\n")
+        (docs / "b.md").write_text("ok\n")
+        (tmp_path / "README.md").write_text("[down](docs/a.md)\n")
+        assert check_tree(tmp_path) == []
+
+    def test_ignores_external_and_anchor_links(self, tmp_path):
+        (tmp_path / "a.md").write_text(
+            "[w](https://example.com/x.md) [m](mailto:a@b.c) [anchor](#local)\n"
+        )
+        assert check_tree(tmp_path) == []
+
+    def test_anchor_suffix_stripped_before_resolution(self, tmp_path):
+        (tmp_path / "a.md").write_text("[ok](b.md#section)\n[bad](c.md#s)\n")
+        (tmp_path / "b.md").write_text("## section\n")
+        broken = check_file(tmp_path / "a.md", tmp_path)
+        assert [b.target for b in broken] == ["c.md#s"]
+
+    def test_skips_git_and_cache_dirs(self, tmp_path):
+        hidden = tmp_path / ".git" / "x"
+        hidden.mkdir(parents=True)
+        (hidden / "junk.md").write_text("[gone](nowhere.md)\n")
+        assert markdown_files(tmp_path) == []
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        (tmp_path / "ok.md").write_text("plain\n")
+        assert main([str(tmp_path)]) == 0
+        (tmp_path / "bad.md").write_text("[x](gone.md)\n")
+        assert main([str(tmp_path)]) == 1
+        err = capsys.readouterr().err
+        assert "bad.md:1" in err and "gone.md" in err
+
+
+class TestRepositoryDocs:
+    def test_every_relative_link_in_this_repo_resolves(self):
+        broken = check_tree(REPO_ROOT)
+        assert broken == [], "\n".join(str(b) for b in broken)
+
+    def test_storage_spec_is_linked_from_readme(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        assert "docs/STORAGE.md" in readme

@@ -6,6 +6,7 @@ import json
 from pathlib import Path
 
 from repro.bench.baseline import (
+    BACKENDS,
     DELAY_MODELS,
     INGEST_SHARD_COUNTS,
     check_baseline,
@@ -32,8 +33,15 @@ def test_collect_is_deterministic():
     wal_cells = {"wal_bytes/frame=single", "wal_bytes/frame=batch"}
     path_cells = {"ingest/path=point", "ingest/path=batch"}
     flush_cells = {"flush/lcache=on", "flush/lcache=off"}
+    backend_cells = {f"ingest/backend={backend}" for backend in BACKENDS}
     assert set(first["cells"]) == (
-        sorter_cells | ingest_cells | index_cells | wal_cells | path_cells | flush_cells
+        sorter_cells
+        | ingest_cells
+        | index_cells
+        | wal_cells
+        | path_cells
+        | flush_cells
+        | backend_cells
     )
     for name in sorter_cells:
         cell = first["cells"][name]
@@ -48,6 +56,9 @@ def test_collect_is_deterministic():
         assert cell["bytes_appended"] > 0 and cell["flushes"] > 0
     for name in flush_cells:
         assert first["cells"][name]["sort_ops"] > 0
+    for name in backend_cells:
+        cell = first["cells"][name]
+        assert cell["wal_bytes"] > 0 and cell["sealed_bytes"] > 0
 
 
 def test_sharded_ingest_critical_path_never_exceeds_unsharded():
